@@ -1,0 +1,270 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§9) and times the allocator phases with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe              all experiments + timings
+     dune exec bench/main.exe table1       one experiment
+     dune exec bench/main.exe table1 fig14 table2 table3 timing ablation
+
+   Absolute cycle numbers come from our machine model, not the IXP1200
+   Developer Workbench, so EXPERIMENTS.md compares shapes and ratios
+   against the paper, not raw values. *)
+
+open Npra_cfg
+open Npra_regalloc
+open Npra_workloads
+open Npra_core
+
+(* ------------------------------------------------------------------ *)
+(* Experiment reproduction.                                            *)
+
+let run_table1 () =
+  Report.print (Experiments.table1_report (Experiments.table1 ()));
+  Fmt.pr
+    "@.paper: 11 benchmarks, ~10%% CTX instructions, MinR/MinPR below \
+     MaxR/MaxPR.@."
+
+let run_fig14 () =
+  let rows = Experiments.fig14 () in
+  Report.print (Experiments.fig14_report rows);
+  Fmt.pr "@.average total register saving: %.1f%% (paper: ~24%%)@."
+    (Experiments.fig14_average rows)
+
+let run_table2 () =
+  Report.print (Experiments.table2_report (Experiments.table2 ()));
+  Fmt.pr "@.paper: move overhead mostly within 10%% of code size.@."
+
+let run_table3 () =
+  let rows = Experiments.table3 () in
+  Report.print (Experiments.table3_report rows);
+  Fmt.pr
+    "@.paper: 18-24%% speed-up for critical threads (md5, wraps), 1-4%% \
+     degradation for the others.@.";
+  List.iter
+    (fun row ->
+      List.iter
+        (fun t ->
+          if t.Experiments.change_pct < -5. then
+            Fmt.pr "  %-12s speed-up %.1f%%@." t.Experiments.t3_name
+              (100.
+              *. ((t.Experiments.cyc_spill /. t.Experiments.cyc_sharing) -. 1.)))
+        row.Experiments.threads)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: design choices called out in DESIGN.md.                   *)
+
+(* Ablation 1: how much of Figure 14's saving comes from sharing versus
+   merely balancing private blocks (all registers a thread uses counted
+   private)? *)
+let ablation_sharing () =
+  Fmt.pr "@.== Ablation: shared registers vs private-only balancing ==@.";
+  Fmt.pr "%-12s  %9s  %9s  %9s@." "benchmark" "4*chaitin" "balanced"
+    "no-shared";
+  List.iter
+    (fun spec ->
+      let w = Registry.instantiate spec ~slot:0 in
+      let prog = Webs.rename w.Workload.prog in
+      let chaitin = Chaitin.color_count prog in
+      match Inter.tighten_zero_cost ~nreg:128 [ prog ] with
+      | Error (`Infeasible m) -> failwith m
+      | Ok inter ->
+        let th = inter.Inter.threads.(0) in
+        (* no-shared: every register a thread touches must be private *)
+        let no_shared = 4 * (th.Inter.pr + th.Inter.sr) in
+        Fmt.pr "%-12s  %9d  %9d  %9d@." spec.Workload.id (4 * chaitin)
+          ((4 * th.Inter.pr) + th.Inter.sr)
+          no_shared)
+    Registry.all
+
+(* Ablation 2: register-file size sweep — where does the balanced
+   allocator stop fitting, and how does move cost grow as the file
+   shrinks? The mix uses the kernels whose estimated upper bounds sit
+   well above their pressure floors (drr, the forwarding halves), so the
+   squeeze region where splitting pays for registers is visible. *)
+let ablation_nreg () =
+  Fmt.pr
+    "@.== Ablation: register-file size sweep (drr + l2l3fwd rx/tx + url) ==@.";
+  let ws =
+    List.mapi
+      (fun i id -> Registry.instantiate (Registry.find_exn id) ~slot:i)
+      [ "drr"; "l2l3fwd_rx"; "l2l3fwd_tx"; "url" ]
+  in
+  let progs = List.map (fun w -> Webs.rename w.Workload.prog) ws in
+  Fmt.pr "%6s  %8s  %8s@." "nreg" "fits" "moves";
+  List.iter
+    (fun nreg ->
+      match Inter.allocate ~nreg progs with
+      | Ok inter -> Fmt.pr "%6d  %8s  %8d@." nreg "yes" (Inter.total_moves inter)
+      | Error (`Infeasible _) -> Fmt.pr "%6d  %8s  %8s@." nreg "no" "-")
+    [ 64; 56; 52; 50; 48; 46; 45; 44; 43; 42 ]
+
+(* Ablation 3: static move count versus the loop-depth-weighted dynamic
+   estimate at the Table-2 operating point. *)
+let ablation_cost () =
+  Fmt.pr "@.== Ablation: static vs weighted move placement (table 2 point) ==@.";
+  Fmt.pr "%-12s  %8s  %10s@." "benchmark" "#moves" "dyn-weight";
+  List.iter
+    (fun id ->
+      let w = Registry.instantiate (Registry.find_exn id) ~slot:0 in
+      let prog = Webs.rename w.Workload.prog in
+      let loops = Loops.compute prog in
+      let ctx = Context.create prog in
+      let ctx, b = Estimate.run ctx in
+      let target_pr = b.Estimate.min_pr in
+      let target_sr = max 0 (b.Estimate.min_r - target_pr) in
+      match
+        Intra.reduce_to ctx ~pr:b.Estimate.max_pr ~r:b.Estimate.max_r
+          ~target_pr ~target_sr
+      with
+      | None -> ()
+      | Some red ->
+        Fmt.pr "%-12s  %8d  %10d@." id red.Intra.cost
+          (Context.weighted_move_count red.Intra.ctx (Loops.depth loops)))
+    [ "md5"; "fir2dim"; "l2l3fwd_rx"; "l2l3fwd_tx"; "wraps_tx" ]
+
+(* Ablation 4: memory-latency sweep — how the headline Table-3 speedup
+   scales with the cost of a memory access. Spills hurt in proportion to
+   the latency they add, so the balanced allocator's advantage should
+   grow with it (SRAM ~20 cycles on the IXP1200; SDRAM ~40). *)
+let ablation_latency () =
+  Fmt.pr "@.== Ablation: memory latency sweep (md5 x2 + fir2dim x2) ==@.";
+  let ws =
+    List.mapi
+      (fun i id -> Registry.instantiate (Registry.find_exn id) ~slot:i)
+      [ "md5"; "md5"; "fir2dim"; "fir2dim" ]
+  in
+  let progs = List.map (fun w -> w.Workload.prog) ws in
+  let iters = List.map (fun w -> w.Workload.iters) ws in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  let spill_bases = List.map Workload.spill_base ws in
+  let base = Pipeline.baseline ~nreg:128 ~spill_bases progs in
+  let bal = Pipeline.balanced ~nreg:128 progs in
+  Fmt.pr "%8s  %12s  %12s  %9s@." "latency" "md5(spill)" "md5(share)"
+    "speedup";
+  List.iter
+    (fun mem_latency ->
+      let config = { Npra_sim.Machine.default_config with mem_latency } in
+      let cyc progs =
+        let report =
+          Npra_sim.Machine.report
+            (Npra_sim.Machine.run ~config ~mem_image progs)
+        in
+        List.nth (Pipeline.cycles_per_iteration report iters) 0
+      in
+      let a = cyc base.Pipeline.base_programs
+      and b = cyc bal.Pipeline.programs in
+      Fmt.pr "%8d  %12.1f  %12.1f  %8.1f%%@." mem_latency a b
+        (100. *. ((a /. b) -. 1.)))
+    [ 5; 10; 20; 40; 80 ]
+
+let run_ablation () =
+  ablation_sharing ();
+  ablation_nreg ();
+  ablation_cost ();
+  ablation_latency ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing of the allocator phases: one timed benchmark per    *)
+(* reproduced table, plus the compiler phases on the heaviest kernel.  *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let md5_prog =
+    let w = Registry.instantiate (Registry.find_exn "md5") ~slot:0 in
+    Webs.rename w.Workload.prog
+  in
+  let staged = Staged.stage in
+  [
+    Test.make ~name:"table1:analysis-per-kernel"
+      (staged (fun () ->
+           let ctx = Context.create md5_prog in
+           let _ = Estimate.run ctx in
+           Nsr.compute md5_prog));
+    Test.make ~name:"fig14:zero-cost-tighten(md5)"
+      (staged (fun () -> Inter.tighten_zero_cost ~nreg:128 [ md5_prog ]));
+    Test.make ~name:"table2:reduce-to-min(fir2dim)"
+      (staged
+         (let w = Registry.instantiate (Registry.find_exn "fir2dim") ~slot:0 in
+          let prog = Webs.rename w.Workload.prog in
+          fun () ->
+            let ctx = Context.create prog in
+            let ctx, b = Estimate.run ctx in
+            Intra.reduce_to ctx ~pr:b.Estimate.max_pr ~r:b.Estimate.max_r
+              ~target_pr:b.Estimate.min_pr
+              ~target_sr:(max 0 (b.Estimate.min_r - b.Estimate.min_pr))));
+    Test.make ~name:"table3:balanced-pipeline(md5+fir2dim)"
+      (staged
+         (let progs =
+            List.mapi
+              (fun i id ->
+                (Registry.instantiate (Registry.find_exn id) ~slot:i)
+                  .Workload.prog)
+              [ "md5"; "fir2dim" ]
+          in
+          fun () -> Pipeline.balanced ~nreg:128 progs));
+    Test.make ~name:"phase:liveness(md5)"
+      (staged (fun () -> Liveness.compute md5_prog));
+    Test.make ~name:"phase:points(md5)"
+      (staged (fun () -> Points.compute md5_prog));
+    Test.make ~name:"phase:chaitin-k32(md5)"
+      (staged (fun () -> Chaitin.allocate ~k:32 ~spill_base:768 md5_prog));
+    Test.make ~name:"phase:simulate(md5-alone)"
+      (staged
+         (let w = Registry.instantiate (Registry.find_exn "md5") ~slot:0 in
+          let prog = Webs.rename w.Workload.prog in
+          let res = Chaitin.allocate ~k:128 ~spill_base:768 prog in
+          let layout = Assign.fixed_partition ~nreg:128 ~nthd:1 in
+          let phys =
+            Rewrite.apply_map res.Chaitin.prog res.Chaitin.coloring
+              ~reg_of_color:(Assign.reg_of_color layout ~thread:0)
+          in
+          let image = w.Workload.mem_image in
+          fun () -> Npra_sim.Machine.run ~mem_image:image [ phys ]));
+  ]
+
+let run_timing () =
+  let open Bechamel in
+  Fmt.pr "@.== Bechamel timings ==@.";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let tbl = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ t ] -> Fmt.pr "  %-40s %14.1f ns/run@." name t
+          | Some _ | None -> Fmt.pr "  %-40s (no estimate)@." name)
+        tbl)
+    (List.map
+       (fun t -> Test.make_grouped ~name:"npra" [ t ])
+       (bechamel_tests ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let known =
+    [
+      ("table1", run_table1); ("fig14", run_fig14); ("table2", run_table2);
+      ("table3", run_table3); ("ablation", run_ablation);
+      ("timing", run_timing);
+    ]
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected = if args = [] then List.map fst known else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name known with
+      | Some f -> f ()
+      | None ->
+        Fmt.epr "unknown experiment %S (known: %s)@." name
+          (String.concat ", " (List.map fst known));
+        exit 2)
+    selected

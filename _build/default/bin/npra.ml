@@ -1,0 +1,319 @@
+(* npra — the network-processor register allocation toolchain CLI.
+
+   Subcommands:
+     list               list the benchmark kernels
+     dump <kernel>      print a kernel's assembly
+     analyze <kernel>   NSR / interference / bound statistics
+     allocate <k...>    balance registers across up to 4 kernels and
+                        print the allocation, verifying safety
+     simulate <k...>    allocate, then run on the cycle-level machine
+     asm <file>         allocate threads from an assembly file
+     table1|fig14|table2|table3   reproduce the paper's experiments *)
+
+open Cmdliner
+open Npra_ir
+open Npra_regalloc
+open Npra_workloads
+open Npra_core
+
+let kernel_arg p doc =
+  Arg.(required & pos p (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let kernels_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"KERNEL" ~doc:"Benchmark kernel ids (see $(b,npra list)).")
+
+let iters_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "iters" ] ~docv:"N" ~doc:"Main-loop iterations per thread.")
+
+let nreg_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "nreg" ] ~docv:"N" ~doc:"Registers in the shared file.")
+
+let lookup id =
+  match Registry.find id with
+  | Some s -> s
+  | None ->
+    Fmt.epr "unknown kernel %S; available: %s@." id
+      (String.concat ", " (Registry.ids ()));
+    exit 2
+
+let instantiate_all ?iters ids =
+  List.mapi (fun i id -> Registry.instantiate ?iters (lookup id) ~slot:i) ids
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun s -> Fmt.pr "%-12s %s@." s.Workload.id s.Workload.summary)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels")
+    Term.(const run $ const ())
+
+(* ---- dump ---- *)
+
+let dump_cmd =
+  let run id =
+    let w = Registry.instantiate (lookup id) ~slot:0 in
+    Fmt.pr "%s" (Npra_asm.Printer.to_string w.Workload.prog)
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Print a kernel's assembly")
+    Term.(const run $ kernel_arg 0 "Kernel id.")
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run id =
+    let w = Registry.instantiate (lookup id) ~slot:0 in
+    let prog = Npra_cfg.Webs.rename w.Workload.prog in
+    let ctx = Context.create prog in
+    let _colored, b = Estimate.run ctx in
+    let nsr = Nsr.compute prog in
+    Fmt.pr "%s: %d instructions, %d CTX, %d live ranges@." w.Workload.name
+      (Prog.length prog)
+      (Prog.count_ctx_switches prog)
+      (Context.num_nodes ctx);
+    Fmt.pr "bounds: %a@." Estimate.pp_bounds b;
+    Fmt.pr "%a" Nsr.pp nsr
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Print NSR and bound statistics")
+    Term.(const run $ kernel_arg 0 "Kernel id.")
+
+(* ---- allocate ---- *)
+
+let print_balanced (bal : Pipeline.balanced) =
+  Fmt.pr "%a" Inter.pp bal.Pipeline.inter;
+  Fmt.pr "%a" Assign.pp bal.Pipeline.layout;
+  Fmt.pr "moves inserted: %d@." bal.Pipeline.moves;
+  match bal.Pipeline.verify_errors with
+  | [] -> Fmt.pr "safety verification: OK@."
+  | errs ->
+    Fmt.pr "safety verification FAILED:@.";
+    List.iter (fun e -> Fmt.pr "  %a@." Verify.pp_error e) errs;
+    exit 1
+
+let allocate_cmd =
+  let run nreg iters ids =
+    let ws = instantiate_all ?iters ids in
+    let bal = Pipeline.balanced ~nreg (List.map (fun w -> w.Workload.prog) ws) in
+    print_balanced bal
+  in
+  Cmd.v
+    (Cmd.info "allocate" ~doc:"Balance registers across kernels (up to 4)")
+    Term.(const run $ nreg_arg $ iters_arg $ kernels_arg)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let run nreg iters baseline_too show_timeline ids =
+    let ws = instantiate_all ?iters ids in
+    let progs = List.map (fun w -> w.Workload.prog) ws in
+    let iters_l = List.map (fun w -> w.Workload.iters) ws in
+    let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+    let bal = Pipeline.balanced ~nreg progs in
+    (match bal.Pipeline.verify_errors with
+    | [] -> ()
+    | errs ->
+      List.iter (fun e -> Fmt.epr "verify: %a@." Verify.pp_error e) errs;
+      exit 1);
+    let machine =
+      Npra_sim.Machine.run ~mem_image ~timeline:show_timeline
+        bal.Pipeline.programs
+    in
+    let report = Npra_sim.Machine.report machine in
+    Fmt.pr "== balanced allocation ==@.%a" Npra_sim.Machine.pp_report report;
+    if show_timeline then begin
+      Fmt.pr "@.== timeline (first 60 intervals) ==@.";
+      let full = Fmt.str "%a" Npra_sim.Machine.pp_timeline machine in
+      String.split_on_char '\n' full
+      |> List.filteri (fun i _ -> i < 60)
+      |> List.iter (Fmt.pr "%s@.")
+    end;
+    List.iter2
+      (fun tr n -> Fmt.pr "  %-16s %.1f cycles/iteration@." tr.Npra_sim.Machine.name n)
+      report.Npra_sim.Machine.thread_reports
+      (Pipeline.cycles_per_iteration report iters_l);
+    if baseline_too then begin
+      let spill_bases = List.map Workload.spill_base ws in
+      let base = Pipeline.baseline ~nreg ~spill_bases progs in
+      let report =
+        Npra_sim.Machine.report
+          (Pipeline.simulate ~mem_image base.Pipeline.base_programs)
+      in
+      Fmt.pr "== spilling baseline (fixed partition) ==@.%a"
+        Npra_sim.Machine.pp_report report;
+      List.iter2
+        (fun tr n ->
+          Fmt.pr "  %-16s %.1f cycles/iteration@." tr.Npra_sim.Machine.name n)
+        report.Npra_sim.Machine.thread_reports
+        (Pipeline.cycles_per_iteration report iters_l)
+    end
+  in
+  let baseline_flag =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Also run the spilling baseline.")
+  in
+  let timeline_flag =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Print the scheduling timeline.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Allocate and run kernels on the machine model")
+    Term.(
+      const run $ nreg_arg $ iters_arg $ baseline_flag $ timeline_flag
+      $ kernels_arg)
+
+(* ---- asm ---- *)
+
+let asm_cmd =
+  let run nreg file =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let progs = Npra_asm.Parser.parse src in
+    let bal = Pipeline.balanced ~nreg progs in
+    print_balanced bal;
+    List.iter
+      (fun p -> Fmt.pr "%s@." (Npra_asm.Printer.to_string p))
+      bal.Pipeline.programs
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly file.")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Allocate the threads of an assembly file")
+    Term.(const run $ nreg_arg $ file_arg)
+
+(* ---- cc: compile NPC source ---- *)
+
+let cc_cmd =
+  let run nreg optimize simulate file =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Npra_npc.Npc.compile src with
+    | Error e ->
+      Fmt.epr "%a@." Npra_npc.Npc.pp_error e;
+      exit 1
+    | Ok progs ->
+      Fmt.pr "compiled %d thread(s): %s@." (List.length progs)
+        (String.concat ", " (List.map (fun p -> p.Prog.name) progs));
+      let progs =
+        if optimize then
+          List.map
+            (fun p ->
+              let p', stats = Npra_opt.Opt.run p in
+              Fmt.pr "  %s: %a@." p.Prog.name Npra_opt.Opt.pp_stats stats;
+              p')
+            progs
+        else progs
+      in
+      let bal = Pipeline.balanced ~nreg progs in
+      print_balanced bal;
+      List.iter
+        (fun p -> Fmt.pr "%s@." (Npra_asm.Printer.to_string p))
+        bal.Pipeline.programs;
+      if simulate then begin
+        let report =
+          Npra_sim.Machine.report (Pipeline.simulate ~mem_image:[] bal.Pipeline.programs)
+        in
+        Fmt.pr "%a" Npra_sim.Machine.pp_report report
+      end
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"NPC source file.")
+  in
+  let sim_flag =
+    Arg.(value & flag & info [ "run" ] ~doc:"Also run the result on the machine model.")
+  in
+  let opt_flag =
+    Arg.(value & flag & info [ "O" ] ~doc:"Copy-propagate and eliminate dead code first.")
+  in
+  Cmd.v
+    (Cmd.info "cc" ~doc:"Compile NPC (C-subset) threads and balance their registers")
+    Term.(const run $ nreg_arg $ opt_flag $ sim_flag $ file_arg)
+
+(* ---- sra ---- *)
+
+let sra_cmd =
+  let run nreg nthd id =
+    let w = Registry.instantiate (lookup id) ~slot:0 in
+    let prog = Npra_cfg.Webs.rename w.Workload.prog in
+    match Sra.allocate ~nreg ~nthd prog with
+    | Error (`Infeasible m) ->
+      Fmt.epr "infeasible: %s@." m;
+      exit 1
+    | Ok r -> Fmt.pr "%a@." Sra.pp r
+  in
+  let nthd_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "threads" ] ~docv:"N" ~doc:"Identical threads sharing the PU.")
+  in
+  Cmd.v
+    (Cmd.info "sra"
+       ~doc:"Symmetric register allocation: one kernel on all threads (paper              section 8)")
+    Term.(const run $ nreg_arg $ nthd_arg $ kernel_arg 0 "Kernel id.")
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let run kind id =
+    let w = Registry.instantiate (lookup id) ~slot:0 in
+    let prog = Npra_cfg.Webs.rename w.Workload.prog in
+    match kind with
+    | "cfg" -> Fmt.pr "%a" Dot.cfg prog
+    | "gig" -> Fmt.pr "%a" Dot.interference prog
+    | other ->
+      Fmt.epr "unknown graph kind %S (cfg | gig)@." other;
+      exit 2
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt string "cfg"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Graph to render: cfg or gig.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit Graphviz for a kernel's CFG (NSR-clustered) or interference graph")
+    Term.(const run $ kind_arg $ kernel_arg 0 "Kernel id.")
+
+(* ---- experiments ---- *)
+
+let experiment name doc render =
+  Cmd.v (Cmd.info name ~doc) Term.(const render $ const ())
+
+let table1_cmd =
+  experiment "table1" "Reproduce Table 1 (benchmark properties)" (fun () ->
+      Report.print (Experiments.table1_report (Experiments.table1 ())))
+
+let fig14_cmd =
+  experiment "fig14" "Reproduce Figure 14 (SRA register demand)" (fun () ->
+      let rows = Experiments.fig14 () in
+      Report.print (Experiments.fig14_report rows);
+      Fmt.pr "average saving: %.1f%%@." (Experiments.fig14_average rows))
+
+let table2_cmd =
+  experiment "table2" "Reproduce Table 2 (moves at minimal registers)"
+    (fun () -> Report.print (Experiments.table2_report (Experiments.table2 ())))
+
+let table3_cmd =
+  experiment "table3" "Reproduce Table 3 (ARA scenarios)" (fun () ->
+      Report.print (Experiments.table3_report (Experiments.table3 ())))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "npra" ~version:"1.0.0"
+             ~doc:
+               "Balanced register allocation for a multithreaded network \
+                processor (PLDI 2004 reproduction)")
+          [
+            list_cmd; dump_cmd; analyze_cmd; allocate_cmd; simulate_cmd;
+            asm_cmd; cc_cmd; sra_cmd; dot_cmd; table1_cmd; fig14_cmd; table2_cmd; table3_cmd;
+          ]))

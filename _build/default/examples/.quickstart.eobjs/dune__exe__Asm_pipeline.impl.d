@@ -1,0 +1,1 @@
+examples/asm_pipeline.ml: Fmt List Npra_asm Npra_core Npra_ir Npra_regalloc Npra_sim Pipeline String

@@ -1,0 +1,1 @@
+examples/asm_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/ipv4_forwarding.ml: Array Fmt List Npra_core Npra_regalloc Npra_sim Npra_workloads Pipeline Registry String Workload

@@ -1,0 +1,1 @@
+examples/ipv4_forwarding.mli:

@@ -1,0 +1,1 @@
+examples/npc_firewall.ml: Fmt List Npra_core Npra_ir Npra_npc Npra_regalloc Npra_sim Pipeline String

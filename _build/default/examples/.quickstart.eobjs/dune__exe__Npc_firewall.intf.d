@@ -1,0 +1,1 @@
+examples/npc_firewall.mli:

@@ -1,0 +1,1 @@
+examples/packet_scheduler.ml: Array Assign Context Estimate Fmt Inter List Npra_cfg Npra_core Npra_regalloc Npra_sim Npra_workloads Pipeline Registry Workload

@@ -1,0 +1,1 @@
+examples/packet_scheduler.mli:

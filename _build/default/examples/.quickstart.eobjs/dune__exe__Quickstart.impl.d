@@ -1,0 +1,1 @@
+examples/quickstart.ml: Assign Builder Fmt Instr Inter List Npra_asm Npra_core Npra_ir Npra_regalloc Npra_sim Pipeline Verify

@@ -1,0 +1,1 @@
+lib/asm/lexer.ml: Fmt List Npra_ir String

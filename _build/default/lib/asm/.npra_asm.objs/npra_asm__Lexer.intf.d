@@ -1,0 +1,1 @@
+lib/asm/lexer.mli: Npra_ir

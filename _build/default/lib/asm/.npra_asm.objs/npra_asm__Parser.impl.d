@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Fmt Instr Lexer List Npra_ir Prog

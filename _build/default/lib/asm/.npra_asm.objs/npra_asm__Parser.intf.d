@@ -1,0 +1,1 @@
+lib/asm/parser.mli: Npra_ir Prog

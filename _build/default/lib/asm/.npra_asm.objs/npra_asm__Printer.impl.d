@@ -1,0 +1,1 @@
+lib/asm/printer.ml: Array Fmt Instr List Npra_ir Prog Reg String

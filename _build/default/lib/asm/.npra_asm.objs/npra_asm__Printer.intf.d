@@ -1,0 +1,1 @@
+lib/asm/printer.mli: Fmt Instr Npra_ir Prog

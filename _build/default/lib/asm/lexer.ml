@@ -1,0 +1,127 @@
+(* Lexer for the NPRA assembly language.
+
+   The surface syntax mirrors the printer in {!Npra_ir.Instr}:
+
+     .thread checksum
+     entry:
+       movi v0, 0
+       load v1, [v2+4]
+       add v0, v0, v1
+       bne v0, 0, entry
+       ctx_switch
+       halt
+
+   Tokens carry their line number for error reporting. Comments run from
+   ';' or '#' to the end of the line. *)
+
+type token =
+  | IDENT of string  (* mnemonics, label names *)
+  | REG of Npra_ir.Reg.t
+  | INT of int
+  | COMMA
+  | COLON
+  | LBRACKET
+  | RBRACKET
+  | PLUS
+  | DIRECTIVE of string  (* .thread etc. *)
+  | NEWLINE
+  | EOF
+
+type lexeme = { token : token; line : int }
+
+exception Error of { line : int; message : string }
+
+let error line fmt = Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '.'
+
+(* A register token is [v<digits>] or [r<digits>]; anything else
+   alphanumeric is an identifier. *)
+let classify_word w =
+  let is_reg prefix =
+    String.length w > 1
+    && w.[0] = prefix
+    && String.for_all is_digit (String.sub w 1 (String.length w - 1))
+  in
+  if is_reg 'v' then REG (Npra_ir.Reg.V (int_of_string (String.sub w 1 (String.length w - 1))))
+  else if is_reg 'r' then
+    REG (Npra_ir.Reg.P (int_of_string (String.sub w 1 (String.length w - 1))))
+  else IDENT w
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let push token = out := { token; line = !line } :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      push NEWLINE;
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ';' || c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = ',' then begin
+      push COMMA;
+      incr i
+    end
+    else if c = ':' then begin
+      push COLON;
+      incr i
+    end
+    else if c = '[' then begin
+      push LBRACKET;
+      incr i
+    end
+    else if c = ']' then begin
+      push RBRACKET;
+      incr i
+    end
+    else if c = '+' then begin
+      push PLUS;
+      incr i
+    end
+    else if c = '-' || is_digit c then begin
+      let start = !i in
+      incr i;
+      while !i < n && (is_digit src.[!i] || src.[!i] = 'x' || src.[!i] = 'X'
+                       || (src.[!i] >= 'a' && src.[!i] <= 'f')
+                       || (src.[!i] >= 'A' && src.[!i] <= 'F'))
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> push (INT v)
+      | None -> error !line "malformed integer %S" text
+    end
+    else if c = '.' then begin
+      let start = !i in
+      incr i;
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (DIRECTIVE (String.sub src (start + 1) (!i - start - 1)))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (classify_word (String.sub src start (!i - start)))
+    end
+    else error !line "unexpected character %C" c
+  done;
+  push EOF;
+  List.rev !out

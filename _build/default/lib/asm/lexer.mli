@@ -1,0 +1,21 @@
+(** Lexer for the NPRA assembly language. Comments run from [';'] or
+    ['#'] to end of line; tokens carry their source line. *)
+
+type token =
+  | IDENT of string
+  | REG of Npra_ir.Reg.t
+  | INT of int
+  | COMMA
+  | COLON
+  | LBRACKET
+  | RBRACKET
+  | PLUS
+  | DIRECTIVE of string
+  | NEWLINE
+  | EOF
+
+type lexeme = { token : token; line : int }
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> lexeme list

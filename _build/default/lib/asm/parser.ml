@@ -1,0 +1,210 @@
+(* Recursive-descent parser for the NPRA assembly language.
+
+   A file holds one or more thread sections, each opened by a [.thread
+   NAME] directive (a file without any directive is a single anonymous
+   thread). Within a section: labels ([name:]) and instructions, one per
+   line. The grammar accepts exactly what {!Printer} emits, giving a
+   round-trip property the tests rely on. *)
+
+open Npra_ir
+
+exception Error of { line : int; message : string }
+
+let error line fmt = Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+
+type state = { mutable toks : Lexer.lexeme list }
+
+let peek st =
+  match st.toks with [] -> assert false | l :: _ -> l
+
+let advance st =
+  match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+
+let next st =
+  let l = peek st in
+  advance st;
+  l
+
+let expect st tok what =
+  let l = next st in
+  if l.Lexer.token <> tok then error l.Lexer.line "expected %s" what
+
+let expect_reg st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.REG r -> r
+  | _ -> error l.Lexer.line "expected a register"
+
+let expect_int st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.INT n -> n
+  | _ -> error l.Lexer.line "expected an integer"
+
+let expect_ident st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.IDENT s -> s
+  | _ -> error l.Lexer.line "expected an identifier"
+
+let expect_operand st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.REG r -> Instr.Reg r
+  | Lexer.INT n -> Instr.Imm n
+  | _ -> error l.Lexer.line "expected a register or integer"
+
+let expect_comma st = expect st Lexer.COMMA "','"
+
+(* [dst, [addr+off]] with the offset optional. *)
+let expect_mem st =
+  expect st Lexer.LBRACKET "'['";
+  let addr = expect_reg st in
+  let l = peek st in
+  let off =
+    match l.Lexer.token with
+    | Lexer.PLUS ->
+      advance st;
+      expect_int st
+    | _ -> 0
+  in
+  expect st Lexer.RBRACKET "']'";
+  (addr, off)
+
+let alu_of_name = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl
+  | "shr" -> Some Instr.Shr
+  | "mul" -> Some Instr.Mul
+  | _ -> None
+
+let cond_of_name = function
+  | "beq" -> Some Instr.Eq
+  | "bne" -> Some Instr.Ne
+  | "blt" -> Some Instr.Lt
+  | "bge" -> Some Instr.Ge
+  | "bgt" -> Some Instr.Gt
+  | "ble" -> Some Instr.Le
+  | _ -> None
+
+let parse_instr st line mnemonic =
+  match alu_of_name mnemonic, cond_of_name mnemonic, mnemonic with
+  | Some op, _, _ ->
+    let dst = expect_reg st in
+    expect_comma st;
+    let src1 = expect_reg st in
+    expect_comma st;
+    let src2 = expect_operand st in
+    Instr.Alu { op; dst; src1; src2 }
+  | None, Some cond, _ ->
+    let src1 = expect_reg st in
+    expect_comma st;
+    let src2 = expect_operand st in
+    expect_comma st;
+    let target = expect_ident st in
+    Instr.Brc { cond; src1; src2; target }
+  | None, None, "mov" ->
+    let dst = expect_reg st in
+    expect_comma st;
+    let src = expect_reg st in
+    Instr.Mov { dst; src }
+  | None, None, "movi" ->
+    let dst = expect_reg st in
+    expect_comma st;
+    let imm = expect_int st in
+    Instr.Movi { dst; imm }
+  | None, None, "load" ->
+    let dst = expect_reg st in
+    expect_comma st;
+    let addr, off = expect_mem st in
+    Instr.Load { dst; addr; off }
+  | None, None, "store" ->
+    let src = expect_reg st in
+    expect_comma st;
+    let addr, off = expect_mem st in
+    Instr.Store { src; addr; off }
+  | None, None, "br" -> Instr.Br { target = expect_ident st }
+  | None, None, "ctx_switch" -> Instr.Ctx_switch
+  | None, None, "nop" -> Instr.Nop
+  | None, None, "halt" -> Instr.Halt
+  | None, None, other -> error line "unknown mnemonic %S" other
+
+type section = {
+  name : string;
+  mutable rev_code : Instr.t list;
+  mutable count : int;
+  mutable labels : (string * int) list;
+}
+
+let parse_sections st =
+  let sections = ref [] in
+  let current = ref None in
+  let section line =
+    match !current with
+    | Some s -> s
+    | None ->
+      let s = { name = "main"; rev_code = []; count = 0; labels = [] } in
+      current := Some s;
+      ignore line;
+      s
+  in
+  let close () =
+    match !current with
+    | Some s ->
+      sections := s :: !sections;
+      current := None
+    | None -> ()
+  in
+  let rec loop () =
+    let l = peek st in
+    match l.Lexer.token with
+    | Lexer.EOF -> close ()
+    | Lexer.NEWLINE ->
+      advance st;
+      loop ()
+    | Lexer.DIRECTIVE "thread" ->
+      advance st;
+      let name = expect_ident st in
+      close ();
+      current := Some { name; rev_code = []; count = 0; labels = [] };
+      loop ()
+    | Lexer.DIRECTIVE d -> error l.Lexer.line "unknown directive .%s" d
+    | Lexer.IDENT id -> (
+      advance st;
+      match (peek st).Lexer.token with
+      | Lexer.COLON ->
+        advance st;
+        let s = section l.Lexer.line in
+        s.labels <- (id, s.count) :: s.labels;
+        loop ()
+      | _ ->
+        let s = section l.Lexer.line in
+        let ins = parse_instr st l.Lexer.line id in
+        s.rev_code <- ins :: s.rev_code;
+        s.count <- s.count + 1;
+        (match (peek st).Lexer.token with
+        | Lexer.NEWLINE | Lexer.EOF -> ()
+        | _ -> error l.Lexer.line "trailing tokens after instruction");
+        loop ())
+    | _ -> error l.Lexer.line "expected a label, mnemonic or directive"
+  in
+  loop ();
+  List.rev !sections
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let sections = parse_sections st in
+  List.map
+    (fun s ->
+      try Prog.make ~name:s.name ~code:(List.rev s.rev_code) ~labels:s.labels
+      with Prog.Invalid m -> error 0 "%s" m)
+    sections
+
+let parse_one src =
+  match parse src with
+  | [ p ] -> p
+  | ps -> error 0 "expected exactly one thread section, found %d" (List.length ps)

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the NPRA assembly language.
+
+    A file holds one or more thread sections, each opened by a
+    [.thread NAME] directive (a directive-free file is one anonymous
+    thread). The grammar accepts exactly what {!Printer} emits. *)
+
+open Npra_ir
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Prog.t list
+(** @raise Error on lexical/syntactic problems or invalid programs. *)
+
+val parse_one : string -> Prog.t
+(** @raise Error unless the source holds exactly one thread. *)

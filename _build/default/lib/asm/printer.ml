@@ -1,0 +1,29 @@
+(* Assembly printer: emits the surface syntax accepted by {!Parser}.
+
+   The conditional-branch mnemonic is [b<cond>] (e.g. [bne]); everything
+   else matches {!Npra_ir.Instr.pp}. *)
+
+open Npra_ir
+
+let pp_instr ppf ins =
+  match ins with
+  | Instr.Brc { cond; src1; src2; target } ->
+    Fmt.pf ppf "b%s %a, %a, %s" (Instr.cond_name cond) Reg.pp src1
+      Instr.pp_operand src2 target
+  | _ -> Instr.pp ppf ins
+
+let pp_prog ppf prog =
+  Fmt.pf ppf ".thread %s@." prog.Prog.name;
+  Array.iteri
+    (fun i ins ->
+      List.iter (fun l -> Fmt.pf ppf "%s:@." l) (Prog.labels_at prog i);
+      Fmt.pf ppf "  %a@." pp_instr ins)
+    prog.Prog.code;
+  List.iter
+    (fun (l, j) ->
+      if j = Array.length prog.Prog.code then Fmt.pf ppf "%s:@." l)
+    prog.Prog.labels
+
+let to_string prog = Fmt.str "%a" pp_prog prog
+
+let to_string_many progs = String.concat "\n" (List.map to_string progs)

@@ -1,0 +1,10 @@
+(** Assembly printer: emits the surface syntax accepted by {!Parser},
+    giving the round-trip property [Parser.parse_one (Printer.to_string p)]
+    ≡ [p]. *)
+
+open Npra_ir
+
+val pp_instr : Instr.t Fmt.t
+val pp_prog : Prog.t Fmt.t
+val to_string : Prog.t -> string
+val to_string_many : Prog.t list -> string

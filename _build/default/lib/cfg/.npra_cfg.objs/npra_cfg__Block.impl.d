@@ -1,0 +1,1 @@
+lib/cfg/block.ml: Array Instr Int List Npra_ir Prog

@@ -1,0 +1,1 @@
+lib/cfg/dsu.ml: Array

@@ -1,0 +1,1 @@
+lib/cfg/liveness.ml: Array Fmt Instr List Npra_ir Prog Queue Reg

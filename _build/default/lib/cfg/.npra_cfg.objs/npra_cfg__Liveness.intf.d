@@ -1,0 +1,1 @@
+lib/cfg/liveness.mli: Fmt Npra_ir Prog Reg

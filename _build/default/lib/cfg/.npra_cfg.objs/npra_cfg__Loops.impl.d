@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Block Fun Int List Npra_ir Set

@@ -1,0 +1,1 @@
+lib/cfg/points.ml: Array Instr Int List Liveness Npra_ir Prog Reg Set

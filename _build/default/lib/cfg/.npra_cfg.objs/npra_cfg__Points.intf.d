@@ -1,0 +1,1 @@
+lib/cfg/points.mli: Liveness Npra_ir Prog Reg Set

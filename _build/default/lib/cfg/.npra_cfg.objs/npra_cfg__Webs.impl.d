@@ -1,0 +1,1 @@
+lib/cfg/webs.ml: Array Dsu Hashtbl Instr List Npra_ir Points Prog Reg

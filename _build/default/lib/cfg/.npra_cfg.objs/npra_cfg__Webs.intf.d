@@ -1,0 +1,1 @@
+lib/cfg/webs.mli: Npra_ir Prog

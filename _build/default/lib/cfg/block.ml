@@ -1,0 +1,68 @@
+(* Basic blocks over the instruction array.
+
+   Leaders are the entry instruction, every branch target, and every
+   instruction following a branch or halt. Blocks are half-open index
+   ranges [first, last]. Used for program statistics and for the loop
+   nesting analysis behind spill-cost estimation. *)
+
+open Npra_ir
+
+type block = { id : int; first : int; last : int }
+
+type t = {
+  prog : Prog.t;
+  blocks : block array;
+  block_of_instr : int array;
+}
+
+let compute prog =
+  let n = Prog.length prog in
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  for i = 0 to n - 1 do
+    let ins = Prog.instr prog i in
+    (match Instr.branch_target ins with
+    | Some l -> leader.(Prog.label_index prog l) <- true
+    | None -> ());
+    if (Instr.is_branch ins || not (Instr.falls_through ins)) && i + 1 < n
+    then leader.(i + 1) <- true
+  done;
+  let blocks = ref [] in
+  let start = ref 0 in
+  for i = 1 to n - 1 do
+    if leader.(i) then begin
+      blocks := (!start, i - 1) :: !blocks;
+      start := i
+    end
+  done;
+  blocks := (!start, n - 1) :: !blocks;
+  let blocks =
+    List.rev !blocks
+    |> List.mapi (fun id (first, last) -> { id; first; last })
+    |> Array.of_list
+  in
+  let block_of_instr = Array.make n 0 in
+  Array.iter
+    (fun b ->
+      for i = b.first to b.last do
+        block_of_instr.(i) <- b.id
+      done)
+    blocks;
+  { prog; blocks; block_of_instr }
+
+let blocks t = t.blocks
+let num_blocks t = Array.length t.blocks
+let block_of_instr t i = t.block_of_instr.(i)
+
+let succs t b =
+  let blk = t.blocks.(b) in
+  Prog.succs t.prog blk.last
+  |> List.map (fun i -> t.block_of_instr.(i))
+  |> List.sort_uniq Int.compare
+
+let preds t =
+  let p = Array.make (num_blocks t) [] in
+  for b = 0 to num_blocks t - 1 do
+    List.iter (fun s -> p.(s) <- b :: p.(s)) (succs t b)
+  done;
+  p

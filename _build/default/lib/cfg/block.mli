@@ -1,0 +1,17 @@
+(** Basic blocks over the instruction array.
+
+    Leaders are the entry instruction, every branch target, and every
+    instruction following a branch or halt. *)
+
+open Npra_ir
+
+type block = { id : int; first : int; last : int }
+
+type t
+
+val compute : Prog.t -> t
+val blocks : t -> block array
+val num_blocks : t -> int
+val block_of_instr : t -> int -> int
+val succs : t -> int -> int list
+val preds : t -> int list array

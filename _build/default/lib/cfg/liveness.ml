@@ -1,0 +1,70 @@
+(* Instruction-level backward liveness analysis.
+
+   Computed with a classic worklist fixpoint over the instruction successor
+   relation. Programs in this code base are a few hundred to a few thousand
+   instructions, so set-based dataflow is more than fast enough. *)
+
+open Npra_ir
+
+type t = {
+  prog : Prog.t;
+  live_in : Reg.Set.t array;
+  live_out : Reg.Set.t array;
+}
+
+let compute prog =
+  let n = Prog.length prog in
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let preds = Prog.preds prog in
+  let on_worklist = Array.make n true in
+  let worklist = Queue.create () in
+  (* Seed in reverse order so information propagates backward quickly. *)
+  for i = n - 1 downto 0 do
+    Queue.add i worklist
+  done;
+  let uses = Array.init n (fun i -> Reg.Set.of_list (Instr.uses (Prog.instr prog i))) in
+  let defs = Array.init n (fun i -> Reg.Set.of_list (Instr.defs (Prog.instr prog i))) in
+  while not (Queue.is_empty worklist) do
+    let i = Queue.pop worklist in
+    on_worklist.(i) <- false;
+    let out =
+      List.fold_left
+        (fun acc s -> Reg.Set.union acc live_in.(s))
+        Reg.Set.empty (Prog.succs prog i)
+    in
+    let inn = Reg.Set.union uses.(i) (Reg.Set.diff out defs.(i)) in
+    live_out.(i) <- out;
+    if not (Reg.Set.equal inn live_in.(i)) then begin
+      live_in.(i) <- inn;
+      List.iter
+        (fun p ->
+          if not on_worklist.(p) then begin
+            on_worklist.(p) <- true;
+            Queue.add p worklist
+          end)
+        preds.(i)
+    end
+  done;
+  { prog; live_in; live_out }
+
+let live_in t i = t.live_in.(i)
+let live_out t i = t.live_out.(i)
+
+let live_across t i =
+  (* Values that survive instruction [i]'s context-switch boundary. The
+     destination of a load is written back only after the thread resumes,
+     so it is excluded (the paper's transfer-register rule). *)
+  let defs = Reg.Set.of_list (Instr.defs (Prog.instr t.prog i)) in
+  Reg.Set.diff t.live_out.(i) defs
+
+let pp ppf t =
+  let n = Prog.length t.prog in
+  for i = 0 to n - 1 do
+    Fmt.pf ppf "%3d %-30s in={%a} out={%a}@." i
+      (Instr.to_string (Prog.instr t.prog i))
+      Fmt.(list ~sep:comma Reg.pp)
+      (Reg.Set.elements t.live_in.(i))
+      Fmt.(list ~sep:comma Reg.pp)
+      (Reg.Set.elements t.live_out.(i))
+  done

@@ -1,0 +1,21 @@
+(** Instruction-level backward liveness analysis. *)
+
+open Npra_ir
+
+type t
+
+val compute : Prog.t -> t
+
+val live_in : t -> int -> Reg.Set.t
+(** Registers live on entry to instruction [i]. *)
+
+val live_out : t -> int -> Reg.Set.t
+(** Registers live on exit from instruction [i]. *)
+
+val live_across : t -> int -> Reg.Set.t
+(** Registers whose values survive instruction [i]'s context-switch
+    boundary: [live_out i] minus [i]'s definitions. Meaningful when
+    [Instr.causes_ctx_switch] holds for [i]; a load's destination is
+    excluded per the transfer-register rule. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,72 @@
+(* Natural-loop nesting depth.
+
+   Dominators are computed with the simple iterative dataflow algorithm
+   over basic blocks; a back edge [b -> h] (where [h] dominates [b])
+   yields the natural loop of [h], and an instruction's depth is the
+   number of loops containing its block. Spill-cost heuristics weight
+   uses by [10^depth]. *)
+
+module IntSet = Set.Make (Int)
+
+type t = { depth_of_instr : int array }
+
+let compute prog =
+  let blk = Block.compute prog in
+  let nb = Block.num_blocks blk in
+  let preds = Block.preds blk in
+  (* Iterative dominator analysis: dom(0) = {0}; dom(b) = {b} ∪ ⋂ dom(preds). *)
+  let all = List.init nb Fun.id |> IntSet.of_list in
+  let dom = Array.make nb all in
+  dom.(0) <- IntSet.singleton 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 1 to nb - 1 do
+      let inter =
+        match preds.(b) with
+        | [] -> IntSet.empty
+        | p :: ps ->
+          List.fold_left (fun acc q -> IntSet.inter acc dom.(q)) dom.(p) ps
+      in
+      let d = IntSet.add b inter in
+      if not (IntSet.equal d dom.(b)) then begin
+        dom.(b) <- d;
+        changed := true
+      end
+    done
+  done;
+  (* Natural loops from back edges. *)
+  let depth = Array.make nb 0 in
+  for b = 0 to nb - 1 do
+    List.iter
+      (fun h ->
+        if IntSet.mem h dom.(b) then begin
+          (* back edge b -> h: collect the natural loop body *)
+          let body = ref (IntSet.of_list [ h; b ]) in
+          let stack = ref (if b = h then [] else [ b ]) in
+          let rec walk () =
+            match !stack with
+            | [] -> ()
+            | x :: rest ->
+              stack := rest;
+              List.iter
+                (fun p ->
+                  if not (IntSet.mem p !body) then begin
+                    body := IntSet.add p !body;
+                    stack := p :: !stack
+                  end)
+                preds.(x);
+              walk ()
+          in
+          walk ();
+          IntSet.iter (fun x -> depth.(x) <- depth.(x) + 1) !body
+        end)
+      (Block.succs blk b)
+  done;
+  let n = Npra_ir.Prog.length prog in
+  let depth_of_instr =
+    Array.init n (fun i -> depth.(Block.block_of_instr blk i))
+  in
+  { depth_of_instr }
+
+let depth t i = t.depth_of_instr.(i)

@@ -1,0 +1,10 @@
+(** Natural-loop nesting depth per instruction, for spill-cost weighting. *)
+
+open Npra_ir
+
+type t
+
+val compute : Prog.t -> t
+
+val depth : t -> int -> int
+(** Number of natural loops containing instruction [i]. *)

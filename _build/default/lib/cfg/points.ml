@@ -1,0 +1,133 @@
+(* Program points and point-set liveness algebra.
+
+   The unit of reasoning for live-range splitting is the "gap": gap [p] is
+   the program point immediately before instruction [p], for [p] in
+   [0 .. n] (gap [n] is past the end). A register [v] is live at gap [p]
+   when it is live on entry to instruction [p], or when instruction [p-1]
+   just defined it (a dead definition still occupies a register at the
+   point after the defining instruction).
+
+   Executing instruction [p] moves control from gap [p] to gap [q] for
+   each successor [q]; these gap edges [(p, q)] are where split moves can
+   be materialised.
+
+   A context-switch boundary (CSB) lives inside its causing instruction
+   [c]: the values that survive it are [live_out(c) \ defs(c)]; each such
+   value is live at both gap [c] and gap [c+1], and by convention the live
+   range segment containing gap [c] "owns" the crossing. *)
+
+open Npra_ir
+module IntSet = Set.Make (Int)
+
+type t = {
+  prog : Prog.t;
+  live : Liveness.t;
+  n : int;
+  live_at_gap : Reg.Set.t array;  (* length n+1 *)
+  gaps_of : IntSet.t Reg.Map.t;
+  across : Reg.Set.t array;  (* per instruction; empty unless CSB *)
+  csb_points : int list;  (* CSB instruction indices, program order *)
+  csbs_of : IntSet.t Reg.Map.t;
+  edges : (int * int) list;  (* gap edges *)
+}
+
+let compute prog =
+  let live = Liveness.compute prog in
+  let n = Prog.length prog in
+  let live_at_gap = Array.make (n + 1) Reg.Set.empty in
+  for p = 0 to n - 1 do
+    live_at_gap.(p) <- Liveness.live_in live p
+  done;
+  for p = 1 to n do
+    let defs = Reg.Set.of_list (Instr.defs (Prog.instr prog (p - 1))) in
+    live_at_gap.(p) <- Reg.Set.union live_at_gap.(p) defs
+  done;
+  let gaps_of = ref Reg.Map.empty in
+  Array.iteri
+    (fun p regs ->
+      Reg.Set.iter
+        (fun r ->
+          gaps_of :=
+            Reg.Map.update r
+              (function
+                | None -> Some (IntSet.singleton p)
+                | Some s -> Some (IntSet.add p s))
+              !gaps_of)
+        regs)
+    live_at_gap;
+  let across = Array.make n Reg.Set.empty in
+  let csb_points = ref [] in
+  for i = n - 1 downto 0 do
+    if Instr.causes_ctx_switch (Prog.instr prog i) then begin
+      across.(i) <- Liveness.live_across live i;
+      csb_points := i :: !csb_points
+    end
+  done;
+  let csbs_of = ref Reg.Map.empty in
+  List.iter
+    (fun c ->
+      Reg.Set.iter
+        (fun r ->
+          csbs_of :=
+            Reg.Map.update r
+              (function
+                | None -> Some (IntSet.singleton c)
+                | Some s -> Some (IntSet.add c s))
+              !csbs_of)
+        across.(c))
+    !csb_points;
+  let edges =
+    Prog.fold_instrs
+      (fun acc i ins ->
+        let acc = if Instr.falls_through ins then (i, i + 1) :: acc else acc in
+        match Instr.branch_target ins with
+        | Some l ->
+          let j = Prog.label_index prog l in
+          if Instr.falls_through ins && j = i + 1 then acc else (i, j) :: acc
+        | None -> acc)
+      [] prog
+    |> List.rev
+  in
+  {
+    prog;
+    live;
+    n;
+    live_at_gap;
+    gaps_of = !gaps_of;
+    across;
+    csb_points = !csb_points;
+    csbs_of = !csbs_of;
+    edges;
+  }
+
+let liveness t = t.live
+let num_gaps t = t.n + 1
+let live_at_gap t p = t.live_at_gap.(p)
+
+let gaps_of t r =
+  match Reg.Map.find_opt r t.gaps_of with
+  | Some s -> s
+  | None -> IntSet.empty
+
+let csbs_of t r =
+  match Reg.Map.find_opt r t.csbs_of with
+  | Some s -> s
+  | None -> IntSet.empty
+
+let across t i = t.across.(i)
+let csb_points t = t.csb_points
+let gap_edges t = t.edges
+
+let gap_edges_of t r =
+  let gaps = gaps_of t r in
+  List.filter (fun (p, q) -> IntSet.mem p gaps && IntSet.mem q gaps) t.edges
+
+let reg_pressure_max t =
+  Array.fold_left (fun acc s -> max acc (Reg.Set.cardinal s)) 0 t.live_at_gap
+
+let reg_pressure_csb_max t =
+  List.fold_left
+    (fun acc c -> max acc (Reg.Set.cardinal t.across.(c)))
+    0 t.csb_points
+
+let is_boundary t r = not (IntSet.is_empty (csbs_of t r))

@@ -1,0 +1,79 @@
+(* Live-range web renaming.
+
+   The allocator assumes each virtual register is a single connected live
+   range (the paper's "each live range represents one variable"). A source
+   program may reuse one virtual register for several disjoint ranges;
+   this pass splits every register into its connected components over the
+   gap graph and renames each component ("web") to its own register.
+
+   The web containing the register's first gap keeps the original number,
+   so programs that are already in web form come back unchanged. *)
+
+open Npra_ir
+module IntSet = Points.IntSet
+
+type renaming = {
+  (* per original register: gap -> web representative gap *)
+  web_of_gap : (Reg.t * int, Reg.t) Hashtbl.t;
+}
+
+let compute_renaming prog =
+  let pts = Points.compute prog in
+  let next = ref (Prog.max_vreg prog + 1) in
+  let web_of_gap = Hashtbl.create 64 in
+  let vregs = Reg.Set.filter Reg.is_virtual (Prog.regs prog) in
+  Reg.Set.iter
+    (fun v ->
+      let gaps = Points.gaps_of pts v in
+      if not (IntSet.is_empty gaps) then begin
+        let gap_list = IntSet.elements gaps in
+        let index = Hashtbl.create 16 in
+        List.iteri (fun i p -> Hashtbl.add index p i) gap_list;
+        let dsu = Dsu.create (List.length gap_list) in
+        List.iter
+          (fun (p, q) ->
+            match Hashtbl.find_opt index p, Hashtbl.find_opt index q with
+            | Some a, Some b -> Dsu.union dsu a b
+            | _ -> ())
+          (Points.gap_edges pts);
+        (* Assign a register per component; the component of the first gap
+           keeps the original register. *)
+        let first_root = Dsu.find dsu 0 in
+        let reg_of_root = Hashtbl.create 4 in
+        Hashtbl.add reg_of_root first_root v;
+        List.iteri
+          (fun i p ->
+            let root = Dsu.find dsu i in
+            let r =
+              match Hashtbl.find_opt reg_of_root root with
+              | Some r -> r
+              | None ->
+                let r = Reg.V !next in
+                incr next;
+                Hashtbl.add reg_of_root root r;
+                r
+            in
+            Hashtbl.add web_of_gap (v, p) r)
+          gap_list
+      end)
+    vregs;
+  { web_of_gap }
+
+let rename prog =
+  let { web_of_gap } = compute_renaming prog in
+  let subst occ_gap r =
+    if Reg.is_virtual r then
+      match Hashtbl.find_opt web_of_gap (r, occ_gap) with
+      | Some r' -> r'
+      | None -> r
+    else r
+  in
+  let code =
+    Array.mapi
+      (fun i ins ->
+        (* A use of [r] at instruction [i] reads the web live at gap [i];
+           a definition writes the web live at gap [i+1]. *)
+        Instr.map_regs2 ~use:(subst i) ~def:(subst (i + 1)) ins)
+      prog.Prog.code
+  in
+  Prog.of_array ~name:prog.Prog.name ~code ~labels:prog.Prog.labels

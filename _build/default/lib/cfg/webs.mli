@@ -1,0 +1,10 @@
+(** Live-range web renaming.
+
+    Splits every virtual register into its connected live-range components
+    ("webs") and renames each component to its own register, establishing
+    the allocator's invariant that one register is one live range. The web
+    containing the register's first live gap keeps the original number. *)
+
+open Npra_ir
+
+val rename : Prog.t -> Prog.t

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Array Block Buffer Context Fmt Hashtbl Instr List Npra_cfg Npra_ir Npra_regalloc Nsr Prog Reg String

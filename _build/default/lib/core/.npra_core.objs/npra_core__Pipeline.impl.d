@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Assign Chaitin Float Inter List Machine Npra_cfg Npra_ir Npra_regalloc Npra_sim Prog Refexec Reg Rewrite Verify Webs

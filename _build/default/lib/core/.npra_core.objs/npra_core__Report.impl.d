@@ -1,0 +1,1 @@
+lib/core/report.ml: Float Fmt List String

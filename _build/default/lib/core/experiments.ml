@@ -1,0 +1,356 @@
+(* The paper's evaluation (§9): Table 1, Figure 14, Table 2, Table 3.
+
+   Every experiment is a pure function from the workload registry to
+   typed rows plus a {!Report.t} renderer, so the bench harness, the CLI
+   and the tests share one implementation. *)
+
+open Npra_ir
+open Npra_cfg
+open Npra_regalloc
+open Npra_sim
+open Npra_workloads
+
+let nreg = 128
+let nthd = 4
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: benchmark properties.                                      *)
+
+type table1_row = {
+  t1_name : string;
+  code_size : int;
+  cycles_per_iter : float;  (* single-thread run, full register file *)
+  ctx_instrs : int;
+  live_ranges : int;
+  regp_max : int;
+  regp_csb_max : int;
+  max_r : int;
+  max_pr : int;
+  nsr_count : int;
+  nsr_avg_size : float;
+}
+
+let single_thread_cycles (w : Workload.t) =
+  (* Allocate the lone thread against the whole register file — no
+     spills, no sharing — and measure cycles per main-loop iteration. *)
+  let prog = Webs.rename w.Workload.prog in
+  let result = Chaitin.allocate ~k:nreg ~spill_base:(Workload.spill_base w) prog in
+  let layout = Assign.fixed_partition ~nreg ~nthd:1 in
+  let physical =
+    Rewrite.apply_map result.Chaitin.prog result.Chaitin.coloring
+      ~reg_of_color:(Assign.reg_of_color layout ~thread:0)
+  in
+  let machine = Machine.run ~mem_image:w.Workload.mem_image [ physical ] in
+  let report = Machine.report machine in
+  match (List.hd report.Machine.thread_reports).Machine.completion with
+  | Some c -> float_of_int c /. float_of_int w.Workload.iters
+  | None -> Float.nan
+
+let table1_row spec =
+  let w = Registry.instantiate spec ~slot:0 in
+  let prog = Webs.rename w.Workload.prog in
+  let ctx = Context.create prog in
+  let _colored, bounds = Estimate.run ctx in
+  let regions = Nsr.compute prog in
+  {
+    t1_name = spec.Workload.id;
+    code_size = Prog.length prog;
+    cycles_per_iter = single_thread_cycles w;
+    ctx_instrs = Prog.count_ctx_switches prog;
+    live_ranges = Context.num_nodes ctx;
+    regp_max = bounds.Estimate.min_r;
+    regp_csb_max = bounds.Estimate.min_pr;
+    max_r = bounds.Estimate.max_r;
+    max_pr = bounds.Estimate.max_pr;
+    nsr_count = Nsr.num_regions regions;
+    nsr_avg_size = Nsr.average_size regions;
+  }
+
+let table1 ?(specs = Registry.all) () = List.map table1_row specs
+
+let table1_report rows =
+  Report.make ~title:"Table 1: benchmark applications"
+    ~headers:
+      [
+        "benchmark"; "#instr"; "cyc/iter"; "#CTX"; "#ranges"; "RegPmax";
+        "RegPCSBmax"; "MaxR"; "MaxPR"; "#NSR"; "NSRsize";
+      ]
+    ~aligns:[ Report.L; R; R; R; R; R; R; R; R; R; R ]
+    (List.map
+       (fun r ->
+         [
+           r.t1_name;
+           string_of_int r.code_size;
+           Report.float1 r.cycles_per_iter;
+           string_of_int r.ctx_instrs;
+           string_of_int r.live_ranges;
+           string_of_int r.regp_max;
+           string_of_int r.regp_csb_max;
+           string_of_int r.max_r;
+           string_of_int r.max_pr;
+           string_of_int r.nsr_count;
+           Report.float1 r.nsr_avg_size;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: SRA register demand at zero move cost vs the single-     *)
+(* thread Chaitin allocation, four identical threads.                  *)
+
+type fig14_row = {
+  f14_name : string;
+  chaitin_colors : int;  (* single-thread allocator register count *)
+  pr : int;
+  sr : int;
+  partitioned_demand : int;  (* 4 * chaitin *)
+  shared_demand : int;  (* 4 * PR + SR *)
+  saving_pct : float;
+}
+
+let fig14_row spec =
+  let w = Registry.instantiate spec ~slot:0 in
+  let prog = Webs.rename w.Workload.prog in
+  let chaitin_colors = Chaitin.color_count prog in
+  match Inter.tighten_zero_cost ~nreg [ prog ] with
+  | Error (`Infeasible m) -> failwith m
+  | Ok inter ->
+    let th = inter.Inter.threads.(0) in
+    let pr = th.Inter.pr and sr = th.Inter.sr in
+    let partitioned = nthd * chaitin_colors in
+    let shared = (nthd * pr) + sr in
+    {
+      f14_name = spec.Workload.id;
+      chaitin_colors;
+      pr;
+      sr;
+      partitioned_demand = partitioned;
+      shared_demand = shared;
+      saving_pct =
+        100. *. (1. -. (float_of_int shared /. float_of_int partitioned));
+    }
+
+let fig14 ?(specs = Registry.all) () = List.map fig14_row specs
+
+let fig14_average rows =
+  let sum = List.fold_left (fun a r -> a +. r.saving_pct) 0. rows in
+  sum /. float_of_int (List.length rows)
+
+let fig14_report rows =
+  Report.make
+    ~title:
+      "Figure 14: registers for 4 identical threads (zero-move SRA) vs \
+       4x single-thread Chaitin"
+    ~headers:
+      [ "benchmark"; "chaitin"; "PR"; "SR"; "4*chaitin"; "4*PR+SR"; "saving" ]
+    ~aligns:[ Report.L; R; R; R; R; R; R ]
+    (List.map
+       (fun r ->
+         [
+           r.f14_name;
+           string_of_int r.chaitin_colors;
+           string_of_int r.pr;
+           string_of_int r.sr;
+           string_of_int r.partitioned_demand;
+           string_of_int r.shared_demand;
+           Fmt.str "%.1f%%" r.saving_pct;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: move insertions in the extreme case — the thread driven    *)
+(* all the way down to its minimal register numbers.                   *)
+
+type table2_row = {
+  t2_name : string;
+  t2_code_size : int;
+  min_pr : int;
+  min_r : int;
+  reached_pr : int;  (* = min_pr except when a write-back hazard pushes
+                        the floor up, see Intra.reduce_to_best *)
+  reached_r : int;
+  moves_inserted : int;
+  overhead_pct : float;
+}
+
+let table2_row spec =
+  let w = Registry.instantiate spec ~slot:0 in
+  let prog = Webs.rename w.Workload.prog in
+  let ctx = Context.create prog in
+  let ctx, b = Estimate.run ctx in
+  let target_pr = b.Estimate.min_pr in
+  let target_sr = max 0 (b.Estimate.min_r - target_pr) in
+  match
+    Intra.reduce_to_best ctx ~pr:b.Estimate.max_pr ~r:b.Estimate.max_r
+      ~target_pr ~target_sr
+  with
+  | None ->
+    Fmt.failwith "table2: %s cannot reduce at all" spec.Workload.id
+  | Some (red, pr, sr) ->
+    {
+      t2_name = spec.Workload.id;
+      t2_code_size = Prog.length prog;
+      min_pr = target_pr;
+      min_r = b.Estimate.min_r;
+      reached_pr = pr;
+      reached_r = pr + sr;
+      moves_inserted = red.Intra.cost;
+      overhead_pct =
+        100. *. float_of_int red.Intra.cost /. float_of_int (Prog.length prog);
+    }
+
+let table2 ?(specs = Registry.all) () = List.map table2_row specs
+
+let table2_report rows =
+  Report.make
+    ~title:"Table 2: moves inserted at the minimal register allocation"
+    ~headers:
+      [ "benchmark"; "#instr"; "MinPR"; "MinR"; "PR"; "R"; "#moves"; "overhead" ]
+    ~aligns:[ Report.L; R; R; R; R; R; R; R ]
+    (List.map
+       (fun r ->
+         [
+           r.t2_name;
+           string_of_int r.t2_code_size;
+           string_of_int r.min_pr;
+           string_of_int r.min_r;
+           string_of_int r.reached_pr;
+           string_of_int r.reached_r;
+           string_of_int r.moves_inserted;
+           Fmt.str "%.1f%%" r.overhead_pct;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: the three ARA scenarios — spilling baseline vs balanced    *)
+(* register sharing, measured on the cycle-level machine.              *)
+
+type scenario = { scenario_name : string; thread_ids : string list }
+
+let scenarios =
+  [
+    { scenario_name = "S1: md5 x2 + fir2dim x2";
+      thread_ids = [ "md5"; "md5"; "fir2dim"; "fir2dim" ] };
+    { scenario_name = "S2: l2l3fwd rx/tx + md5 x2";
+      thread_ids = [ "l2l3fwd_rx"; "l2l3fwd_tx"; "md5"; "md5" ] };
+    { scenario_name = "S3: wraps rx/tx + fir2dim + frag";
+      thread_ids = [ "wraps_rx"; "wraps_tx"; "fir2dim"; "frag" ] };
+  ]
+
+type table3_thread = {
+  t3_name : string;
+  t3_pr : int;
+  t3_sr : int;
+  t3_ranges : int;  (* live-range segments after allocation *)
+  ctx_spill : int;  (* static CTX instructions, spilling baseline *)
+  ctx_sharing : int;
+  cyc_spill : float;  (* cycles per iteration under the baseline *)
+  cyc_sharing : float;
+  change_pct : float;  (* negative = faster with register sharing *)
+  solo_spill : float;  (* same comparison with the thread run alone: *)
+  solo_sharing : float;  (* isolates the allocation effect (spill
+                            removal vs inserted moves) from PU
+                            contention *)
+  solo_change_pct : float;
+  spilled : int;
+}
+
+type table3_row = {
+  scenario : string;
+  threads : table3_thread list;
+  t3_verify_errors : int;
+}
+
+let table3_scenario sc =
+  let workloads =
+    List.mapi
+      (fun i id -> Registry.instantiate (Registry.find_exn id) ~slot:i)
+      sc.thread_ids
+  in
+  let progs = List.map (fun w -> w.Workload.prog) workloads in
+  let iters = List.map (fun w -> w.Workload.iters) workloads in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) workloads in
+  (* Baseline: per-thread Chaitin into the fixed 32-register partition. *)
+  let spill_bases = List.map Workload.spill_base workloads in
+  let base = Pipeline.baseline ~nreg ~spill_bases progs in
+  let base_report =
+    Machine.report (Machine.run ~mem_image base.Pipeline.base_programs)
+  in
+  let base_cycles = Pipeline.cycles_per_iteration base_report iters in
+  (* Balanced: the paper's allocator. *)
+  let bal = Pipeline.balanced ~nreg progs in
+  let bal_report =
+    Machine.report (Machine.run ~mem_image bal.Pipeline.programs)
+  in
+  let bal_cycles = Pipeline.cycles_per_iteration bal_report iters in
+  let solo prog w =
+    let report = Machine.report (Machine.run ~mem_image:w.Workload.mem_image [ prog ]) in
+    match (List.hd report.Machine.thread_reports).Machine.completion with
+    | Some c -> float_of_int c /. float_of_int w.Workload.iters
+    | None -> Float.nan
+  in
+  let threads =
+    List.mapi
+      (fun i w ->
+        let th = bal.Pipeline.inter.Inter.threads.(i) in
+        let base_prog = List.nth base.Pipeline.base_programs i in
+        let bal_prog = List.nth bal.Pipeline.programs i in
+        let cyc_spill = List.nth base_cycles i in
+        let cyc_sharing = List.nth bal_cycles i in
+        let solo_spill = solo base_prog w in
+        let solo_sharing = solo bal_prog w in
+        {
+          t3_name = w.Workload.name;
+          t3_pr = th.Inter.pr;
+          t3_sr = th.Inter.sr;
+          t3_ranges = Context.num_nodes th.Inter.ctx;
+          ctx_spill = Prog.count_ctx_switches base_prog;
+          ctx_sharing = Prog.count_ctx_switches bal_prog;
+          cyc_spill;
+          cyc_sharing;
+          change_pct = 100. *. ((cyc_sharing /. cyc_spill) -. 1.);
+          solo_spill;
+          solo_sharing;
+          solo_change_pct = 100. *. ((solo_sharing /. solo_spill) -. 1.);
+          spilled = List.nth base.Pipeline.spilled_ranges i;
+        })
+      workloads
+  in
+  {
+    scenario = sc.scenario_name;
+    threads;
+    t3_verify_errors = List.length bal.Pipeline.verify_errors;
+  }
+
+let table3 ?(scenarios = scenarios) () = List.map table3_scenario scenarios
+
+let table3_report rows =
+  let body =
+    List.concat_map
+      (fun row ->
+        [ row.scenario; ""; ""; ""; ""; ""; ""; ""; ""; ""; "" ]
+        :: List.map
+             (fun t ->
+               [
+                 "  " ^ t.t3_name;
+                 string_of_int t.t3_pr;
+                 string_of_int t.t3_sr;
+                 string_of_int t.t3_ranges;
+                 string_of_int t.spilled;
+                 string_of_int t.ctx_spill;
+                 string_of_int t.ctx_sharing;
+                 Report.float1 t.cyc_spill;
+                 Report.float1 t.cyc_sharing;
+                 Report.pct t.change_pct;
+                 Report.pct t.solo_change_pct;
+               ])
+             row.threads)
+      rows
+  in
+  Report.make ~title:"Table 3: ARA scenarios, spilling vs register sharing"
+    ~headers:
+      [
+        "thread"; "PR"; "SR"; "#ranges"; "#spilled"; "CTX(spill)";
+        "CTX(share)"; "cyc(spill)"; "cyc(share)"; "change"; "solo-chg";
+      ]
+    ~aligns:[ Report.L; R; R; R; R; R; R; R; R; R; R ]
+    body

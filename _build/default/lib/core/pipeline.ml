@@ -1,0 +1,120 @@
+(* End-to-end compilation pipelines.
+
+   [balanced] is the paper's system: web renaming, per-thread estimation,
+   inter-thread balancing, physical assignment (packed private blocks +
+   top shared block), move materialisation, and a from-scratch safety
+   verification.
+
+   [baseline] is the conventional system the paper compares against:
+   per-thread Chaitin colouring into a fixed [Nreg/Nthd] partition with
+   spill code.
+
+   Both produce fully physical programs ready for the cycle-level
+   machine; [differential] checks them against the reference executor. *)
+
+open Npra_ir
+open Npra_cfg
+open Npra_regalloc
+open Npra_sim
+
+type balanced = {
+  inter : Inter.t;
+  layout : Assign.t;
+  programs : Prog.t list;
+  moves : int;
+  verify_errors : Verify.error list;
+}
+
+exception Allocation_failure of string
+
+let balanced ?(nreg = 128) progs =
+  let progs = List.map Webs.rename progs in
+  match Inter.allocate ~nreg progs with
+  | Error (`Infeasible msg) -> raise (Allocation_failure msg)
+  | Ok inter ->
+    let prs =
+      Array.to_list inter.Inter.threads |> List.map (fun t -> t.Inter.pr)
+    in
+    let layout = Assign.layout ~nreg ~prs ~sgr:inter.Inter.sgr in
+    let programs =
+      List.mapi
+        (fun i th ->
+          Rewrite.apply th.Inter.ctx
+            ~reg_of_color:(Assign.reg_of_color layout ~thread:i))
+        (Array.to_list inter.Inter.threads)
+    in
+    let verify_errors = Verify.check_system layout programs in
+    {
+      inter;
+      layout;
+      programs;
+      moves = Inter.total_moves inter;
+      verify_errors;
+    }
+
+type baseline = {
+  results : Chaitin.result list;
+  base_layout : Assign.t;
+  base_programs : Prog.t list;
+  spilled_ranges : int list;  (* per thread *)
+}
+
+let baseline ?(nreg = 128) ~spill_bases progs =
+  let nthd = List.length progs in
+  let k = nreg / nthd in
+  let layout = Assign.fixed_partition ~nreg ~nthd in
+  let results =
+    List.map2
+      (fun prog spill_base ->
+        Chaitin.allocate ~k ~spill_base (Webs.rename prog))
+      progs spill_bases
+  in
+  let programs =
+    List.mapi
+      (fun i r ->
+        Rewrite.apply_map r.Chaitin.prog r.Chaitin.coloring
+          ~reg_of_color:(Assign.reg_of_color layout ~thread:i))
+      results
+  in
+  {
+    results;
+    base_layout = layout;
+    base_programs = programs;
+    spilled_ranges =
+      List.map (fun r -> Reg.Set.cardinal r.Chaitin.spilled) results;
+  }
+
+(* Differential check: each physical program must preserve its virtual
+   original's store trace, both in isolation and under multithreaded
+   interleaving (shared registers make the latter the interesting case).
+   [ignore_addr] filters allocator-internal traffic — the spill-area
+   stores of the Chaitin baseline are not program behaviour. *)
+let differential ?(ignore_addr = fun _ -> false) ~mem_image originals allocated
+    =
+  let filter trace = List.filter (fun (a, _) -> not (ignore_addr a)) trace in
+  let expected =
+    List.map (fun p -> (Refexec.run ~mem_image p).Refexec.store_trace) originals
+  in
+  let solo =
+    List.map
+      (fun p -> filter (Refexec.run ~mem_image p).Refexec.store_trace)
+      allocated
+  in
+  let machine = Machine.run ~mem_image allocated in
+  let interleaved =
+    List.map
+      (fun tr -> filter tr.Machine.store_trace)
+      (Machine.report machine).Machine.thread_reports
+  in
+  List.for_all2 ( = ) expected solo && List.for_all2 ( = ) expected interleaved
+
+let simulate ?config ~mem_image progs = Machine.run ?config ~mem_image progs
+
+(* Cycles per main-loop iteration for each thread of a finished run. *)
+let cycles_per_iteration report iters =
+  List.map2
+    (fun tr n ->
+      match tr.Machine.completion with
+      | Some c -> float_of_int c /. float_of_int n
+      | None -> Float.nan)
+    report.Machine.thread_reports iters

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Fmt Hashtbl Instr List Prog Reg

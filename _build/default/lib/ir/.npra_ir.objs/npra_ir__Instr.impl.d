@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Fmt Option Reg

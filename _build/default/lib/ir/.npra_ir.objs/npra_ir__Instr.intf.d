@@ -1,0 +1,1 @@
+lib/ir/instr.mli: Fmt Reg

@@ -1,0 +1,1 @@
+lib/ir/prog.mli: Fmt Instr Reg

@@ -1,0 +1,1 @@
+lib/ir/reg.ml: Fmt Hashtbl Int Map Set

@@ -1,0 +1,125 @@
+(* A thread program: a flat instruction array plus label bindings.
+
+   Labels bind to instruction indices; index [0] is the entry point. The
+   successor relation derived here is the single source of truth for all
+   control-flow analyses. *)
+
+type t = {
+  name : string;
+  code : Instr.t array;
+  labels : (Instr.label * int) list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let label_index t l =
+  match List.assoc_opt l t.labels with
+  | Some i -> i
+  | None -> invalid "program %s: undefined label %s" t.name l
+
+let labels_at t i = List.filter_map (fun (l, j) -> if j = i then Some l else None) t.labels
+
+let length t = Array.length t.code
+
+let instr t i = t.code.(i)
+
+let validate t =
+  let n = Array.length t.code in
+  if n = 0 then invalid "program %s: empty" t.name;
+  List.iter
+    (fun (l, i) ->
+      if i < 0 || i > n then invalid "program %s: label %s out of range" t.name l)
+    t.labels;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (l, _) ->
+      if Hashtbl.mem seen l then invalid "program %s: duplicate label %s" t.name l;
+      Hashtbl.add seen l ())
+    t.labels;
+  Array.iteri
+    (fun i ins ->
+      (match Instr.branch_target ins with
+      | Some l ->
+        let j = label_index t l in
+        if j >= n then invalid "program %s: branch at %d targets program end" t.name i
+      | None -> ());
+      if i = n - 1 && Instr.falls_through ins then
+        invalid "program %s: control falls off the end (instr %d: %s)" t.name i
+          (Instr.to_string ins))
+    t.code
+
+let make ~name ~code ~labels =
+  let t = { name; code = Array.of_list code; labels } in
+  validate t;
+  t
+
+let of_array ~name ~code ~labels =
+  let t = { name; code; labels } in
+  validate t;
+  t
+
+let succs t i =
+  let n = Array.length t.code in
+  let ins = t.code.(i) in
+  let fall = if Instr.falls_through ins && i + 1 < n then [ i + 1 ] else [] in
+  match Instr.branch_target ins with
+  | Some l ->
+    let j = label_index t l in
+    if List.mem j fall then fall else fall @ [ j ]
+  | None -> fall
+
+let preds t =
+  let n = Array.length t.code in
+  let p = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> p.(j) <- i :: p.(j)) (succs t i)
+  done;
+  p
+
+let fold_instrs f acc t =
+  let acc = ref acc in
+  Array.iteri (fun i ins -> acc := f !acc i ins) t.code;
+  !acc
+
+let regs t =
+  fold_instrs
+    (fun acc _ ins ->
+      List.fold_left (fun acc r -> Reg.Set.add r acc) acc
+        (Instr.defs ins @ Instr.uses ins))
+    Reg.Set.empty t
+
+let vregs t = Reg.Set.filter Reg.is_virtual (regs t)
+
+let max_vreg t =
+  Reg.Set.fold
+    (fun r acc -> match r with Reg.V n -> max n acc | Reg.P _ -> acc)
+    (regs t) (-1)
+
+let all_physical t = Reg.Set.for_all Reg.is_physical (regs t)
+let all_virtual t = Reg.Set.for_all Reg.is_virtual (regs t)
+
+let ctx_switch_points t =
+  fold_instrs
+    (fun acc i ins -> if Instr.causes_ctx_switch ins then i :: acc else acc)
+    [] t
+  |> List.rev
+
+let count_ctx_switches t = List.length (ctx_switch_points t)
+
+let map_regs f t = { t with code = Array.map (Instr.map_regs f) t.code }
+
+let pp ppf t =
+  Fmt.pf ppf ".thread %s@." t.name;
+  Array.iteri
+    (fun i ins ->
+      List.iter (fun l -> Fmt.pf ppf "%s:@." l) (labels_at t i);
+      Fmt.pf ppf "  %a@." Instr.pp ins)
+    t.code;
+  (* labels binding to the program end (rare, e.g. exit labels) *)
+  List.iter
+    (fun (l, j) -> if j = Array.length t.code then Fmt.pf ppf "%s:@." l)
+    t.labels
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,40 @@
+(* Registers of the NPRA intermediate representation.
+
+   Before register allocation a program refers to virtual registers [V n];
+   after allocation every reference is a physical register [P n] indexing
+   the processing unit's shared general-purpose register file. *)
+
+type t =
+  | V of int  (** virtual register, compiler temporary *)
+  | P of int  (** physical GPR in the shared register file *)
+
+let compare (a : t) (b : t) =
+  match a, b with
+  | V x, V y | P x, P y -> Int.compare x y
+  | V _, P _ -> -1
+  | P _, V _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = Hashtbl.hash
+
+let is_virtual = function V _ -> true | P _ -> false
+let is_physical = function P _ -> true | V _ -> false
+
+let number = function V n | P n -> n
+
+let pp ppf = function
+  | V n -> Fmt.pf ppf "v%d" n
+  | P n -> Fmt.pf ppf "r%d" n
+
+let to_string r = Fmt.str "%a" pp r
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)

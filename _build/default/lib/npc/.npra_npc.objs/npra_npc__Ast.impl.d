@@ -1,0 +1,1 @@
+lib/npc/ast.ml: List

@@ -1,0 +1,1 @@
+lib/npc/lower.ml: Ast Builder Instr List Npra_ir Option Reg

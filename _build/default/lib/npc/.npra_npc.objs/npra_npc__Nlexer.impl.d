@@ -1,0 +1,1 @@
+lib/npc/nlexer.ml: Ast Fmt List String

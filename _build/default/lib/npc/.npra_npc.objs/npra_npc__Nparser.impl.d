@@ -1,0 +1,1 @@
+lib/npc/nparser.ml: Ast Fmt List Nlexer

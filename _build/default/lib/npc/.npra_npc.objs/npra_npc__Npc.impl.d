@@ -1,0 +1,1 @@
+lib/npc/npc.ml: Ast Fmt Lower Nlexer Nparser Sema

@@ -1,0 +1,1 @@
+lib/npc/npc.mli: Ast Fmt Npra_ir Prog Sema

@@ -1,0 +1,1 @@
+lib/npc/sema.ml: Ast Fmt Hashtbl List Option

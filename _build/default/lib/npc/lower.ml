@@ -1,0 +1,333 @@
+(* Lowering NPC to the IR.
+
+   Expressions lower to operands (immediates are folded in place);
+   conditions lower to conditional branches, with short-circuit [&&]/[||]
+   and negation handled by branch rewriting rather than materialising
+   0/1 values; comparisons in value position materialise 0/1 with a
+   small diamond. Every thread ends with an implicit [halt]. *)
+
+open Npra_ir
+
+(* scoped environment: variable -> register, plus the enclosing loop's
+   continue/break targets *)
+type env = {
+  mutable frames : (string * Reg.t) list list;
+  mutable loops : (Instr.label * Instr.label) list;  (* (continue, break) *)
+  mutable returns : (Reg.t * Instr.label) list;  (* inlined-call stack *)
+  funcs : (string * Ast.func) list;
+}
+
+let lookup env x =
+  let rec go = function
+    | [] -> invalid_arg ("lower: unbound variable " ^ x)  (* sema prevents *)
+    | frame :: rest -> (
+      match List.assoc_opt x frame with Some r -> Some r | None -> go rest)
+  in
+  go env.frames
+
+let bind env x r =
+  match env.frames with
+  | frame :: rest -> env.frames <- ((x, r) :: frame) :: rest
+  | [] -> assert false
+
+let push_scope env = env.frames <- [] :: env.frames
+
+let pop_scope env =
+  match env.frames with
+  | _ :: rest -> env.frames <- rest
+  | [] -> assert false
+
+let alu_of_binop = function
+  | Ast.Add -> Some Instr.Add
+  | Ast.Sub -> Some Instr.Sub
+  | Ast.Mul -> Some Instr.Mul
+  | Ast.And -> Some Instr.And
+  | Ast.Or -> Some Instr.Or
+  | Ast.Xor -> Some Instr.Xor
+  | Ast.Shl -> Some Instr.Shl
+  | Ast.Shr -> Some Instr.Shr
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor
+    ->
+    None
+
+let cond_of_binop = function
+  | Ast.Eq -> Some Instr.Eq
+  | Ast.Ne -> Some Instr.Ne
+  | Ast.Lt -> Some Instr.Lt
+  | Ast.Le -> Some Instr.Le
+  | Ast.Gt -> Some Instr.Gt
+  | Ast.Ge -> Some Instr.Ge
+  | _ -> None
+
+let negate_cond = function
+  | Instr.Eq -> Instr.Ne
+  | Instr.Ne -> Instr.Eq
+  | Instr.Lt -> Instr.Ge
+  | Instr.Ge -> Instr.Lt
+  | Instr.Gt -> Instr.Le
+  | Instr.Le -> Instr.Gt
+
+(* [lower_operand] produces an operand; [as_reg] forces it into a
+   register (loads and stores need register addresses/sources). *)
+let rec lower_operand b env (e : Ast.expr) : Instr.operand =
+  match e.Ast.desc with
+  | Ast.Int v -> Instr.Imm v
+  | Ast.Var x -> (
+    match lookup env x with Some r -> Instr.Reg r | None -> assert false)
+  | Ast.Mem addr ->
+    let a = as_reg b env addr in
+    let t = Builder.fresh b in
+    Builder.load b t a 0;
+    Instr.Reg t
+  | Ast.Unop (Ast.Neg, a) -> (
+    match lower_operand b env a with
+    | Instr.Imm v -> Instr.Imm (-v)
+    | Instr.Reg r ->
+      let t = Builder.fresh b in
+      Builder.movi b t 0;
+      Builder.sub b t t (Instr.Reg r);
+      Instr.Reg t)
+  | Ast.Unop (Ast.Bnot, a) -> (
+    match lower_operand b env a with
+    | Instr.Imm v -> Instr.Imm (lnot v)
+    | Instr.Reg r ->
+      let t = Builder.fresh b in
+      Builder.xor b t r (Instr.Imm (-1));
+      Instr.Reg t)
+  | Ast.Call (f, args) ->
+    (* inline expansion: the target machine has no call stack *)
+    let fn =
+      match List.assoc_opt f env.funcs with
+      | Some fn -> fn
+      | None -> invalid_arg ("lower: undefined function " ^ f)  (* sema *)
+    in
+    (* call-by-value: copy every argument into a fresh register *)
+    let arg_regs =
+      List.map
+        (fun a ->
+          let p = Builder.fresh b in
+          lower_into b env p a;
+          p)
+        args
+    in
+    let result = Builder.fresh b in
+    Builder.movi b result 0;  (* deterministic default if no return runs *)
+    let lend = Builder.fresh_label ~hint:"ret" b in
+    push_scope env;
+    List.iter2 (fun p r -> bind env p r) fn.Ast.params arg_regs;
+    env.returns <- (result, lend) :: env.returns;
+    lower_block b env fn.Ast.fbody;
+    env.returns <- List.tl env.returns;
+    pop_scope env;
+    Builder.place b lend;
+    Instr.Reg result
+  | Ast.Unop (Ast.Not, _) | Ast.Binop ((Ast.Land | Ast.Lor), _, _) ->
+    (* truth-valued: materialise through the condition lowering *)
+    Instr.Reg (materialize_bool b env e)
+  | Ast.Binop (op, l, r) -> (
+    match alu_of_binop op with
+    | Some alu -> (
+      let lo = lower_operand b env l in
+      let ro = lower_operand b env r in
+      match lo, ro with
+      | Instr.Imm a, Instr.Imm c -> Instr.Imm (Instr.eval_alu alu a c)
+      | _ ->
+        let t = Builder.fresh b in
+        let l_reg =
+          match lo with
+          | Instr.Reg r -> r
+          | Instr.Imm v ->
+            let u = Builder.fresh b in
+            Builder.movi b u v;
+            u
+        in
+        Builder.alu b alu t l_reg ro;
+        Instr.Reg t)
+    | None -> Instr.Reg (materialize_bool b env e))
+
+and as_reg b env e =
+  match lower_operand b env e with
+  | Instr.Reg r -> r
+  | Instr.Imm v ->
+    let t = Builder.fresh b in
+    Builder.movi b t v;
+    t
+
+(* 0/1 materialisation of a truth-valued expression. *)
+and materialize_bool b env e =
+  let t = Builder.fresh b in
+  let ltrue = Builder.fresh_label ~hint:"btrue" b in
+  Builder.movi b t 1;
+  branch_if b env e ltrue;
+  Builder.movi b t 0;
+  Builder.place b ltrue;
+  t
+
+(* Emit code that jumps to [target] when [e] is true, falling through
+   otherwise. *)
+and branch_if b env (e : Ast.expr) target =
+  match e.Ast.desc with
+  | Ast.Unop (Ast.Not, a) -> branch_if_not b env a target
+  | Ast.Binop (Ast.Land, l, r) ->
+    (* l && r: if !l skip; if r goto target *)
+    let skip = Builder.fresh_label ~hint:"and" b in
+    branch_if_not b env l skip;
+    branch_if b env r target;
+    Builder.place b skip
+  | Ast.Binop (Ast.Lor, l, r) ->
+    branch_if b env l target;
+    branch_if b env r target
+  | Ast.Binop (op, l, r) when cond_of_binop op <> None ->
+    let cond = Option.get (cond_of_binop op) in
+    let lr = as_reg b env l in
+    let ro = lower_operand b env r in
+    Builder.brc b cond lr ro target
+  | Ast.Int v -> if v <> 0 then Builder.br b target
+  | _ ->
+    let r = as_reg b env e in
+    Builder.brc b Instr.Ne r (Instr.Imm 0) target
+
+(* Dual: jump to [target] when [e] is false. *)
+and branch_if_not b env (e : Ast.expr) target =
+  match e.Ast.desc with
+  | Ast.Unop (Ast.Not, a) -> branch_if b env a target
+  | Ast.Binop (Ast.Land, l, r) ->
+    branch_if_not b env l target;
+    branch_if_not b env r target
+  | Ast.Binop (Ast.Lor, l, r) ->
+    (* !(l || r): if l skip; if !r goto target *)
+    let skip = Builder.fresh_label ~hint:"or" b in
+    branch_if b env l skip;
+    branch_if_not b env r target;
+    Builder.place b skip
+  | Ast.Binop (op, l, r) when cond_of_binop op <> None ->
+    let cond = negate_cond (Option.get (cond_of_binop op)) in
+    let lr = as_reg b env l in
+    let ro = lower_operand b env r in
+    Builder.brc b cond lr ro target
+  | Ast.Int v -> if v = 0 then Builder.br b target
+  | _ ->
+    let r = as_reg b env e in
+    Builder.brc b Instr.Eq r (Instr.Imm 0) target
+
+(* Assignment into an existing register, reusing it as the ALU
+   destination where possible. *)
+and lower_into b env dst (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Binop (op, l, r) when alu_of_binop op <> None ->
+    let alu = Option.get (alu_of_binop op) in
+    let lr = as_reg b env l in
+    let ro = lower_operand b env r in
+    Builder.alu b alu dst lr ro
+  | Ast.Mem addr ->
+    let a = as_reg b env addr in
+    Builder.load b dst a 0
+  | _ -> (
+    match lower_operand b env e with
+    | Instr.Imm v -> Builder.movi b dst v
+    | Instr.Reg r -> if not (Reg.equal r dst) then Builder.mov b dst r)
+
+and lower_stmt b env (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl (x, e) ->
+    let r =
+      (* if the initialiser produced a fresh temporary, adopt it *)
+      match e.Ast.desc with
+      | Ast.Var _ ->
+        (* copy, so the variables stay independent *)
+        let r = Builder.fresh b in
+        lower_into b env r e;
+        r
+      | _ -> (
+        match lower_operand b env e with
+        | Instr.Reg r -> r
+        | Instr.Imm v ->
+          let r = Builder.fresh b in
+          Builder.movi b r v;
+          r)
+    in
+    bind env x r
+  | Ast.Assign (x, e) -> (
+    match lookup env x with
+    | Some r -> lower_into b env r e
+    | None -> assert false)
+  | Ast.Mem_store (addr, v) ->
+    let a = as_reg b env addr in
+    let r = as_reg b env v in
+    Builder.store b r a 0
+  | Ast.If (c, then_, else_) -> (
+    match else_ with
+    | None ->
+      let lend = Builder.fresh_label ~hint:"endif" b in
+      branch_if_not b env c lend;
+      lower_block b env then_;
+      Builder.place b lend
+    | Some else_ ->
+      let lelse = Builder.fresh_label ~hint:"else" b in
+      let lend = Builder.fresh_label ~hint:"endif" b in
+      branch_if_not b env c lelse;
+      lower_block b env then_;
+      Builder.br b lend;
+      Builder.place b lelse;
+      lower_block b env else_;
+      Builder.place b lend)
+  | Ast.While (c, body) ->
+    let ltop = Builder.label ~hint:"while" b in
+    let lend = Builder.fresh_label ~hint:"endwhile" b in
+    branch_if_not b env c lend;
+    env.loops <- (ltop, lend) :: env.loops;
+    lower_block b env body;
+    env.loops <- List.tl env.loops;
+    Builder.br b ltop;
+    Builder.place b lend
+  | Ast.For (init, cond, step, body) ->
+    (* the init declaration scopes over the whole loop *)
+    push_scope env;
+    Option.iter (lower_stmt b env) init;
+    let ltop = Builder.label ~hint:"for" b in
+    let lcont = Builder.fresh_label ~hint:"forstep" b in
+    let lend = Builder.fresh_label ~hint:"endfor" b in
+    Option.iter (fun c -> branch_if_not b env c lend) cond;
+    env.loops <- (lcont, lend) :: env.loops;
+    lower_block b env body;
+    env.loops <- List.tl env.loops;
+    Builder.place b lcont;
+    Option.iter (lower_stmt b env) step;
+    Builder.br b ltop;
+    Builder.place b lend;
+    pop_scope env
+  | Ast.Break -> (
+    match env.loops with
+    | (_, lend) :: _ -> Builder.br b lend
+    | [] -> invalid_arg "lower: break outside a loop")  (* sema prevents *)
+  | Ast.Continue -> (
+    match env.loops with
+    | (lcont, _) :: _ -> Builder.br b lcont
+    | [] -> invalid_arg "lower: continue outside a loop")
+  | Ast.Return e -> (
+    match env.returns with
+    | (result, lend) :: _ ->
+      lower_into b env result e;
+      Builder.br b lend
+    | [] -> invalid_arg "lower: return outside a function")  (* sema *)
+  | Ast.Yield -> Builder.ctx_switch b
+  | Ast.Halt -> Builder.halt b
+  | Ast.Block body -> lower_block b env body
+
+and lower_block b env stmts =
+  push_scope env;
+  List.iter (lower_stmt b env) stmts;
+  pop_scope env
+
+let lower_thread funcs (t : Ast.thread) =
+  let b = Builder.create ~name:t.Ast.name in
+  let env = { frames = []; loops = []; returns = []; funcs } in
+  lower_block b env t.Ast.body;
+  Builder.halt b;
+  Builder.finish b
+
+let lower (prog : Ast.program) =
+  let funcs =
+    List.map (fun (f : Ast.func) -> (f.Ast.fname, f)) (Ast.funcs prog)
+  in
+  List.map (lower_thread funcs) (Ast.threads prog)

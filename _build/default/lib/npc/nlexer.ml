@@ -1,0 +1,177 @@
+(* Lexer for NPC. Comments are [// ...] and [/* ... */]; integers are
+   decimal or hex; identifiers and keywords are the usual C shape. *)
+
+type token =
+  | TINT of int
+  | TIDENT of string
+  | TTHREAD
+  | TVAR
+  | TIF
+  | TELSE
+  | TWHILE
+  | TFOR
+  | TBREAK
+  | TCONTINUE
+  | TYIELD
+  | THALT
+  | TFUN
+  | TRETURN
+  | TCOMMA
+  | TMEM
+  | TLPAREN
+  | TRPAREN
+  | TLBRACE
+  | TRBRACE
+  | TLBRACKET
+  | TRBRACKET
+  | TSEMI
+  | TASSIGN
+  | TPLUS
+  | TMINUS
+  | TSTAR
+  | TAMP
+  | TPIPE
+  | TCARET
+  | TSHL
+  | TSHR
+  | TEQ
+  | TNE
+  | TLT
+  | TLE
+  | TGT
+  | TGE
+  | TLAND
+  | TLOR
+  | TBANG
+  | TTILDE
+  | TEOF
+
+type lexeme = { token : token; pos : Ast.pos }
+
+exception Error of { pos : Ast.pos; message : string }
+
+let error pos fmt = Fmt.kstr (fun message -> raise (Error { pos; message })) fmt
+
+let keyword_of = function
+  | "thread" -> Some TTHREAD
+  | "var" -> Some TVAR
+  | "if" -> Some TIF
+  | "else" -> Some TELSE
+  | "while" -> Some TWHILE
+  | "for" -> Some TFOR
+  | "break" -> Some TBREAK
+  | "continue" -> Some TCONTINUE
+  | "yield" -> Some TYIELD
+  | "halt" -> Some THALT
+  | "fun" -> Some TFUN
+  | "return" -> Some TRETURN
+  | "mem" -> Some TMEM
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let out = ref [] in
+  let i = ref 0 in
+  let pos () = { Ast.line = !line; col = !i - !bol + 1 } in
+  let push tok p = out := { token = tok; pos = p } :: !out in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let p = pos () in
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then begin
+          incr line;
+          incr i;
+          bol := !i
+        end
+        else if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then error p "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        i := !i + 2;
+        while !i < n && is_hex src.[!i] do
+          incr i
+        done
+      end
+      else
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> push (TINT v) p
+      | None -> error p "malformed integer %S" text
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match keyword_of text with
+      | Some kw -> push kw p
+      | None -> push (TIDENT text) p
+    end
+    else begin
+      let two tok = push tok p; i := !i + 2 in
+      let one tok = push tok p; incr i in
+      match c, peek 1 with
+      | '<', Some '<' -> two TSHL
+      | '>', Some '>' -> two TSHR
+      | '<', Some '=' -> two TLE
+      | '>', Some '=' -> two TGE
+      | '=', Some '=' -> two TEQ
+      | '!', Some '=' -> two TNE
+      | '&', Some '&' -> two TLAND
+      | '|', Some '|' -> two TLOR
+      | '<', _ -> one TLT
+      | '>', _ -> one TGT
+      | '=', _ -> one TASSIGN
+      | '!', _ -> one TBANG
+      | '~', _ -> one TTILDE
+      | '&', _ -> one TAMP
+      | '|', _ -> one TPIPE
+      | '^', _ -> one TCARET
+      | '+', _ -> one TPLUS
+      | '-', _ -> one TMINUS
+      | '*', _ -> one TSTAR
+      | '(', _ -> one TLPAREN
+      | ')', _ -> one TRPAREN
+      | '{', _ -> one TLBRACE
+      | '}', _ -> one TRBRACE
+      | '[', _ -> one TLBRACKET
+      | ']', _ -> one TRBRACKET
+      | ';', _ -> one TSEMI
+      | ',', _ -> one TCOMMA
+      | _ -> error p "unexpected character %C" c
+    end
+  done;
+  push TEOF (pos ());
+  List.rev !out

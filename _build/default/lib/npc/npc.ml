@@ -1,0 +1,31 @@
+(* Facade: compile NPC source to IR thread programs. *)
+
+type error =
+  | Lex_error of { pos : Ast.pos; message : string }
+  | Parse_error of { pos : Ast.pos; message : string }
+  | Sema_errors of Sema.error list
+
+let pp_error ppf = function
+  | Lex_error { pos; message } | Parse_error { pos; message } ->
+    Fmt.pf ppf "%d:%d: %s" pos.Ast.line pos.Ast.col message
+  | Sema_errors errs -> Fmt.(list ~sep:(any "@.") Sema.pp_error) ppf errs
+
+let parse src =
+  match Nparser.parse src with
+  | ast -> Ok ast
+  | exception Nlexer.Error { pos; message } -> Error (Lex_error { pos; message })
+  | exception Nparser.Error { pos; message } ->
+    Error (Parse_error { pos; message })
+
+let compile src =
+  match parse src with
+  | Error e -> Error e
+  | Ok ast -> (
+    match Sema.check ast with
+    | [] -> Ok (Lower.lower ast)
+    | errs -> Error (Sema_errors errs))
+
+let compile_exn src =
+  match compile src with
+  | Ok progs -> progs
+  | Error e -> Fmt.failwith "npc: %a" pp_error e

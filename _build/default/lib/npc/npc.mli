@@ -1,0 +1,43 @@
+(** NPC — the network-processor C subset.
+
+    NPC mirrors the role of IXP-C in the paper: a small C-like language
+    for writing packet-processing threads. A file declares one thread
+    per [thread NAME { ... }] block; [mem\[e\]] reads memory (a
+    context-switch point), [mem\[e\] = e;] writes it, [yield;] switches
+    voluntarily. Compilation produces one IR program per thread, ready
+    for the balanced register allocator:
+
+    {[
+      let threads = Npc.compile_exn {|
+        thread checksum {
+          var sum = 0;
+          var p = 1000;
+          var n = 4;
+          while (n > 0) {
+            sum = sum + mem[p];
+            p = p + 1;
+            n = n - 1;
+          }
+          mem[2000] = sum;
+        }
+      |} in
+      let bal = Npra_core.Pipeline.balanced ~nreg:128 threads in ...
+    ]} *)
+
+open Npra_ir
+
+type error =
+  | Lex_error of { pos : Ast.pos; message : string }
+  | Parse_error of { pos : Ast.pos; message : string }
+  | Sema_errors of Sema.error list
+
+val pp_error : error Fmt.t
+
+val parse : string -> (Ast.program, error) result
+(** Syntax only. *)
+
+val compile : string -> (Prog.t list, error) result
+(** Parse, scope-check, lower. One program per thread. *)
+
+val compile_exn : string -> Prog.t list
+(** @raise Failure with a rendered diagnostic. *)

@@ -1,0 +1,227 @@
+(* Semantic analysis for NPC: scope checking.
+
+   Variables are block-scoped with shadowing; every use must be in
+   scope; a name may not be declared twice in the same block; thread
+   names must be distinct. All diagnostics are collected, not just the
+   first. *)
+
+type error = { pos : Ast.pos; message : string }
+
+let pp_error ppf e =
+  Fmt.pf ppf "%d:%d: %s" e.pos.Ast.line e.pos.Ast.col e.message
+
+type fenv = (string * Ast.func) list
+
+let check_body errors (fenv : fenv) ~name:_ ~params ~in_function body tpos =
+  (* scopes: a stack of name lists; the whole stack is the environment *)
+  let err pos fmt =
+    Fmt.kstr (fun message -> errors := { pos; message } :: !errors) fmt
+  in
+  let in_scope scopes x = List.exists (List.mem x) scopes in
+  let rec expr scopes (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Int _ -> ()
+    | Ast.Var x ->
+      if not (in_scope scopes x) then err e.Ast.pos "undeclared variable %s" x
+    | Ast.Mem a -> expr scopes a
+    | Ast.Call (f, args) -> (
+      List.iter (expr scopes) args;
+      match List.assoc_opt f fenv with
+      | None -> err e.Ast.pos "undefined function %s" f
+      | Some fn ->
+        let want = List.length fn.Ast.params and got = List.length args in
+        if want <> got then
+          err e.Ast.pos "%s expects %d argument(s), got %d" f want got)
+    | Ast.Unop (_, a) -> expr scopes a
+    | Ast.Binop (_, a, b) ->
+      expr scopes a;
+      expr scopes b
+  in
+  let rec block ~current ~outer ~in_loop stmts =
+    let _final =
+      List.fold_left
+        (fun current (s : Ast.stmt) ->
+          let scopes = current :: outer in
+          match s.Ast.sdesc with
+          | Ast.Decl (x, e) ->
+            expr scopes e;
+            if List.mem x current then
+              err s.Ast.spos "variable %s already declared in this block" x;
+            x :: current
+          | Ast.Assign (x, e) ->
+            if not (in_scope scopes x) then
+              err s.Ast.spos "assignment to undeclared variable %s" x;
+            expr scopes e;
+            current
+          | Ast.Mem_store (a, v) ->
+            expr scopes a;
+            expr scopes v;
+            current
+          | Ast.If (c, then_, else_) ->
+            expr scopes c;
+            block ~current:[] ~outer:scopes ~in_loop then_;
+            Option.iter
+              (fun b -> block ~current:[] ~outer:scopes ~in_loop b)
+              else_;
+            current
+          | Ast.While (c, body) ->
+            expr scopes c;
+            block ~current:[] ~outer:scopes ~in_loop:true body;
+            current
+          | Ast.For (init, cond, step, body) ->
+            (* the init declaration scopes over cond, step and body *)
+            let loop_scope =
+              match init with
+              | Some { Ast.sdesc = Ast.Decl (x, e); _ } ->
+                expr scopes e;
+                [ x ]
+              | Some { Ast.sdesc = Ast.Assign (x, e); spos } ->
+                if not (in_scope scopes x) then
+                  err spos "assignment to undeclared variable %s" x;
+                expr scopes e;
+                []
+              | Some _ | None -> []
+            in
+            let scopes' = loop_scope :: scopes in
+            Option.iter (expr scopes') cond;
+            (match step with
+            | Some { Ast.sdesc = Ast.Assign (x, e); spos } ->
+              if not (in_scope scopes' x) then
+                err spos "assignment to undeclared variable %s" x;
+              expr scopes' e
+            | Some { Ast.sdesc = Ast.Decl _; spos } ->
+              err spos "a for-loop step cannot declare a variable"
+            | Some _ | None -> ());
+            block ~current:[] ~outer:scopes' ~in_loop:true body;
+            current
+          | Ast.Break ->
+            if not in_loop then err s.Ast.spos "break outside a loop";
+            current
+          | Ast.Continue ->
+            if not in_loop then err s.Ast.spos "continue outside a loop";
+            current
+          | Ast.Return e ->
+            if not in_function then
+              err s.Ast.spos "return outside a function";
+            expr (current :: outer) e;
+            current
+          | Ast.Block b ->
+            block ~current:[] ~outer:scopes ~in_loop b;
+            current
+          | Ast.Yield | Ast.Halt -> current)
+        current stmts
+    in
+    ()
+  in
+  ignore tpos;
+  (* parameters populate the outermost scope *)
+  block ~current:params ~outer:[] ~in_loop:false body
+
+(* Detect recursion in the call graph (functions are inlined, so cycles
+   would expand forever). *)
+let recursion_errors errors (fenv : fenv) =
+  let rec calls_of_block acc body =
+    List.fold_left
+      (fun acc (s : Ast.stmt) ->
+        let rec of_expr acc (e : Ast.expr) =
+          match e.Ast.desc with
+          | Ast.Call (f, args) -> List.fold_left of_expr (f :: acc) args
+          | Ast.Mem a | Ast.Unop (_, a) -> of_expr acc a
+          | Ast.Binop (_, a, b) -> of_expr (of_expr acc a) b
+          | Ast.Int _ | Ast.Var _ -> acc
+        in
+        match s.Ast.sdesc with
+        | Ast.Decl (_, e) | Ast.Assign (_, e) | Ast.Return e -> of_expr acc e
+        | Ast.Mem_store (a, v) -> of_expr (of_expr acc a) v
+        | Ast.If (c, t, e) ->
+          let acc = of_expr acc c in
+          let acc = calls_of_block acc t in
+          Option.fold ~none:acc ~some:(calls_of_block acc) e
+        | Ast.While (c, b) -> calls_of_block (of_expr acc c) b
+        | Ast.For (i, c, st, b) ->
+          let acc = Option.fold ~none:acc ~some:(fun s -> calls_of_block acc [ s ]) i in
+          let acc = Option.fold ~none:acc ~some:(of_expr acc) c in
+          let acc = Option.fold ~none:acc ~some:(fun s -> calls_of_block acc [ s ]) st in
+          calls_of_block acc b
+        | Ast.Block b -> calls_of_block acc b
+        | Ast.Yield | Ast.Halt | Ast.Break | Ast.Continue -> acc)
+      acc body
+  in
+  let visiting = Hashtbl.create 8 and done_ = Hashtbl.create 8 in
+  let rec visit name =
+    if Hashtbl.mem done_ name then ()
+    else if Hashtbl.mem visiting name then
+      errors :=
+        {
+          pos =
+            (match List.assoc_opt name fenv with
+            | Some f -> f.Ast.fpos
+            | None -> { Ast.line = 0; col = 0 });
+          message = Fmt.str "recursive call chain through %s" name;
+        }
+        :: !errors
+    else begin
+      Hashtbl.replace visiting name ();
+      (match List.assoc_opt name fenv with
+      | Some f -> List.iter visit (calls_of_block [] f.Ast.fbody)
+      | None -> ());
+      Hashtbl.remove visiting name;
+      Hashtbl.replace done_ name ()
+    end
+  in
+  List.iter (fun (name, _) -> visit name) fenv
+
+let check (prog : Ast.program) =
+  let errors = ref [] in
+  let fenv : fenv =
+    List.map (fun (f : Ast.func) -> (f.Ast.fname, f)) (Ast.funcs prog)
+  in
+  (* duplicate names *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Ast.thread) ->
+      if Hashtbl.mem seen t.Ast.name then
+        errors :=
+          {
+            pos = t.Ast.tpos;
+            message = Fmt.str "duplicate thread name %s" t.Ast.name;
+          }
+          :: !errors;
+      Hashtbl.replace seen t.Ast.name ())
+    (Ast.threads prog);
+  let fseen = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem fseen f.Ast.fname then
+        errors :=
+          {
+            pos = f.Ast.fpos;
+            message = Fmt.str "duplicate function name %s" f.Ast.fname;
+          }
+          :: !errors;
+      Hashtbl.replace fseen f.Ast.fname ();
+      let pseen = Hashtbl.create 4 in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem pseen p then
+            errors :=
+              {
+                pos = f.Ast.fpos;
+                message = Fmt.str "duplicate parameter %s in %s" p f.Ast.fname;
+              }
+              :: !errors;
+          Hashtbl.replace pseen p ())
+        f.Ast.params)
+    (Ast.funcs prog);
+  recursion_errors errors fenv;
+  List.iter
+    (fun (t : Ast.thread) ->
+      check_body errors fenv ~name:t.Ast.name ~params:[] ~in_function:false
+        t.Ast.body t.Ast.tpos)
+    (Ast.threads prog);
+  List.iter
+    (fun (f : Ast.func) ->
+      check_body errors fenv ~name:f.Ast.fname ~params:f.Ast.params
+        ~in_function:true f.Ast.fbody f.Ast.fpos)
+    (Ast.funcs prog);
+  List.rev !errors

@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Array Fun Instr List Npra_ir Prog Reg Set

@@ -1,0 +1,1 @@
+lib/opt/copyprop.mli: Npra_ir Prog

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Instr List Liveness Npra_cfg Npra_ir Prog Reg

@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Copyprop Dce Fmt

@@ -1,0 +1,1 @@
+lib/opt/opt.mli: Fmt Npra_ir Prog

@@ -1,0 +1,111 @@
+(* Copy propagation.
+
+   A classic forward dataflow over available copies: after [mov d, s]
+   the pair (d, s) is available until either side is redefined; a use of
+   [d] can then read [s] directly. Propagation frequently turns the
+   allocator's split moves and the frontend's variable copies into dead
+   code, which {!Dce} removes.
+
+   The analysis runs at instruction granularity with a may-kill join
+   (intersection over predecessors), the standard formulation. Works on
+   virtual or physical programs — the pass is used both before allocation
+   (cleaning frontend output) and after (cleaning residual moves). *)
+
+open Npra_ir
+
+module CopySet = Set.Make (struct
+  type t = Reg.t * Reg.t
+
+  let compare (a1, b1) (a2, b2) =
+    match Reg.compare a1 a2 with 0 -> Reg.compare b1 b2 | c -> c
+end)
+
+(* copies killed by defining [r]: any pair mentioning it *)
+let kill r set =
+  CopySet.filter
+    (fun (d, s) -> not (Reg.equal d r || Reg.equal s r))
+    set
+
+let transfer ins set =
+  let set = List.fold_left (fun acc d -> kill d acc) set (Instr.defs ins) in
+  match ins with
+  | Instr.Mov { dst; src } when not (Reg.equal dst src) ->
+    CopySet.add (dst, src) set
+  | _ -> set
+
+(* [None] represents "all copies" (top, for unreached blocks). *)
+let meet a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (CopySet.inter a b)
+
+(* NB: structural (polymorphic) equality is wrong for balanced-tree sets
+   — equal sets can differ in shape, which would keep the fixpoint
+   "changing" forever. *)
+let value_equal a b =
+  match a, b with
+  | None, None -> true
+  | Some a, Some b -> CopySet.equal a b
+  | None, Some _ | Some _, None -> false
+
+let analyze prog =
+  let n = Prog.length prog in
+  let preds = Prog.preds prog in
+  let inn = Array.make n None in
+  inn.(0) <- Some CopySet.empty;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let from_preds =
+        List.fold_left
+          (fun acc p ->
+            let out =
+              match inn.(p) with
+              | None -> None
+              | Some set -> Some (transfer (Prog.instr prog p) set)
+            in
+            meet acc out)
+          None preds.(i)
+      in
+      let v = if i = 0 then Some CopySet.empty else from_preds in
+      if not (value_equal v inn.(i)) then begin
+        inn.(i) <- v;
+        changed := true
+      end
+    done
+  done;
+  inn
+
+let run prog =
+  let inn = analyze prog in
+  let rewritten = ref 0 in
+  let code =
+    Array.mapi
+      (fun i ins ->
+        match inn.(i) with
+        | None -> ins
+        | Some copies ->
+          let lookup r =
+            CopySet.fold
+              (fun (d, s) acc ->
+                if acc = None && Reg.equal d r then Some s else acc)
+              copies None
+          in
+          (* chase copy chains (v2 <- v1 <- v0 reads v0 directly); the
+             kill rule makes cycles impossible, the fuel is belt and
+             braces *)
+          let subst r =
+            let rec chase r fuel =
+              if fuel = 0 then r
+              else match lookup r with Some s -> chase s (fuel - 1) | None -> r
+            in
+            let r' = chase r (CopySet.cardinal copies) in
+            if not (Reg.equal r r') then incr rewritten;
+            r'
+          in
+          Instr.map_regs2 ~def:Fun.id ~use:subst ins)
+      prog.Prog.code
+  in
+  ( Prog.of_array ~name:prog.Prog.name ~code ~labels:prog.Prog.labels,
+    !rewritten )

@@ -1,0 +1,8 @@
+(** Copy propagation: forward available-copies dataflow; uses of a copy
+    destination are rewritten to read the source directly, exposing the
+    copy to dead-code elimination. *)
+
+open Npra_ir
+
+val run : Prog.t -> Prog.t * int
+(** Returns the rewritten program and the number of uses rewritten. *)

@@ -1,0 +1,61 @@
+(* Dead-code elimination.
+
+   An instruction is dead when it has no effect: it only defines
+   registers that are not live out of it, and it cannot fault or switch
+   context (loads are preserved — on this machine a load is a
+   context-switch point and its timing is part of the program's
+   behaviour; stores, branches and ctx_switch are obviously kept).
+
+   Deletion changes liveness, so the pass iterates to a fixed point.
+   Labels are remapped onto the surviving instructions. *)
+
+open Npra_ir
+open Npra_cfg
+
+let removable ins live_out =
+  match ins with
+  | Instr.Alu { dst; _ } | Instr.Mov { dst; _ } | Instr.Movi { dst; _ } ->
+    not (Reg.Set.mem dst live_out)
+  | Instr.Nop -> true
+  | Instr.Load _ | Instr.Store _ | Instr.Br _ | Instr.Brc _
+  | Instr.Ctx_switch | Instr.Halt ->
+    false
+
+let run_once prog =
+  let live = Liveness.compute prog in
+  let n = Prog.length prog in
+  let keep = Array.make n true in
+  let removed = ref 0 in
+  for i = 0 to n - 1 do
+    if removable (Prog.instr prog i) (Liveness.live_out live i) then begin
+      keep.(i) <- false;
+      incr removed
+    end
+  done;
+  if !removed = 0 then (prog, 0)
+  else begin
+    (* new index of each old instruction (dead ones map to the next
+       surviving one, so labels stay attached to the right place) *)
+    let new_index = Array.make (n + 1) 0 in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      new_index.(i) <- !count;
+      if keep.(i) then incr count
+    done;
+    new_index.(n) <- !count;
+    let code =
+      Array.of_list
+        (List.filteri (fun i _ -> keep.(i)) (Array.to_list prog.Prog.code))
+    in
+    let labels =
+      List.map (fun (l, i) -> (l, new_index.(i))) prog.Prog.labels
+    in
+    (Prog.of_array ~name:prog.Prog.name ~code ~labels, !removed)
+  end
+
+let run prog =
+  let rec go prog total =
+    let prog', removed = run_once prog in
+    if removed = 0 then (prog, total) else go prog' (total + removed)
+  in
+  go prog 0

@@ -1,0 +1,9 @@
+(** Dead-code elimination: removes pure instructions whose definitions
+    are not live out, iterating to a fixed point. Memory operations,
+    branches and context switches are always preserved (on this machine
+    a load's context switch is part of the program's behaviour). *)
+
+open Npra_ir
+
+val run : Prog.t -> Prog.t * int
+(** Returns the cleaned program and the number of instructions removed. *)

@@ -1,0 +1,28 @@
+(* Optimisation driver: copy propagation and dead-code elimination to a
+   combined fixed point. Used to clean frontend output before allocation
+   and residual split moves after it. *)
+
+type stats = { copies_propagated : int; instructions_removed : int }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d copies propagated, %d instructions removed"
+    s.copies_propagated s.instructions_removed
+
+let run prog =
+  (* the fuel is belt and braces: each pass is monotone, but stopping an
+     optimiser early is always sound *)
+  let rec go fuel prog acc =
+    let prog, copies = Copyprop.run prog in
+    let prog, removed = Dce.run prog in
+    let acc =
+      {
+        copies_propagated = acc.copies_propagated + copies;
+        instructions_removed = acc.instructions_removed + removed;
+      }
+    in
+    if (copies = 0 && removed = 0) || fuel = 0 then (prog, acc)
+    else go (fuel - 1) prog acc
+  in
+  go 32 prog { copies_propagated = 0; instructions_removed = 0 }
+
+let clean prog = fst (run prog)

@@ -1,0 +1,11 @@
+(** Optimisation driver: copy propagation + dead-code elimination to a
+    combined fixed point. *)
+
+open Npra_ir
+
+type stats = { copies_propagated : int; instructions_removed : int }
+
+val pp_stats : stats Fmt.t
+
+val run : Prog.t -> Prog.t * stats
+val clean : Prog.t -> Prog.t

@@ -1,0 +1,1 @@
+lib/regalloc/assign.ml: Array Fmt Npra_ir Reg

@@ -1,0 +1,1 @@
+lib/regalloc/assign.mli: Fmt Npra_ir Reg

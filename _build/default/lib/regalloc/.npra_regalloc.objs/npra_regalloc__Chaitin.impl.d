@@ -1,0 +1,1 @@
+lib/regalloc/chaitin.ml: Array Hashtbl Instr List Loops Npra_cfg Npra_ir Points Prog Reg

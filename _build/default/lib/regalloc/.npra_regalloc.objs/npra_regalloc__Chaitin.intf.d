@@ -1,0 +1,1 @@
+lib/regalloc/chaitin.mli: Npra_ir Prog Reg

@@ -1,0 +1,1 @@
+lib/regalloc/context.ml: Array Dsu Fmt Hashtbl Instr Int List Map Npra_cfg Npra_ir Nsr Points Prog Reg

@@ -1,0 +1,1 @@
+lib/regalloc/context.mli: Fmt Npra_cfg Npra_ir Nsr Points Prog Reg

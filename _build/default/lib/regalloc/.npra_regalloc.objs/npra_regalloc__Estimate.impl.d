@@ -1,0 +1,1 @@
+lib/regalloc/estimate.ml: Context Fmt Hashtbl Int List Npra_cfg Points

@@ -1,0 +1,1 @@
+lib/regalloc/estimate.mli: Context Fmt Npra_cfg Points

@@ -1,0 +1,1 @@
+lib/regalloc/inter.ml: Array Context Estimate Fmt Fun Intra List Npra_ir Prog

@@ -1,0 +1,1 @@
+lib/regalloc/inter.mli: Context Estimate Fmt Npra_ir Prog

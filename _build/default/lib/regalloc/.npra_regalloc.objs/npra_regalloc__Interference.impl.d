@@ -1,0 +1,1 @@
+lib/regalloc/interference.ml: Context Fmt List Npra_cfg Npra_ir Nsr Points Reg

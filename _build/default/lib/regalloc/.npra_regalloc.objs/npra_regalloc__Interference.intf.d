@@ -1,0 +1,1 @@
+lib/regalloc/interference.mli: Fmt Npra_ir Prog Reg

@@ -1,0 +1,1 @@
+lib/regalloc/intra.ml: Context Int List Npra_cfg Nsr Option Points Queue

@@ -1,0 +1,1 @@
+lib/regalloc/intra.mli: Context

@@ -1,0 +1,1 @@
+lib/regalloc/nsr.ml: Array Dsu Fmt Hashtbl Instr List Npra_cfg Npra_ir Points Prog

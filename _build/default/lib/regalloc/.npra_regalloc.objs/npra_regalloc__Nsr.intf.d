@@ -1,0 +1,1 @@
+lib/regalloc/nsr.mli: Fmt Npra_cfg Npra_ir Points Prog

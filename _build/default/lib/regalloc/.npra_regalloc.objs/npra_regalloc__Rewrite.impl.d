@@ -1,0 +1,1 @@
+lib/regalloc/rewrite.ml: Array Context Fmt Hashtbl Instr List Npra_ir Prog Reg

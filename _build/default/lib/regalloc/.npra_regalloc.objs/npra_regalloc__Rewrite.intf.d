@@ -1,0 +1,1 @@
+lib/regalloc/rewrite.mli: Context Instr Npra_ir Prog Reg

@@ -1,0 +1,1 @@
+lib/regalloc/sra.ml: Context Estimate Fmt Intra Npra_ir Prog

@@ -1,0 +1,1 @@
+lib/regalloc/sra.mli: Context Estimate Fmt Npra_ir Prog

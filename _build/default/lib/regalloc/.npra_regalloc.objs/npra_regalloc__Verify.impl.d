@@ -1,0 +1,1 @@
+lib/regalloc/verify.ml: Array Assign Fmt Instr List Liveness Npra_cfg Npra_ir Prog Reg

@@ -1,0 +1,1 @@
+lib/regalloc/verify.mli: Assign Fmt Npra_ir Prog Reg

@@ -1,0 +1,89 @@
+(* Physical register file layout.
+
+   The balanced allocation packs each thread's private block at the
+   bottom of the file, in thread order, and the globally shared block at
+   the top; colours map as
+
+     colour k <= PR_i      ->  private_base_i + k - 1
+     colour k >  PR_i      ->  shared_base + (k - PR_i) - 1
+
+   so a shared colour indexes the same physical registers from every
+   thread, which is what makes cross-thread reuse work. The baseline
+   layout is the conventional fixed partition (32 registers per thread on
+   the modelled machine). *)
+
+open Npra_ir
+
+type t = {
+  nreg : int;
+  private_base : int array;
+  private_size : int array;
+  shared_base : int;
+  sgr : int;
+}
+
+exception Overflow of string
+
+let layout ~nreg ~prs ~sgr =
+  let prs = Array.of_list prs in
+  let total_pr = Array.fold_left ( + ) 0 prs in
+  if total_pr + sgr > nreg then
+    raise
+      (Overflow
+         (Fmt.str "layout needs %d private + %d shared > %d registers"
+            total_pr sgr nreg));
+  let private_base = Array.make (Array.length prs) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i pr ->
+      private_base.(i) <- !acc;
+      acc := !acc + pr)
+    prs;
+  {
+    nreg;
+    private_base;
+    private_size = prs;
+    shared_base = nreg - sgr;
+    sgr;
+  }
+
+let fixed_partition ~nreg ~nthd =
+  let k = nreg / nthd in
+  {
+    nreg;
+    private_base = Array.init nthd (fun i -> i * k);
+    private_size = Array.make nthd k;
+    shared_base = nreg;
+    sgr = 0;
+  }
+
+let reg_of_color t ~thread color =
+  let pr = t.private_size.(thread) in
+  if color < 1 then invalid_arg "reg_of_color: colour < 1"
+  else if color <= pr then Reg.P (t.private_base.(thread) + color - 1)
+  else begin
+    let s = color - pr in
+    if s > t.sgr then
+      raise
+        (Overflow
+           (Fmt.str "thread %d colour %d exceeds PR=%d + SGR=%d" thread color
+              pr t.sgr));
+    Reg.P (t.shared_base + s - 1)
+  end
+
+let private_range t ~thread =
+  (t.private_base.(thread), t.private_base.(thread) + t.private_size.(thread))
+
+let shared_range t = (t.shared_base, t.shared_base + t.sgr)
+
+let pp ppf t =
+  Array.iteri
+    (fun i base ->
+      if t.private_size.(i) = 0 then
+        Fmt.pf ppf "thread %d: no private registers@." i
+      else
+        Fmt.pf ppf "thread %d: private r%d..r%d@." i base
+          (base + t.private_size.(i) - 1))
+    t.private_base;
+  if t.sgr > 0 then
+    Fmt.pf ppf "shared: r%d..r%d@." t.shared_base (t.shared_base + t.sgr - 1)

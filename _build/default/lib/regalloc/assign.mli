@@ -1,0 +1,37 @@
+(** Physical register file layout.
+
+    Private blocks are packed at the bottom of the file in thread order;
+    the globally shared block sits at the top, so a shared colour indexes
+    the same physical registers from every thread. *)
+
+open Npra_ir
+
+type t = {
+  nreg : int;
+  private_base : int array;
+  private_size : int array;
+  shared_base : int;
+  sgr : int;
+}
+
+exception Overflow of string
+
+val layout : nreg:int -> prs:int list -> sgr:int -> t
+(** @raise Overflow when [Σ prs + sgr > nreg]. *)
+
+val fixed_partition : nreg:int -> nthd:int -> t
+(** The conventional baseline: [nreg/nthd] registers per thread, nothing
+    shared. *)
+
+val reg_of_color : t -> thread:int -> int -> Reg.t
+(** Maps a colour of [thread] to its physical register: colours up to the
+    thread's PR into its private block, the rest into the shared block.
+    @raise Overflow on a colour beyond [PR + SGR]. *)
+
+val private_range : t -> thread:int -> int * int
+(** Half-open range of the thread's private block. *)
+
+val shared_range : t -> int * int
+(** Half-open range of the shared block. *)
+
+val pp : t Fmt.t

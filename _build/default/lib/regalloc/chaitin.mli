@@ -1,0 +1,29 @@
+(** Chaitin-style graph-colouring register allocator with spilling — the
+    per-thread baseline the paper compares against (fixed 32-register
+    partition, no sharing, no context-switch awareness).
+
+    Spill code addresses the thread's spill area with an immediate; every
+    reload/store is a long-latency memory operation and hence itself a
+    context switch, which is why spills are so expensive on this machine. *)
+
+open Npra_ir
+
+type result = {
+  prog : Prog.t;  (** program after spill rewriting (still virtual) *)
+  coloring : int Reg.Map.t;  (** live register -> colour in [1..colors] *)
+  colors : int;
+  spilled : Reg.Set.t;  (** registers spilled across all iterations *)
+  spill_slots : (Reg.t * int) list;
+  iterations : int;
+}
+
+val allocate :
+  ?max_iterations:int -> k:int -> spill_base:int -> Prog.t -> result
+(** Classic simplify / optimistic-push / select loop, inserting spill
+    code and retrying until colourable with [k] colours. [spill_base] is
+    the first memory word of this thread's spill area. *)
+
+val color_count : Prog.t -> int
+(** Colours the program with an unbounded palette (no spilling) and
+    returns the number of colours used — the paper's "single-thread
+    register allocator" register count in Figure 14. *)

@@ -1,0 +1,160 @@
+(* Inter-thread register allocation (paper §6, Figure 8).
+
+   Each thread starts at its estimated upper bounds (MaxPR, MaxR). While
+   the pooled requirement Σ PRᵢ + max SRᵢ exceeds the register file, the
+   balancer evaluates every legal single-step reduction — one thread's PR,
+   or the SR of all threads currently at the maximum — through the
+   intra-thread allocator, and commits the cheapest. Shared registers are
+   pooled, so only the maximum SR counts; private registers add up. *)
+
+open Npra_ir
+
+type thread_alloc = {
+  name : string;
+  prog : Prog.t;
+  ctx : Context.t;
+  bounds : Estimate.bounds;
+  pr : int;
+  sr : int;
+}
+
+let cost_of t = Context.move_count t.ctx
+let r_of t = t.pr + t.sr
+
+type t = {
+  threads : thread_alloc array;
+  nreg : int;
+  sgr : int;  (* = max SR *)
+}
+
+let demand threads =
+  let total_pr = Array.fold_left (fun acc t -> acc + t.pr) 0 threads in
+  let max_sr = Array.fold_left (fun acc t -> max acc t.sr) 0 threads in
+  total_pr + max_sr
+
+let total_moves t =
+  Array.fold_left (fun acc th -> acc + cost_of th) 0 t.threads
+
+type error = [ `Infeasible of string ]
+
+let init_thread prog =
+  let ctx = Context.create prog in
+  let ctx, bounds = Estimate.run ctx in
+  {
+    name = prog.Prog.name;
+    prog;
+    ctx;
+    bounds;
+    pr = bounds.Estimate.max_pr;
+    sr = bounds.Estimate.max_r - bounds.Estimate.max_pr;
+  }
+
+(* A candidate single-step reduction: the updated thread records and the
+   total move-cost increase. *)
+type candidate = { delta : int; apply : thread_alloc array }
+
+let pr_candidate threads i =
+  let th = threads.(i) in
+  if th.pr - 1 < th.bounds.Estimate.min_pr || r_of th - 1 < th.bounds.Estimate.min_r
+  then None
+  else
+    match Intra.reduce_pr th.ctx ~pr:th.pr ~r:(r_of th) with
+    | None -> None
+    | Some red ->
+      let th' = { th with ctx = red.Intra.ctx; pr = th.pr - 1 } in
+      let apply = Array.copy threads in
+      apply.(i) <- th';
+      Some { delta = red.Intra.cost - cost_of th; apply }
+
+let demote_candidate threads i =
+  (* Weak PR-step: only profitable when this thread's SR is below the
+     pooled maximum, so growing it by one does not grow SGR. *)
+  let th = threads.(i) in
+  let max_sr = Array.fold_left (fun acc t -> max acc t.sr) 0 threads in
+  if th.sr >= max_sr || th.pr - 1 < th.bounds.Estimate.min_pr then None
+  else
+    match Intra.demote_pr th.ctx ~pr:th.pr ~r:(r_of th) with
+    | None -> None
+    | Some red ->
+      let th' = { th with ctx = red.Intra.ctx; pr = th.pr - 1; sr = th.sr + 1 } in
+      let apply = Array.copy threads in
+      apply.(i) <- th';
+      Some { delta = red.Intra.cost - cost_of th; apply }
+
+let sr_candidate threads =
+  let max_sr = Array.fold_left (fun acc t -> max acc t.sr) 0 threads in
+  if max_sr = 0 then None
+  else begin
+    let apply = Array.copy threads in
+    let delta = ref 0 in
+    let ok = ref true in
+    Array.iteri
+      (fun j th ->
+        if !ok && th.sr = max_sr then begin
+          if r_of th - 1 < th.bounds.Estimate.min_r then ok := false
+          else
+            match Intra.reduce_sr th.ctx ~pr:th.pr ~r:(r_of th) with
+            | None -> ok := false
+            | Some red ->
+              delta := !delta + red.Intra.cost - cost_of th;
+              apply.(j) <- { th with ctx = red.Intra.ctx; sr = th.sr - 1 }
+        end)
+      threads;
+    if !ok then Some { delta = !delta; apply } else None
+  end
+
+let candidates threads =
+  let n = Array.length threads in
+  let prs = List.init n (fun i -> pr_candidate threads i) in
+  let demotes = List.init n (fun i -> demote_candidate threads i) in
+  List.filter_map Fun.id ((sr_candidate threads :: prs) @ demotes)
+
+let pick_min = function
+  | [] -> None
+  | c :: cs ->
+    Some (List.fold_left (fun best c -> if c.delta < best.delta then c else best) c cs)
+
+(* Stop conditions: [`Fit nreg] stops once the pooled demand fits;
+   [`Zero_cost] keeps reducing while some reduction is free (used for the
+   paper's Figure 14 experiment). *)
+let rec reduce_loop threads stop =
+  match stop with
+  | `Fit nreg when demand threads <= nreg -> Ok threads
+  | `Fit nreg -> (
+    match pick_min (candidates threads) with
+    | Some c -> reduce_loop c.apply (`Fit nreg)
+    | None ->
+      Error
+        (`Infeasible
+          (Fmt.str
+             "register demand %d exceeds %d and no thread can be reduced \
+              further"
+             (demand threads) nreg)))
+  | `Zero_cost -> (
+    match pick_min (candidates threads) with
+    | Some c when c.delta <= 0 -> reduce_loop c.apply `Zero_cost
+    | Some _ | None -> Ok threads)
+
+let finish threads nreg =
+  let sgr = Array.fold_left (fun acc t -> max acc t.sr) 0 threads in
+  { threads; nreg; sgr }
+
+let allocate ~nreg progs =
+  let threads = Array.of_list (List.map init_thread progs) in
+  match reduce_loop threads (`Fit nreg) with
+  | Ok threads -> Ok (finish threads nreg)
+  | Error e -> Error e
+
+let tighten_zero_cost ~nreg progs =
+  let threads = Array.of_list (List.map init_thread progs) in
+  match reduce_loop threads `Zero_cost with
+  | Ok threads -> Ok (finish threads nreg)
+  | Error e -> Error e
+
+let pp ppf t =
+  Fmt.pf ppf "Nreg=%d SGR=%d demand=%d@." t.nreg t.sgr (demand t.threads);
+  Array.iter
+    (fun th ->
+      Fmt.pf ppf "  %-16s PR=%-3d SR=%-3d moves=%-4d (%a)@." th.name th.pr
+        th.sr (cost_of th) Estimate.pp_bounds th.bounds)
+    t.threads

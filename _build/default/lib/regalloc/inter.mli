@@ -1,0 +1,47 @@
+(** Inter-thread register allocation (paper §6, Figure 8).
+
+    Balances register allocation across the threads of one processing
+    unit: every thread starts at its estimated upper bounds and the
+    balancer greedily commits the cheapest single-step reduction — one
+    thread's private count, or the shared count of all threads at the
+    current maximum — until the pooled demand [Σ PRᵢ + max SRᵢ] fits the
+    register file. *)
+
+open Npra_ir
+
+type thread_alloc = {
+  name : string;
+  prog : Prog.t;
+  ctx : Context.t;  (** final colouring for this thread *)
+  bounds : Estimate.bounds;
+  pr : int;  (** private registers assigned *)
+  sr : int;  (** shared registers needed *)
+}
+
+type t = {
+  threads : thread_alloc array;
+  nreg : int;
+  sgr : int;  (** globally shared registers: [max SRᵢ] *)
+}
+
+type error = [ `Infeasible of string ]
+
+val demand : thread_alloc array -> int
+(** [Σ PRᵢ + max SRᵢ], the pooled register requirement. *)
+
+val total_moves : t -> int
+
+val cost_of : thread_alloc -> int
+
+val init_thread : Prog.t -> thread_alloc
+(** Estimation only: the thread at its upper bounds, zero moves. The
+    program must be in web form ({!Npra_cfg.Webs.rename}). *)
+
+val allocate : nreg:int -> Prog.t list -> (t, error) result
+(** The paper's Figure-8 algorithm. Programs must be in web form. *)
+
+val tighten_zero_cost : nreg:int -> Prog.t list -> (t, error) result
+(** Keeps reducing while some reduction is free of move insertions — the
+    setting of the paper's Figure 14 experiment. *)
+
+val pp : t Fmt.t

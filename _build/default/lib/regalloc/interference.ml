@@ -1,0 +1,93 @@
+(* The paper's three interference graphs (§3.2) as an explicit view.
+
+   The allocator itself works on {!Context} (segments + point sets); this
+   module derives the paper's named structures for inspection, teaching
+   and tests:
+
+   - GIG: all live ranges, an edge wherever two are co-live;
+   - BIG: boundary live ranges only, an edge when two are co-live across
+     the same context-switch boundary;
+   - IIG r: the internal live ranges of non-switch region [r] and their
+     interference.
+
+   The paper's claims hold by construction and are re-checked in tests:
+   the BIG needs PR colours, the GIG needs R colours, and internal nodes
+   of different IIGs never interfere (claim 2). *)
+
+open Npra_ir
+open Npra_cfg
+module IntSet = Points.IntSet
+
+type node = {
+  vreg : Reg.t;
+  boundary : bool;
+  region : int option;  (* for internal nodes: their NSR *)
+}
+
+type t = {
+  ctx : Context.t;
+  nodes : node list;
+  gig_edges : (Reg.t * Reg.t) list;
+  big_edges : (Reg.t * Reg.t) list;
+}
+
+let canonical a b = if Reg.compare a b <= 0 then (a, b) else (b, a)
+
+let build prog =
+  let ctx = Context.create prog in
+  let regions = Context.regions ctx in
+  let nodes =
+    List.map
+      (fun n ->
+        let boundary = Context.is_boundary n in
+        let region =
+          if boundary then None
+          else
+            IntSet.choose_opt (Nsr.regions_of_gaps regions n.Context.gaps)
+        in
+        { vreg = n.Context.vreg; boundary; region })
+      (Context.nodes ctx)
+  in
+  let edge_set neighbor_fn =
+    List.fold_left
+      (fun acc n ->
+        List.fold_left
+          (fun acc m -> (canonical n.Context.vreg m.Context.vreg, ()) :: acc)
+          acc (neighbor_fn n))
+      [] (Context.nodes ctx)
+    |> List.map fst |> List.sort_uniq compare
+  in
+  {
+    ctx;
+    nodes;
+    gig_edges = edge_set (fun n -> Context.neighbors ctx n);
+    big_edges = edge_set (fun n -> Context.boundary_neighbors ctx n);
+  }
+
+let nodes t = t.nodes
+let boundary_nodes t = List.filter (fun n -> n.boundary) t.nodes
+let internal_nodes t = List.filter (fun n -> not n.boundary) t.nodes
+
+let iig t region =
+  List.filter (fun n -> (not n.boundary) && n.region = Some region) t.nodes
+
+let gig_edges t = t.gig_edges
+let big_edges t = t.big_edges
+
+let gig_degree t v =
+  List.length
+    (List.filter (fun (a, b) -> Reg.equal a v || Reg.equal b v) t.gig_edges)
+
+let interferes t a b = List.mem (canonical a b) t.gig_edges
+let boundary_interferes t a b = List.mem (canonical a b) t.big_edges
+
+let stats t =
+  ( List.length t.nodes,
+    List.length (boundary_nodes t),
+    List.length t.gig_edges,
+    List.length t.big_edges )
+
+let pp ppf t =
+  let n, b, ge, be = stats t in
+  Fmt.pf ppf "GIG: %d nodes (%d boundary), %d edges; BIG: %d edges@." n b ge
+    be

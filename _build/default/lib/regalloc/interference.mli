@@ -1,0 +1,35 @@
+(** The paper's three interference graphs (§3.2) as an explicit view
+    over {!Context}: the global graph (GIG), the boundary graph (BIG),
+    and the per-NSR internal graphs (IIGs). *)
+
+open Npra_ir
+
+type node = {
+  vreg : Reg.t;
+  boundary : bool;
+  region : int option;  (** internal nodes: their non-switch region *)
+}
+
+type t
+
+val build : Prog.t -> t
+(** The program should be in web form ({!Npra_cfg.Webs.rename}). *)
+
+val nodes : t -> node list
+val boundary_nodes : t -> node list
+val internal_nodes : t -> node list
+
+val iig : t -> int -> node list
+(** Internal nodes of one non-switch region. *)
+
+val gig_edges : t -> (Reg.t * Reg.t) list
+val big_edges : t -> (Reg.t * Reg.t) list
+
+val gig_degree : t -> Reg.t -> int
+val interferes : t -> Reg.t -> Reg.t -> bool
+val boundary_interferes : t -> Reg.t -> Reg.t -> bool
+
+val stats : t -> int * int * int * int
+(** (nodes, boundary nodes, GIG edges, BIG edges). *)
+
+val pp : t Fmt.t

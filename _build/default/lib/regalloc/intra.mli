@@ -1,0 +1,68 @@
+(** Intra-thread register allocation (paper §7, Figure 10).
+
+    The paper's Reduce-PR and Reduce-SR invocations both instantiate one
+    engine — {!eliminate_color} — that removes a colour from the whole
+    context by recolouring, NSR exclusion / overlap carving, and as a
+    last resort fragmentation plus per-gap normalisation. The engine is
+    total whenever the post-elimination palette respects the lower bounds
+    ([pr-1 >= RegPCSBmax] for PR-steps, [r-1 >= RegPmax] for either),
+    which is what lets the inter-thread allocator drive any thread down
+    to its bounds (the paper's Lemma 1). *)
+
+type reduction = {
+  ctx : Context.t;
+  cost : int;  (** move instructions implied by the new context *)
+}
+
+exception Infeasible
+
+val min_pr : Context.t -> int
+(** RegPCSBmax of the underlying program. *)
+
+val min_r : Context.t -> int
+(** RegPmax of the underlying program. *)
+
+type scope = [ `All | `Boundary ]
+
+val eliminate_color :
+  ?scope:scope -> Context.t -> c:int -> pr:int -> r:int -> Context.t
+(** Removes colour [c]: in scope [`All] from every node (strong step,
+    palette compacts to [r-1] colours); in scope [`Boundary] only from
+    boundary nodes, demoting [c] to a shared-only colour (it moves to
+    the top of the palette, [r] unchanged).
+    @raise Infeasible when a gap cannot be normalised — impossible under
+    the lower-bound guards. *)
+
+val reduce_pr : Context.t -> pr:int -> r:int -> reduction option
+(** Best strong PR-step [(PR-1, SR, R-1)]: tries every private colour,
+    keeps the cheapest elimination. [None] below the lower bounds. *)
+
+val demote_pr : Context.t -> pr:int -> r:int -> reduction option
+(** Best weak PR-step [(PR-1, SR+1, R)]: a private colour becomes
+    shared-only. [None] below [RegPCSBmax]. *)
+
+val reduce_sr : Context.t -> pr:int -> r:int -> reduction option
+(** Best SR-step [(PR, SR-1, R-1)]: tries every shared colour. [None]
+    below the lower bounds. *)
+
+val reduce_to :
+  Context.t ->
+  pr:int ->
+  r:int ->
+  target_pr:int ->
+  target_sr:int ->
+  reduction option
+(** Drives the context from [(pr, r)] to exactly [(target_pr, target_sr)]
+    colours, choosing the cheaper of a PR-step and an SR-step greedily. *)
+
+val reduce_to_best :
+  Context.t ->
+  pr:int ->
+  r:int ->
+  target_pr:int ->
+  target_sr:int ->
+  (reduction * int * int) option
+(** Like {!reduce_to}, but when the exact target is unreachable (the
+    write-back move hazards of a GPR-targeting load can push the floor
+    one register above the paper's Lemma 1) returns the nearest reachable
+    point [(reduction, pr, sr)], preferring extra shared registers. *)

@@ -1,0 +1,32 @@
+(** Non-Switch Regions (paper §3.1).
+
+    An NSR is a maximal connected subgraph of the CFG containing no
+    context-switch instruction; its boundaries are CSBs and the program
+    entry/exit points. Regions are computed at instruction granularity;
+    CSB instructions belong to no region — they {e are} the boundaries. *)
+
+open Npra_ir
+open Npra_cfg
+
+type t
+
+val compute : Prog.t -> t
+
+val num_regions : t -> int
+
+val region_of_instr : t -> int -> int option
+(** [None] exactly when the instruction causes a context switch. *)
+
+val region_of_gap : t -> int -> int option
+(** Region of the gap before instruction [p]; [None] for boundary gaps
+    (gaps at CSB instructions and the end-of-program gap). *)
+
+val region_sizes : t -> int array
+(** Instructions per region. *)
+
+val average_size : t -> float
+
+val regions_of_gaps : t -> Points.IntSet.t -> Points.IntSet.t
+(** Distinct regions touched by a set of gaps (boundary gaps ignored). *)
+
+val pp : t Fmt.t

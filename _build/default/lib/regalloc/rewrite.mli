@@ -1,0 +1,23 @@
+(** Materialisation of an allocation into a physical-register program.
+
+    Register occurrences are substituted with the physical register of
+    the covering segment; the context's crossing moves are grouped per
+    gap edge, sequentialised as parallel copies (xor-swap triples break
+    register cycles, so no scratch register is needed), and placed after
+    fallthrough sources, before unconditional branches, or in trampoline
+    blocks on conditional taken edges. *)
+
+open Npra_ir
+
+val sequentialize_copy : (Reg.t * Reg.t) list -> Instr.t list
+(** Sequentialises a parallel copy given as [(dst, src)] pairs with
+    pairwise-distinct destinations and pairwise-distinct sources.
+    Exposed for testing. *)
+
+val apply : Context.t -> reg_of_color:(int -> Reg.t) -> Prog.t
+(** Rewrites the context's program. The colouring must be valid
+    ({!Context.check}) and [reg_of_color] injective. *)
+
+val apply_map : Prog.t -> int Reg.Map.t -> reg_of_color:(int -> Reg.t) -> Prog.t
+(** For allocations without splitting (the Chaitin baseline): substitutes
+    one colour per register everywhere. *)

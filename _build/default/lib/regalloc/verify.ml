@@ -1,0 +1,97 @@
+(* Allocation safety verifier.
+
+   Re-analyses the rewritten physical programs from scratch (it shares no
+   state with the allocator) and checks the paper's safety discipline:
+
+   - every register occurrence is physical and within the file;
+   - thread blocks are disjoint, the shared block overlaps no private one;
+   - at every context-switch boundary of thread [i], every value live
+     across the switch sits in thread [i]'s private block — the property
+     that makes register sharing safe when only the PC is preserved. *)
+
+open Npra_ir
+open Npra_cfg
+
+type error =
+  | Virtual_register of { thread : int; instr : int; reg : Reg.t }
+  | Register_out_of_file of { thread : int; instr : int; reg : Reg.t }
+  | Foreign_register of { thread : int; instr : int; reg : Reg.t }
+      (* register inside another thread's private block *)
+  | Shared_live_across_csb of { thread : int; instr : int; reg : Reg.t }
+  | Blocks_overlap of { thread_a : int; thread_b : int }
+
+let pp_error ppf = function
+  | Virtual_register { thread; instr; reg } ->
+    Fmt.pf ppf "thread %d instr %d: virtual register %a survived allocation"
+      thread instr Reg.pp reg
+  | Register_out_of_file { thread; instr; reg } ->
+    Fmt.pf ppf "thread %d instr %d: %a outside the register file" thread
+      instr Reg.pp reg
+  | Foreign_register { thread; instr; reg } ->
+    Fmt.pf ppf "thread %d instr %d: %a lies in another thread's private block"
+      thread instr Reg.pp reg
+  | Shared_live_across_csb { thread; instr; reg } ->
+    Fmt.pf ppf
+      "thread %d: %a is live across the context switch at instr %d but is \
+       not private to the thread"
+      thread Reg.pp reg instr
+  | Blocks_overlap { thread_a; thread_b } ->
+    Fmt.pf ppf "private blocks of threads %d and %d overlap" thread_a
+      thread_b
+
+let in_range (lo, hi) n = n >= lo && n < hi
+
+let check_layout (layout : Assign.t) =
+  let errs = ref [] in
+  let nthd = Array.length layout.Assign.private_base in
+  for a = 0 to nthd - 1 do
+    for b = a + 1 to nthd - 1 do
+      let la, ha = Assign.private_range layout ~thread:a in
+      let lb, hb = Assign.private_range layout ~thread:b in
+      if la < hb && lb < ha then
+        errs := Blocks_overlap { thread_a = a; thread_b = b } :: !errs
+    done
+  done;
+  !errs
+
+let check_thread (layout : Assign.t) ~thread prog =
+  let errs = ref [] in
+  let my_private = Assign.private_range layout ~thread in
+  let foreign n =
+    Array.to_list layout.Assign.private_base
+    |> List.mapi (fun t base -> (t, (base, base + layout.Assign.private_size.(t))))
+    |> List.exists (fun (t, range) -> t <> thread && in_range range n)
+  in
+  Prog.fold_instrs
+    (fun () i ins ->
+      List.iter
+        (fun r ->
+          match r with
+          | Reg.V _ -> errs := Virtual_register { thread; instr = i; reg = r } :: !errs
+          | Reg.P n ->
+            if n < 0 || n >= layout.Assign.nreg then
+              errs := Register_out_of_file { thread; instr = i; reg = r } :: !errs
+            else if foreign n then
+              errs := Foreign_register { thread; instr = i; reg = r } :: !errs)
+        (Instr.defs ins @ Instr.uses ins))
+    () prog;
+  let live = Liveness.compute prog in
+  Prog.fold_instrs
+    (fun () i ins ->
+      if Instr.causes_ctx_switch ins then
+        Reg.Set.iter
+          (fun r ->
+            match r with
+            | Reg.P n when in_range my_private n -> ()
+            | _ ->
+              errs := Shared_live_across_csb { thread; instr = i; reg = r } :: !errs)
+          (Liveness.live_across live i))
+    () prog;
+  List.rev !errs
+
+let check_system layout progs =
+  let layout_errs = check_layout layout in
+  let thread_errs =
+    List.concat (List.mapi (fun t p -> check_thread layout ~thread:t p) progs)
+  in
+  layout_errs @ thread_errs

@@ -1,0 +1,22 @@
+(** Allocation safety verifier.
+
+    Re-analyses rewritten physical programs from scratch and checks the
+    paper's safety discipline, most importantly that at every
+    context-switch boundary of a thread every value live across the
+    switch sits in that thread's private block. *)
+
+open Npra_ir
+
+type error =
+  | Virtual_register of { thread : int; instr : int; reg : Reg.t }
+  | Register_out_of_file of { thread : int; instr : int; reg : Reg.t }
+  | Foreign_register of { thread : int; instr : int; reg : Reg.t }
+  | Shared_live_across_csb of { thread : int; instr : int; reg : Reg.t }
+  | Blocks_overlap of { thread_a : int; thread_b : int }
+
+val pp_error : error Fmt.t
+
+val check_layout : Assign.t -> error list
+val check_thread : Assign.t -> thread:int -> Prog.t -> error list
+val check_system : Assign.t -> Prog.t list -> error list
+(** Empty list = the allocation is safe. *)

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Fmt Instr List Memory Npra_ir Prog Reg

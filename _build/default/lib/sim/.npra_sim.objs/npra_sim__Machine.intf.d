@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Fmt Memory Npra_ir Prog

@@ -1,0 +1,1 @@
+lib/sim/refexec.ml: Fmt Hashtbl Instr List Memory Npra_ir Prog Reg

@@ -1,0 +1,1 @@
+lib/sim/refexec.mli: Npra_ir Prog

@@ -1,0 +1,374 @@
+(* Cycle-level model of one multithreaded processing unit.
+
+   The model follows the paper's architecture (§1.1, §2):
+
+   - up to [Nthd] non-preemptive hardware threads share one ALU and one
+     register file of [nreg] general-purpose registers;
+   - every instruction takes one cycle;
+   - [load]/[store] relinquish the PU while the access is in flight
+     ([mem_latency] cycles, no cache); a load's destination register is
+     written back only when the thread is dispatched again (the
+     transfer-register rule — this is what makes unsafe register sharing
+     observable as corruption, which the tests rely on);
+   - [ctx_switch] yields voluntarily; only the PC is preserved;
+   - dispatching a different thread costs [ctx_switch_cost] cycles;
+   - scheduling is round-robin over ready threads.
+
+   Programs must be fully physical; running a virtual register trips an
+   exception. *)
+
+open Npra_ir
+
+type config = {
+  nreg : int;
+  mem_latency : int;
+  ctx_switch_cost : int;
+  max_cycles : int;
+}
+
+let default_config =
+  { nreg = 128; mem_latency = 20; ctx_switch_cost = 1; max_cycles = 100_000_000 }
+
+type status =
+  | Ready
+  | Blocked of { until : int }
+  | Done of int  (* completion cycle *)
+
+type thread = {
+  id : int;
+  prog : Prog.t;
+  mutable pc : int;
+  mutable status : status;
+  mutable instrs : int;
+  mutable ctx_events : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable moves : int;
+  mutable pending_writeback : (Reg.t * int) option;
+      (* a load's destination value, applied only when the thread is
+         dispatched again — the transfer-register rule *)
+  mutable store_trace_rev : (int * int) list;
+  mutable ready_since : int;  (* cycle the thread last became runnable *)
+  mutable wait_cycles : int;  (* runnable but not running *)
+}
+
+type timeline_event =
+  | Dispatched
+  | Blocked_on_memory
+  | Yielded
+  | Halted
+
+type t = {
+  config : config;
+  regs : int array;
+  mem : Memory.t;
+  threads : thread array;
+  mutable cycle : int;
+  mutable dispatches : int;
+  mutable busy_cycles : int;  (* cycles spent executing instructions *)
+  mutable switch_cycles : int;  (* context-switch overhead *)
+  record_timeline : bool;
+  mutable timeline_rev : (int * int * timeline_event) list;
+      (* (cycle, thread, event) — only when [record_timeline] *)
+}
+
+exception Stuck of string
+
+let create ?(config = default_config) ?(mem_image = []) ?(timeline = false)
+    progs =
+  List.iter
+    (fun p ->
+      if not (Prog.all_physical p) then
+        raise (Stuck (Fmt.str "program %s has virtual registers" p.Prog.name)))
+    progs;
+  let mem = Memory.create () in
+  Memory.load_image mem mem_image;
+  {
+    config;
+    regs = Array.make config.nreg 0;
+    mem;
+    threads =
+      Array.of_list
+        (List.mapi
+           (fun id prog ->
+             {
+               id;
+               prog;
+               pc = 0;
+               status = Ready;
+               instrs = 0;
+               ctx_events = 0;
+               loads = 0;
+               stores = 0;
+               moves = 0;
+               pending_writeback = None;
+               store_trace_rev = [];
+               ready_since = 0;
+               wait_cycles = 0;
+             })
+           progs);
+    cycle = 0;
+    dispatches = 0;
+    busy_cycles = 0;
+    switch_cycles = 0;
+    record_timeline = timeline;
+    timeline_rev = [];
+  }
+
+let memory t = t.mem
+
+let record t thread event =
+  if t.record_timeline then
+    t.timeline_rev <- (t.cycle, thread, event) :: t.timeline_rev
+
+let timeline t = List.rev t.timeline_rev
+
+let reg_value t r =
+  match r with
+  | Reg.P n -> t.regs.(n)
+  | Reg.V _ -> raise (Stuck (Fmt.str "virtual register %a executed" Reg.pp r))
+
+let set_reg t r v =
+  match r with
+  | Reg.P n -> t.regs.(n) <- v
+  | Reg.V _ -> raise (Stuck (Fmt.str "virtual register %a executed" Reg.pp r))
+
+let operand_value t = function
+  | Instr.Reg r -> reg_value t r
+  | Instr.Imm n -> n
+
+(* Executes one instruction of [th]; returns [`Continue] to keep running
+   the same thread or [`Yield] when the PU must be rescheduled. *)
+let step t th =
+  let ins = Prog.instr th.prog th.pc in
+  t.cycle <- t.cycle + 1;
+  t.busy_cycles <- t.busy_cycles + 1;
+  th.instrs <- th.instrs + 1;
+  let next = th.pc + 1 in
+  match ins with
+  | Instr.Alu { op; dst; src1; src2 } ->
+    set_reg t dst (Instr.eval_alu op (reg_value t src1) (operand_value t src2));
+    th.pc <- next;
+    `Continue
+  | Instr.Mov { dst; src } ->
+    th.moves <- th.moves + 1;
+    set_reg t dst (reg_value t src);
+    th.pc <- next;
+    `Continue
+  | Instr.Movi { dst; imm } ->
+    set_reg t dst imm;
+    th.pc <- next;
+    `Continue
+  | Instr.Load { dst; addr; off } ->
+    let a = reg_value t addr + off in
+    let v = Memory.read t.mem a in
+    th.loads <- th.loads + 1;
+    th.ctx_events <- th.ctx_events + 1;
+    th.pc <- next;
+    th.pending_writeback <- Some (dst, v);
+    th.status <- Blocked { until = t.cycle + t.config.mem_latency };
+    record t th.id Blocked_on_memory;
+    `Yield
+  | Instr.Store { src; addr; off } ->
+    let a = reg_value t addr + off in
+    let v = reg_value t src in
+    Memory.write t.mem a v;
+    th.store_trace_rev <- (a, v) :: th.store_trace_rev;
+    th.stores <- th.stores + 1;
+    th.ctx_events <- th.ctx_events + 1;
+    th.pc <- next;
+    th.status <- Blocked { until = t.cycle + t.config.mem_latency };
+    record t th.id Blocked_on_memory;
+    `Yield
+  | Instr.Br { target } ->
+    th.pc <- Prog.label_index th.prog target;
+    `Continue
+  | Instr.Brc { cond; src1; src2; target } ->
+    if Instr.eval_cond cond (reg_value t src1) (operand_value t src2) then
+      th.pc <- Prog.label_index th.prog target
+    else th.pc <- next;
+    `Continue
+  | Instr.Ctx_switch ->
+    th.ctx_events <- th.ctx_events + 1;
+    th.pc <- next;
+    record t th.id Yielded;
+    `Yield
+  | Instr.Nop ->
+    th.pc <- next;
+    `Continue
+  | Instr.Halt ->
+    th.status <- Done t.cycle;
+    record t th.id Halted;
+    `Yield
+
+(* Round-robin dispatch: the next ready thread after [from]; if none is
+   ready but some are blocked, time advances to the earliest wake-up. *)
+let rec pick_next t from =
+  let n = Array.length t.threads in
+  let wake th =
+    match th.status with
+    | Blocked { until } when until <= t.cycle ->
+      th.status <- Ready;
+      th.ready_since <- max until t.cycle
+    | Blocked _ | Ready | Done _ -> ()
+  in
+  Array.iter wake t.threads;
+  let candidate = ref None in
+  for k = 1 to n do
+    let i = (from + k) mod n in
+    if !candidate = None && t.threads.(i).status = Ready then
+      candidate := Some i
+  done;
+  match !candidate with
+  | Some i -> Some i
+  | None ->
+    let earliest =
+      Array.fold_left
+        (fun acc th ->
+          match th.status with
+          | Blocked { until } -> (
+            match acc with Some e -> Some (min e until) | None -> Some until)
+          | Ready | Done _ -> acc)
+        None t.threads
+    in
+    (match earliest with
+    | Some e ->
+      t.cycle <- max t.cycle e;
+      pick_next t from
+    | None -> None)
+
+let dispatch t i =
+  let th = t.threads.(i) in
+  (match th.pending_writeback with
+  | Some (dst, v) ->
+    set_reg t dst v;
+    th.pending_writeback <- None
+  | None -> ());
+  th.wait_cycles <- th.wait_cycles + max 0 (t.cycle - th.ready_since);
+  record t i Dispatched;
+  t.dispatches <- t.dispatches + 1
+
+let run ?(config = default_config) ?(mem_image = []) ?(timeline = false)
+    progs =
+  let t = create ~config ~mem_image ~timeline progs in
+  (match pick_next t (Array.length t.threads - 1) with
+  | None -> ()
+  | Some first ->
+    let current = ref first in
+    dispatch t !current;
+    let running = ref true in
+    while !running do
+      if t.cycle > t.config.max_cycles then
+        raise (Stuck (Fmt.str "exceeded %d cycles" t.config.max_cycles));
+      let th = t.threads.(!current) in
+      match step t th with
+      | `Continue -> ()
+      | `Yield -> (
+        match pick_next t !current with
+        | Some next ->
+          if next <> !current || th.status <> Ready then begin
+            t.cycle <- t.cycle + t.config.ctx_switch_cost;
+            t.switch_cycles <- t.switch_cycles + t.config.ctx_switch_cost
+          end;
+          (* a voluntary yield leaves the thread runnable from now *)
+          if th.status = Ready then th.ready_since <- t.cycle;
+          current := next;
+          dispatch t next
+        | None -> running := false)
+    done);
+  t
+
+type thread_report = {
+  name : string;
+  completion : int option;  (* None if the thread never halted *)
+  instructions : int;
+  context_switches : int;
+  load_count : int;
+  store_count : int;
+  move_count : int;
+  wait_cycles : int;  (* runnable but queued behind other threads *)
+  store_trace : (int * int) list;
+}
+
+type report = {
+  total_cycles : int;
+  busy_cycles : int;  (* some thread executing *)
+  switch_cycles : int;  (* context-switch overhead *)
+  idle_cycles : int;  (* everyone blocked on memory *)
+  utilization : float;
+  thread_reports : thread_report list;
+}
+
+let report t =
+  {
+    total_cycles = t.cycle;
+    busy_cycles = t.busy_cycles;
+    switch_cycles = t.switch_cycles;
+    idle_cycles = max 0 (t.cycle - t.busy_cycles - t.switch_cycles);
+    utilization =
+      (if t.cycle = 0 then 0.
+       else float_of_int t.busy_cycles /. float_of_int t.cycle);
+    thread_reports =
+      Array.to_list t.threads
+      |> List.map (fun th ->
+             {
+               name = th.prog.Prog.name;
+               completion = (match th.status with Done c -> Some c | Ready | Blocked _ -> None);
+               instructions = th.instrs;
+               context_switches = th.ctx_events;
+               load_count = th.loads;
+               store_count = th.stores;
+               move_count = th.moves;
+               wait_cycles = th.wait_cycles;
+               store_trace = List.rev th.store_trace_rev;
+             })
+      |> fun l -> l;
+  }
+
+(* Renders the timeline as run intervals: one line per dispatch, with
+   the cycles the thread held the PU and why it gave it up. *)
+let pp_timeline ppf t =
+  let name i = t.threads.(i).prog.Prog.name in
+  let rec go = function
+    | (c0, th, Dispatched) :: rest ->
+      let rec until = function
+        | (c1, th', ev) :: more when th' = th && ev <> Dispatched ->
+          Some (c1, ev, more)
+        | (_, _, Dispatched) :: _ as more -> (
+          (* pre-empted view: next dispatch belongs to another thread *)
+          match more with
+          | (c1, _, _) :: _ -> Some (c1, Yielded, more)
+          | [] -> None)
+        | _ :: more -> until more
+        | [] -> None
+      in
+      (match until rest with
+      | Some (c1, ev, more) ->
+        let why =
+          match ev with
+          | Blocked_on_memory -> "memory"
+          | Yielded -> "yield"
+          | Halted -> "halt"
+          | Dispatched -> "switch"
+        in
+        Fmt.pf ppf "%8d..%-8d %-16s %s@." c0 c1 (name th) why;
+        go more
+      | None -> Fmt.pf ppf "%8d..        %-16s (running)@." c0 (name th))
+    | _ :: rest -> go rest
+    | [] -> ()
+  in
+  go (timeline t)
+
+let pp_report ppf r =
+  Fmt.pf ppf "total cycles: %d (busy %d, switch %d, idle %d; %.0f%% utilised)@."
+    r.total_cycles r.busy_cycles r.switch_cycles r.idle_cycles
+    (100. *. r.utilization);
+  List.iter
+    (fun tr ->
+      Fmt.pf ppf
+        "  %-16s completion=%a instrs=%d ctx=%d loads=%d stores=%d moves=%d wait=%d@."
+        tr.name
+        Fmt.(option ~none:(any "-") int)
+        tr.completion tr.instructions tr.context_switches tr.load_count
+        tr.store_count tr.move_count tr.wait_cycles)
+    r.thread_reports

@@ -1,0 +1,84 @@
+(** Cycle-level model of one multithreaded processing unit.
+
+    Follows the paper's architecture: non-preemptive threads over a
+    shared register file, 1-cycle ALU/branch, long-latency memory
+    operations that yield the PU (switch-on-issue, write-back at next
+    dispatch — the transfer-register rule), voluntary [ctx_switch], and
+    round-robin scheduling with a configurable switch cost. *)
+
+open Npra_ir
+
+type config = {
+  nreg : int;
+  mem_latency : int;
+  ctx_switch_cost : int;
+  max_cycles : int;  (** safety limit; exceeding it raises {!Stuck} *)
+}
+
+val default_config : config
+(** 128 GPRs, 20-cycle memory, 1-cycle switch — the paper's machine. *)
+
+type t
+
+exception Stuck of string
+
+val create :
+  ?config:config ->
+  ?mem_image:(int * int) list ->
+  ?timeline:bool ->
+  Prog.t list ->
+  t
+(** One thread per program; programs must be fully physical. [mem_image]
+    preloads memory words (packet buffers, tables); [timeline] records
+    scheduling events for {!pp_timeline}. *)
+
+val memory : t -> Memory.t
+
+type timeline_event =
+  | Dispatched
+  | Blocked_on_memory
+  | Yielded
+  | Halted
+
+val timeline : t -> (int * int * timeline_event) list
+(** (cycle, thread index, event), in time order; empty unless the
+    machine was created with [~timeline:true]. *)
+
+val pp_timeline : t Fmt.t
+(** Renders the recorded events as per-dispatch run intervals. *)
+
+val run :
+  ?config:config ->
+  ?mem_image:(int * int) list ->
+  ?timeline:bool ->
+  Prog.t list ->
+  t
+(** Runs all threads to completion and returns the final machine.
+    @raise Stuck on runaway execution or virtual registers. *)
+
+type thread_report = {
+  name : string;
+  completion : int option;  (** cycle the thread halted, if it did *)
+  instructions : int;
+  context_switches : int;
+  load_count : int;
+  store_count : int;
+  move_count : int;
+  wait_cycles : int;
+      (** cycles the thread was runnable but queued behind others *)
+  store_trace : (int * int) list;
+      (** per-thread [(address, value)] store sequence, in program order —
+          the observable behaviour used by differential tests *)
+}
+
+type report = {
+  total_cycles : int;
+  busy_cycles : int;  (** some thread was executing *)
+  switch_cycles : int;  (** context-switch overhead *)
+  idle_cycles : int;  (** every thread blocked on memory *)
+  utilization : float;  (** busy / total *)
+  thread_reports : thread_report list;
+}
+
+val report : t -> report
+val pp_report : report Fmt.t

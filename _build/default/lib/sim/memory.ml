@@ -1,0 +1,35 @@
+(* Word-addressed memory shared by all threads of a processing unit.
+
+   The model is a flat sparse array of words; addresses are plain
+   integers. Every load/store carries the fixed SRAM latency configured
+   in the machine — there is no cache, matching the modelled NPU. *)
+
+type t = {
+  words : (int, int) Hashtbl.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create () = { words = Hashtbl.create 1024; reads = 0; writes = 0 }
+
+let read t addr =
+  t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.words addr with Some v -> v | None -> 0
+
+let peek t addr =
+  match Hashtbl.find_opt t.words addr with Some v -> v | None -> 0
+
+let write t addr v =
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.words addr v
+
+let poke t addr v = Hashtbl.replace t.words addr v
+
+let load_image t image = List.iter (fun (a, v) -> poke t a v) image
+
+let reads t = t.reads
+let writes t = t.writes
+
+let dump t =
+  Hashtbl.fold (fun a v acc -> (a, v) :: acc) t.words []
+  |> List.sort compare

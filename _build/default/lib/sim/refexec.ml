@@ -1,0 +1,72 @@
+(* Reference executor: functional single-thread semantics.
+
+   Executes one program sequentially with an unbounded register
+   environment (virtual and physical registers both allowed), ignoring
+   timing and context switching entirely. Its observable behaviour — the
+   sequence of stores, plus load/instruction counts — is the golden
+   reference the differential tests compare the multithreaded machine
+   against: a register allocation is correct exactly when it preserves
+   every thread's store trace. *)
+
+open Npra_ir
+
+type result = {
+  store_trace : (int * int) list;  (* (address, value), program order *)
+  final_memory : (int * int) list;  (* sorted *)
+  instructions : int;
+  loads : int;
+}
+
+exception Runaway of string
+
+let run ?(max_steps = 10_000_000) ?(mem_image = []) prog =
+  let regs : (Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let mem = Memory.create () in
+  Memory.load_image mem mem_image;
+  let reg r = match Hashtbl.find_opt regs r with Some v -> v | None -> 0 in
+  let operand = function Instr.Reg r -> reg r | Instr.Imm n -> n in
+  let stores = ref [] in
+  let loads = ref 0 in
+  let steps = ref 0 in
+  let pc = ref 0 in
+  let halted = ref false in
+  while not !halted do
+    incr steps;
+    if !steps > max_steps then
+      raise (Runaway (Fmt.str "%s: exceeded %d steps" prog.Prog.name max_steps));
+    let ins = Prog.instr prog !pc in
+    let next = !pc + 1 in
+    (match ins with
+    | Instr.Alu { op; dst; src1; src2 } ->
+      Hashtbl.replace regs dst (Instr.eval_alu op (reg src1) (operand src2));
+      pc := next
+    | Instr.Mov { dst; src } ->
+      Hashtbl.replace regs dst (reg src);
+      pc := next
+    | Instr.Movi { dst; imm } ->
+      Hashtbl.replace regs dst imm;
+      pc := next
+    | Instr.Load { dst; addr; off } ->
+      incr loads;
+      Hashtbl.replace regs dst (Memory.read mem (reg addr + off));
+      pc := next
+    | Instr.Store { src; addr; off } ->
+      let a = reg addr + off in
+      let v = reg src in
+      Memory.write mem a v;
+      stores := (a, v) :: !stores;
+      pc := next
+    | Instr.Br { target } -> pc := Prog.label_index prog target
+    | Instr.Brc { cond; src1; src2; target } ->
+      if Instr.eval_cond cond (reg src1) (operand src2) then
+        pc := Prog.label_index prog target
+      else pc := next
+    | Instr.Ctx_switch | Instr.Nop -> pc := next
+    | Instr.Halt -> halted := true)
+  done;
+  {
+    store_trace = List.rev !stores;
+    final_memory = Memory.dump mem;
+    instructions = !steps;
+    loads = !loads;
+  }

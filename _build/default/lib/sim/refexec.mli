@@ -1,0 +1,17 @@
+(** Reference executor: functional single-thread semantics with an
+    unbounded register environment, ignoring timing and context
+    switching. A register allocation is correct exactly when it preserves
+    every thread's store trace against this reference. *)
+
+open Npra_ir
+
+type result = {
+  store_trace : (int * int) list;  (** (address, value), program order *)
+  final_memory : (int * int) list;  (** sorted (address, value) pairs *)
+  instructions : int;
+  loads : int;
+}
+
+exception Runaway of string
+
+val run : ?max_steps:int -> ?mem_image:(int * int) list -> Prog.t -> result

@@ -1,0 +1,1 @@
+lib/workloads/kernel_crc32.ml: Array Builder Fmt Instr Npra_ir Workload

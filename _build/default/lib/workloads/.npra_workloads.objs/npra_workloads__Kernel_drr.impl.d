@@ -1,0 +1,1 @@
+lib/workloads/kernel_drr.ml: Array Builder Fmt Instr Npra_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/kernel_frag.ml: Builder Instr Npra_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/kernel_l2l3fwd.ml: Array Builder Fmt Instr List Npra_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/kernel_route.ml: Builder Instr List Npra_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/kernel_url.ml: Builder Instr Npra_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/kernel_wraps.ml: Array Builder Fmt Instr Npra_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Fmt Kernel_crc32 Kernel_drr Kernel_fir2dim Kernel_frag Kernel_l2l3fwd Kernel_md5 Kernel_route Kernel_url Kernel_wraps List Option Workload

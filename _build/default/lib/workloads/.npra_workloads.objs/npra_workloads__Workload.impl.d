@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: List Npra_ir Prog

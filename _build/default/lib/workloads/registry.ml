@@ -1,0 +1,34 @@
+(* Registry of the benchmark suite: the 11 kernels of the paper's
+   Table 1, from CommBench, NetBench, the Intel example code, and the
+   WRAPS scheduler [18]. *)
+
+let all : Workload.spec list =
+  [
+    Kernel_md5.spec;
+    Kernel_fir2dim.spec;
+    Kernel_frag.spec;
+    Kernel_crc32.spec;
+    Kernel_drr.spec;
+    Kernel_url.spec;
+    Kernel_route.spec;
+    Kernel_l2l3fwd.spec_rx;
+    Kernel_l2l3fwd.spec_tx;
+    Kernel_wraps.spec_rx;
+    Kernel_wraps.spec_tx;
+  ]
+
+let find id =
+  List.find_opt (fun s -> s.Workload.id = id) all
+
+let find_exn id =
+  match find id with
+  | Some s -> s
+  | None -> Fmt.invalid_arg "unknown workload %S" id
+
+let ids () = List.map (fun s -> s.Workload.id) all
+
+(* Instantiates a workload on its own memory region: instance [slot]
+   occupies [slot * instance_size ..]. *)
+let instantiate ?iters spec ~slot =
+  let iters = Option.value iters ~default:spec.Workload.default_iters in
+  spec.Workload.build ~mem_base:(slot * Workload.instance_size) ~iters

@@ -1,0 +1,62 @@
+(* Workload framework.
+
+   Each benchmark kernel is generated as an IR program parameterised by a
+   memory base (so several instances can run side by side with disjoint
+   memory) and an iteration count (the paper's benchmarks loop forever;
+   we run a fixed number of main-loop iterations and report
+   cycles/iteration).
+
+   Memory map of one instance, relative to [mem_base]:
+
+     +0    .. +255   input packet buffer (pseudo-random words)
+     +256  .. +511   auxiliary state / tables
+     +512  .. +767   output area
+     +768  .. +1023  spill area (used only by the Chaitin baseline)
+
+   Instances must be spaced by at least [instance_size] words. *)
+
+open Npra_ir
+
+type t = {
+  name : string;
+  description : string;
+  prog : Prog.t;
+  iters : int;
+  mem_base : int;
+  mem_image : (int * int) list;
+}
+
+let instance_size = 1024
+let input_offset = 0
+let state_offset = 256
+let output_offset = 512
+let spill_offset = 768
+
+let input_base w = w.mem_base + input_offset
+let state_base w = w.mem_base + state_offset
+let output_base w = w.mem_base + output_offset
+let spill_base w = w.mem_base + spill_offset
+
+(* Deterministic pseudo-random words (xorshift); the same seed always
+   produces the same packet image, keeping every experiment
+   reproducible. *)
+let random_words ~seed n =
+  let state = ref (if seed = 0 then 0x9E3779B9 else seed land 0x3FFFFFFF) in
+  List.init n (fun _ ->
+      let x = !state in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 17) in
+      let x = x lxor (x lsl 5) in
+      let x = x land 0x3FFFFFFF in
+      state := if x = 0 then 1 else x;
+      x)
+
+let packet_image ~mem_base ~seed n =
+  List.mapi (fun i v -> (mem_base + input_offset + i, v)) (random_words ~seed n)
+
+type spec = {
+  id : string;
+  summary : string;
+  build : mem_base:int -> iters:int -> t;
+  default_iters : int;
+}

@@ -1,0 +1,1 @@
+test/fixtures.ml: Builder Instr Npra_ir Prog Reg

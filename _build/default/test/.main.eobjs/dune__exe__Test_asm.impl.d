@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Fixtures Fmt Instr Lexer List Npra_asm Npra_ir Npra_workloads Parser Printer Prog Reg String

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Block Fixtures Fmt Instr List Liveness Loops Npra_cfg Npra_ir Npra_sim Points Prog Reg Webs

@@ -1,0 +1,1 @@
+test/test_inter.ml: Alcotest Array Chaitin Context Estimate Fixtures Fmt Inter List Npra_cfg Npra_ir Npra_regalloc Npra_sim Points Prog Reg Sra Webs

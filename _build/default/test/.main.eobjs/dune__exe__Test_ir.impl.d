@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Fixtures Instr List Npra_ir Npra_sim Prog Reg

@@ -1,0 +1,1 @@
+test/test_kernel_semantics.ml: Alcotest Fmt List Npra_sim Npra_workloads Refexec Registry Workload

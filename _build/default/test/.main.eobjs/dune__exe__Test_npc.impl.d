@@ -1,0 +1,1 @@
+test/test_npc.ml: Alcotest Array Ast Fmt Instr List Nlexer Npc Npra_core Npra_ir Npra_npc Npra_sim Prog Sema String

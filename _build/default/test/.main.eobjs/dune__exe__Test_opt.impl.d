@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Copyprop Dce Fixtures Instr List Npra_ir Npra_npc Npra_opt Npra_sim Npra_workloads Opt Prog Reg

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Assign Builder Chaitin Fixtures Inter List Npra_cfg Npra_core Npra_ir Npra_regalloc Npra_sim Points Prog Reg Rewrite Verify Webs

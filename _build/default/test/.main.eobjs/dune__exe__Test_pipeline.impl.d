@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Experiments List Npra_core Npra_regalloc Npra_workloads Pipeline Registry Workload

@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Context Estimate Fixtures Instr Interference Intra List Npra_cfg Npra_ir Npra_regalloc Nsr Points Prog Reg Webs

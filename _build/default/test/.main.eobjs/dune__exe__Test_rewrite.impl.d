@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Assign Fixtures Hashtbl Instr Inter List Npra_cfg Npra_ir Npra_regalloc Npra_sim Prog Reg Rewrite Verify Webs

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Fixtures Instr List Machine Memory Npra_ir Npra_sim Prog Refexec Reg

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fmt List Npra_cfg Npra_ir Npra_regalloc Npra_sim Npra_workloads Prog Registry Workload

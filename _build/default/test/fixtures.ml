@@ -1,0 +1,133 @@
+(* Shared program fixtures, including the paper's worked examples. *)
+
+open Npra_ir
+
+(* The paper's Figure 3, thread 1:
+
+     1. a=           2. ctx_switch   3. if( ) br L1
+     4. b=           5. =a+b         6. c=        7. br L2
+     L1: 8. c=       9. =a+c         10. b=
+     L2: 11. =b+c    12. load
+
+   Encoded so that exactly the live ranges {a, b, c} exist: arithmetic
+   results sink into [b]/[c], and the final load uses [b] both as address
+   and destination. Variable [a] is the only value live across a CSB;
+   pressure never exceeds 2, so splitting can reach two registers. *)
+let fig3_thread1 () =
+  let a = Reg.V 0 and b = Reg.V 1 and c = Reg.V 2 in
+  let code =
+    [
+      Instr.Movi { dst = a; imm = 5 };
+      Instr.Ctx_switch;
+      Instr.Brc { cond = Instr.Ne; src1 = a; src2 = Instr.Imm 0; target = "L1" };
+      Instr.Movi { dst = b; imm = 7 };
+      Instr.Alu { op = Instr.Add; dst = b; src1 = a; src2 = Instr.Reg b };
+      Instr.Movi { dst = c; imm = 9 };
+      Instr.Br { target = "L2" };
+      (* L1: *)
+      Instr.Movi { dst = c; imm = 11 };
+      Instr.Alu { op = Instr.Add; dst = c; src1 = a; src2 = Instr.Reg c };
+      Instr.Movi { dst = b; imm = 13 };
+      (* L2: *)
+      Instr.Alu { op = Instr.Add; dst = b; src1 = b; src2 = Instr.Reg c };
+      Instr.Load { dst = b; addr = b; off = 0 };
+      Instr.Halt;
+    ]
+  in
+  Prog.make ~name:"fig3_t1" ~code ~labels:[ ("L1", 7); ("L2", 10) ]
+
+(* Figure 3, thread 2: d is live only between two context switches. *)
+let fig3_thread2 () =
+  let d = Reg.V 0 in
+  let code =
+    [
+      Instr.Ctx_switch;
+      Instr.Movi { dst = d; imm = 3 };
+      Instr.Alu { op = Instr.Add; dst = d; src1 = d; src2 = Instr.Imm 1 };
+      Instr.Store { src = d; addr = d; off = 0 };
+      Instr.Halt;
+    ]
+  in
+  Prog.make ~name:"fig3_t2" ~code ~labels:[]
+
+(* The paper's Figure 4: the IP-checksum fragment from `frag` with four
+   context-switch points (two reads, two voluntary switches) that carve
+   the CFG into three NSRs. Variables: sum, buf, len are live across
+   CSBs (boundary); tmp1, tmp2 are internal.
+
+     BB1: sum=0
+     BB2: loop head: if !(len>1) goto BB6
+     BB3: read tmp1 <- [buf]; sum += tmp1
+     BB4: buf++; len -= 2
+     BB5: ctx_switch; goto BB2
+     BB6: ctx_switch; if !(len) goto BB8
+     BB7: read tmp2 <- [buf]; sum += tmp2 & 0xFFFF
+     BB8: sum = (sum & 0xFFFF) + (sum >> 16)
+     BB9: store sum; halt *)
+let fig4_frag () =
+  let b = Builder.create ~name:"fig4_frag" in
+  let sum = Builder.reg b "sum"
+  and buf = Builder.reg b "buf"
+  and len = Builder.reg b "len" in
+  Builder.movi b sum 0;
+  Builder.movi b buf 1000;
+  Builder.movi b len 6;
+  let loop = Builder.label ~hint:"BB2_" b in
+  let exit_loop = Builder.fresh_label ~hint:"BB6_" b in
+  Builder.brc b Instr.Le len (Builder.imm 1) exit_loop;
+  let tmp1 = Builder.reg b "tmp1" in
+  Builder.load b tmp1 buf 0;
+  Builder.add b sum sum (Builder.rge tmp1);
+  Builder.add b buf buf (Builder.imm 1);
+  Builder.sub b len len (Builder.imm 2);
+  Builder.ctx_switch b;
+  Builder.br b loop;
+  Builder.place b exit_loop;
+  Builder.ctx_switch b;
+  let skip = Builder.fresh_label ~hint:"BB8_" b in
+  Builder.brc b Instr.Eq len (Builder.imm 0) skip;
+  let tmp2 = Builder.reg b "tmp2" in
+  Builder.load b tmp2 buf 0;
+  Builder.and_ b tmp2 tmp2 (Builder.imm 0xFFFF);
+  Builder.add b sum sum (Builder.rge tmp2);
+  Builder.place b skip;
+  let hi = Builder.reg b "tmp_hi" in
+  Builder.shr b hi sum (Builder.imm 16);
+  Builder.and_ b sum sum (Builder.imm 0xFFFF);
+  Builder.add b sum sum (Builder.rge hi);
+  let out = Builder.reg b "out_addr" in
+  Builder.movi b out 2000;
+  Builder.store b sum out 0;
+  Builder.halt b;
+  Builder.finish b
+
+(* A tiny straight-line program with no context switches. *)
+let straightline () =
+  let b = Builder.create ~name:"straight" in
+  let x = Builder.fresh b and y = Builder.fresh b in
+  Builder.movi b x 1;
+  Builder.movi b y 2;
+  Builder.add b x x (Builder.rge y);
+  let addr = Builder.fresh b in
+  Builder.movi b addr 500;
+  Builder.store b x addr 0;
+  Builder.halt b;
+  Builder.finish b
+
+(* A diamond with a loop, for CFG/loop tests. *)
+let diamond_loop () =
+  let b = Builder.create ~name:"diamond" in
+  let n = Builder.fresh b and acc = Builder.fresh b in
+  Builder.movi b n 4;
+  Builder.movi b acc 0;
+  let top = Builder.label ~hint:"top" b in
+  Builder.if_ b Instr.Eq n (Builder.imm 2)
+    ~then_:(fun () -> Builder.add b acc acc (Builder.imm 10))
+    ~else_:(fun () -> Builder.add b acc acc (Builder.imm 1));
+  Builder.sub b n n (Builder.imm 1);
+  Builder.brc b Instr.Gt n (Builder.imm 0) top;
+  let addr = Builder.fresh b in
+  Builder.movi b addr 600;
+  Builder.store b acc addr 0;
+  Builder.halt b;
+  Builder.finish b

@@ -1,0 +1,9 @@
+let () =
+  Alcotest.run "npra"
+    (List.concat
+       [
+         Test_ir.suite; Test_cfg.suite; Test_regalloc.suite; Test_inter.suite;
+         Test_rewrite.suite; Test_sim.suite; Test_asm.suite;
+         Test_workloads.suite; Test_pipeline.suite; Test_props.suite;
+         Test_npc.suite; Test_opt.suite; Test_paper_examples.suite; Test_more.suite; Test_kernel_semantics.suite;
+       ])

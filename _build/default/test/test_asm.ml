@@ -1,0 +1,145 @@
+(* Tests for the assembler: lexer, parser, printer, round-trips. *)
+
+open Npra_ir
+open Npra_asm
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let lexer_tests =
+  [
+    test "registers classify by prefix" (fun () ->
+        let toks = Lexer.tokenize "v3 r12 foo" in
+        match List.map (fun l -> l.Lexer.token) toks with
+        | [ Lexer.REG (Reg.V 3); Lexer.REG (Reg.P 12); Lexer.IDENT "foo";
+            Lexer.EOF ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected token stream");
+    test "comments are skipped" (fun () ->
+        let toks = Lexer.tokenize "nop ; a comment\n# whole line\nhalt" in
+        let idents =
+          List.filter_map
+            (fun l -> match l.Lexer.token with Lexer.IDENT s -> Some s | _ -> None)
+            toks
+        in
+        check (Alcotest.list Alcotest.string) "mnemonics" [ "nop"; "halt" ] idents);
+    test "negative and hex integers" (fun () ->
+        let toks = Lexer.tokenize "-42 0x1F" in
+        let ints =
+          List.filter_map
+            (fun l -> match l.Lexer.token with Lexer.INT n -> Some n | _ -> None)
+            toks
+        in
+        check (Alcotest.list Alcotest.int) "ints" [ -42; 31 ] ints);
+    test "line numbers advance" (fun () ->
+        let toks = Lexer.tokenize "nop\nnop\nnop" in
+        let last = List.nth toks (List.length toks - 2) in
+        check Alcotest.int "line" 3 last.Lexer.line);
+    test "bad character raises" (fun () ->
+        try
+          ignore (Lexer.tokenize "nop @ nop");
+          Alcotest.fail "expected Error"
+        with Lexer.Error _ -> ());
+  ]
+
+let parse_one src = Parser.parse_one src
+
+let parser_tests =
+  [
+    test "minimal program" (fun () ->
+        let p = parse_one "movi v0, 5\nhalt\n" in
+        check Alcotest.int "length" 2 (Prog.length p);
+        check Alcotest.string "name" "main" p.Prog.name);
+    test "thread directive names the program" (fun () ->
+        let p = parse_one ".thread checksum\nhalt\n" in
+        check Alcotest.string "name" "checksum" p.Prog.name);
+    test "labels and branches resolve" (fun () ->
+        let p = parse_one "top:\n  movi v0, 1\n  bne v0, 0, top\n  halt\n" in
+        check Alcotest.int "label" 0 (Prog.label_index p "top"));
+    test "memory operands with and without offsets" (fun () ->
+        let p = parse_one "load v0, [v1+4]\nstore v0, [v1]\nhalt\n" in
+        (match Prog.instr p 0 with
+        | Instr.Load { off = 4; _ } -> ()
+        | _ -> Alcotest.fail "load offset");
+        match Prog.instr p 1 with
+        | Instr.Store { off = 0; _ } -> ()
+        | _ -> Alcotest.fail "store offset");
+    test "multiple threads in one file" (fun () ->
+        let ps = Parser.parse ".thread a\nhalt\n.thread b\nnop\nhalt\n" in
+        check
+          (Alcotest.list Alcotest.string)
+          "names" [ "a"; "b" ]
+          (List.map (fun p -> p.Prog.name) ps));
+    test "all alu mnemonics parse" (fun () ->
+        let src =
+          String.concat "\n"
+            (List.map
+               (fun m -> Fmt.str "%s v0, v1, v2" m)
+               [ "add"; "sub"; "and"; "or"; "xor"; "shl"; "shr"; "mul" ])
+          ^ "\nhalt\n"
+        in
+        check Alcotest.int "count" 9 (Prog.length (parse_one src)));
+    test "all branch mnemonics parse" (fun () ->
+        let src =
+          "t:\n"
+          ^ String.concat "\n"
+              (List.map
+                 (fun m -> Fmt.str "%s v0, 1, t" m)
+                 [ "beq"; "bne"; "blt"; "bge"; "bgt"; "ble" ])
+          ^ "\nhalt\n"
+        in
+        check Alcotest.int "count" 7 (Prog.length (parse_one src)));
+    test "unknown mnemonic rejected" (fun () ->
+        try
+          ignore (parse_one "frobnicate v0\nhalt\n");
+          Alcotest.fail "expected Error"
+        with Parser.Error _ -> ());
+    test "trailing tokens rejected" (fun () ->
+        try
+          ignore (parse_one "nop nop\nhalt\n");
+          Alcotest.fail "expected Error"
+        with Parser.Error _ -> ());
+    test "undefined branch target rejected" (fun () ->
+        try
+          ignore (parse_one "br nowhere\nhalt\n");
+          Alcotest.fail "expected Error"
+        with Parser.Error _ -> ());
+  ]
+
+let same_program a b =
+  Prog.length a = Prog.length b
+  && Array.for_all2 ( = ) a.Prog.code b.Prog.code
+  && List.for_all
+       (fun (l, i) -> Prog.label_index b l = i)
+       a.Prog.labels
+
+let roundtrip_tests =
+  let rt name fixture =
+    test (name ^ " round-trips") (fun () ->
+        let p = fixture () in
+        let p' = parse_one (Printer.to_string p) in
+        check Alcotest.bool "identical" true (same_program p p'))
+  in
+  [
+    rt "fig3 thread1" Fixtures.fig3_thread1;
+    rt "fig3 thread2" Fixtures.fig3_thread2;
+    rt "fig4 frag" Fixtures.fig4_frag;
+    rt "diamond" Fixtures.diamond_loop;
+    test "every workload round-trips" (fun () ->
+        List.iter
+          (fun spec ->
+            let w = Npra_workloads.Registry.instantiate spec ~slot:0 in
+            let p = w.Npra_workloads.Workload.prog in
+            let p' = parse_one (Printer.to_string p) in
+            check Alcotest.bool
+              (spec.Npra_workloads.Workload.id ^ " identical")
+              true (same_program p p'))
+          Npra_workloads.Registry.all);
+  ]
+
+let suite =
+  [
+    ("asm.lexer", lexer_tests);
+    ("asm.parser", parser_tests);
+    ("asm.roundtrip", roundtrip_tests);
+  ]

@@ -1,0 +1,192 @@
+(* Tests for liveness, program points, webs, blocks and loops. *)
+
+open Npra_ir
+open Npra_cfg
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let regs_testable =
+  Alcotest.testable
+    (fun ppf s -> Fmt.(list ~sep:comma Reg.pp) ppf (Reg.Set.elements s))
+    Reg.Set.equal
+
+let liveness_tests =
+  [
+    test "fig3 thread1: a live across the ctx_switch" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        let live = Liveness.compute p in
+        check regs_testable "across"
+          (Reg.Set.singleton (Reg.V 0))
+          (Liveness.live_across live 1));
+    test "fig3 thread1: load destination not live across its own CSB" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        let live = Liveness.compute p in
+        (* instr 11 is [load b, b]: b is both address and dst; dst is
+           excluded so nothing survives the boundary *)
+        check regs_testable "across" Reg.Set.empty (Liveness.live_across live 11));
+    test "live_in at entry is empty for self-contained programs" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        let live = Liveness.compute p in
+        check regs_testable "entry" Reg.Set.empty (Liveness.live_in live 0));
+    test "branch keeps both arms alive" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        let live = Liveness.compute p in
+        (* before the brc (instr 2), a must be live (used on both arms) *)
+        check Alcotest.bool "a live" true
+          (Reg.Set.mem (Reg.V 0) (Liveness.live_in live 2)));
+    test "fig4: sum, buf, len live around the loop" (fun () ->
+        let p = Fixtures.fig4_frag () in
+        let live = Liveness.compute p in
+        (* at the loop-head conditional, all three are live *)
+        let at = Liveness.live_in live 3 in
+        check Alcotest.int "three boundary vars" 3 (Reg.Set.cardinal at));
+  ]
+
+let points_tests =
+  [
+    test "fig3 thread1: RegPmax is 2" (fun () ->
+        let pts = Points.compute (Fixtures.fig3_thread1 ()) in
+        check Alcotest.int "regpmax" 2 (Points.reg_pressure_max pts));
+    test "fig3 thread1: RegPCSBmax is 1" (fun () ->
+        let pts = Points.compute (Fixtures.fig3_thread1 ()) in
+        check Alcotest.int "regpcsbmax" 1 (Points.reg_pressure_csb_max pts));
+    test "fig3 thread1: only a is boundary" (fun () ->
+        let pts = Points.compute (Fixtures.fig3_thread1 ()) in
+        check Alcotest.bool "a" true (Points.is_boundary pts (Reg.V 0));
+        check Alcotest.bool "b" false (Points.is_boundary pts (Reg.V 1));
+        check Alcotest.bool "c" false (Points.is_boundary pts (Reg.V 2)));
+    test "fig3 thread2: d is internal" (fun () ->
+        let pts = Points.compute (Fixtures.fig3_thread2 ()) in
+        check Alcotest.bool "d" false (Points.is_boundary pts (Reg.V 0)));
+    test "dead definition occupies the following gap" (fun () ->
+        let p =
+          Prog.make ~name:"deaddef"
+            ~code:
+              [
+                Instr.Movi { dst = Reg.V 0; imm = 1 };
+                Instr.Movi { dst = Reg.V 1; imm = 2 };
+                Instr.Store { src = Reg.V 1; addr = Reg.V 1; off = 0 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let pts = Points.compute p in
+        (* v0 is dead but occupies gap 1; it never overlaps v1, so the
+           pressure stays 1 *)
+        check Alcotest.bool "gap1" true
+          (Points.IntSet.mem 1 (Points.gaps_of pts (Reg.V 0)));
+        check Alcotest.int "dead def does not inflate pressure" 1
+          (Points.reg_pressure_max pts));
+    test "gap edges cover fallthrough and branches" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        let pts = Points.compute p in
+        let edges = Points.gap_edges pts in
+        check Alcotest.bool "fallthrough" true (List.mem (0, 1) edges);
+        check Alcotest.bool "brc taken" true (List.mem (2, 7) edges);
+        check Alcotest.bool "br" true (List.mem (6, 10) edges);
+        check Alcotest.bool "no edge out of halt" false
+          (List.exists (fun (p', _) -> p' = 12) edges));
+    test "csb points recorded" (fun () ->
+        let pts = Points.compute (Fixtures.fig3_thread1 ()) in
+        check (Alcotest.list Alcotest.int) "csbs" [ 1; 11 ] (Points.csb_points pts));
+    test "gap edges of a register stay within its range" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        let pts = Points.compute p in
+        let edges = Points.gap_edges_of pts (Reg.V 1) in
+        List.iter
+          (fun (a, b) ->
+            check Alcotest.bool "both live" true
+              (Points.IntSet.mem a (Points.gaps_of pts (Reg.V 1))
+              && Points.IntSet.mem b (Points.gaps_of pts (Reg.V 1))))
+          edges);
+  ]
+
+let webs_tests =
+  [
+    test "disjoint reuses of one register split into webs" (fun () ->
+        (* v0 has two unrelated live ranges *)
+        let p =
+          Prog.make ~name:"webs"
+            ~code:
+              [
+                Instr.Movi { dst = Reg.V 0; imm = 1 };
+                Instr.Store { src = Reg.V 0; addr = Reg.V 0; off = 0 };
+                Instr.Movi { dst = Reg.V 0; imm = 2 };
+                Instr.Store { src = Reg.V 0; addr = Reg.V 0; off = 1 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let p' = Webs.rename p in
+        check Alcotest.int "two registers now" 2
+          (Reg.Set.cardinal (Prog.vregs p')));
+    test "loop-carried variable stays one web" (fun () ->
+        let p = Fixtures.diamond_loop () in
+        let p' = Webs.rename p in
+        check Alcotest.int "same register count"
+          (Reg.Set.cardinal (Prog.vregs p))
+          (Reg.Set.cardinal (Prog.vregs p')));
+    test "renaming preserves behaviour" (fun () ->
+        let p = Fixtures.diamond_loop () in
+        let p' = Webs.rename p in
+        let r = Npra_sim.Refexec.run p and r' = Npra_sim.Refexec.run p' in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "trace" r.Npra_sim.Refexec.store_trace r'.Npra_sim.Refexec.store_trace);
+    test "web form is idempotent" (fun () ->
+        let p = Webs.rename (Fixtures.fig4_frag ()) in
+        let p' = Webs.rename p in
+        check Alcotest.int "regs"
+          (Reg.Set.cardinal (Prog.vregs p))
+          (Reg.Set.cardinal (Prog.vregs p')));
+  ]
+
+let block_tests =
+  [
+    test "fig3 thread1 blocks" (fun () ->
+        let blk = Block.compute (Fixtures.fig3_thread1 ()) in
+        (* leaders: 0 (entry), 3 (after brc), 7 (L1), 10 (L2) *)
+        check Alcotest.int "blocks" 4 (Block.num_blocks blk));
+    test "block of instruction" (fun () ->
+        let blk = Block.compute (Fixtures.fig3_thread1 ()) in
+        check Alcotest.int "same block" (Block.block_of_instr blk 0)
+          (Block.block_of_instr blk 2);
+        check Alcotest.bool "different blocks" true
+          (Block.block_of_instr blk 3 <> Block.block_of_instr blk 7));
+    test "straightline is one block" (fun () ->
+        let blk = Block.compute (Fixtures.straightline ()) in
+        check Alcotest.int "blocks" 1 (Block.num_blocks blk));
+  ]
+
+let loops_tests =
+  [
+    test "loop body has depth 1" (fun () ->
+        let p = Fixtures.diamond_loop () in
+        let loops = Loops.compute p in
+        (* the accumulator update inside the loop *)
+        let in_loop = ref false in
+        Prog.fold_instrs
+          (fun () i ins ->
+            match ins with
+            | Instr.Alu { op = Instr.Sub; _ } ->
+              if Loops.depth loops i >= 1 then in_loop := true
+            | _ -> ())
+          () p;
+        check Alcotest.bool "found depth-1 instr" true !in_loop);
+    test "straightline has depth 0 everywhere" (fun () ->
+        let p = Fixtures.straightline () in
+        let loops = Loops.compute p in
+        Prog.fold_instrs
+          (fun () i _ -> check Alcotest.int "depth" 0 (Loops.depth loops i))
+          () p);
+  ]
+
+let suite =
+  [
+    ("cfg.liveness", liveness_tests);
+    ("cfg.points", points_tests);
+    ("cfg.webs", webs_tests);
+    ("cfg.blocks", block_tests);
+    ("cfg.loops", loops_tests);
+  ]

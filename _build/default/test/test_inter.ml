@@ -1,0 +1,163 @@
+(* Tests for the inter-thread balancer, SRA, and the Chaitin baseline. *)
+
+open Npra_ir
+open Npra_cfg
+open Npra_regalloc
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let web p = Webs.rename p
+
+let inter_tests =
+  [
+    test "fig3: two threads share down to three registers" (fun () ->
+        (* thread1 needs 3 (a private, b/c shareable), thread2 needs 1
+           shared; pooling gives PR1=1, SR=2 -> 3 total at zero moves *)
+        let t1 = web (Fixtures.fig3_thread1 ())
+        and t2 = web (Fixtures.fig3_thread2 ()) in
+        match Inter.allocate ~nreg:3 [ t1; t2 ] with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r ->
+          check Alcotest.bool "fits" true (Inter.demand r.Inter.threads <= 3));
+    test "fig3: sharing reaches the paper's two registers for thread1"
+      (fun () ->
+        (* with live-range splitting thread1 alone fits in 2 registers;
+           on our three-address ISA the splits land on definition sites,
+           so they can even be free of moves *)
+        let t1 = web (Fixtures.fig3_thread1 ()) in
+        match Inter.allocate ~nreg:2 [ t1 ] with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r ->
+          check Alcotest.bool "fits in 2" true (Inter.demand r.Inter.threads <= 2);
+          let th = r.Inter.threads.(0) in
+          check Alcotest.int "valid colouring" 0
+            (List.length
+               (Context.check th.Inter.ctx ~pr:th.Inter.pr
+                  ~r:(th.Inter.pr + th.Inter.sr))));
+    test "infeasible demand is reported" (fun () ->
+        let t1 = web (Fixtures.fig3_thread1 ()) in
+        match Inter.allocate ~nreg:1 [ t1 ] with
+        | Error (`Infeasible _) -> ()
+        | Ok _ -> Alcotest.fail "expected infeasibility below MinR");
+    test "four identical threads: shared registers counted once" (fun () ->
+        let mk () = web (Fixtures.fig3_thread2 ()) in
+        (* each thread: PR=0, SR=1; pooled demand is 1, not 4 *)
+        match Inter.allocate ~nreg:4 [ mk (); mk (); mk (); mk () ] with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r ->
+          check Alcotest.int "sgr" 1 r.Inter.sgr;
+          check Alcotest.int "demand" 1 (Inter.demand r.Inter.threads));
+    test "zero-cost tightening never inserts moves" (fun () ->
+        let progs = [ web (Fixtures.fig4_frag ()) ] in
+        match Inter.tighten_zero_cost ~nreg:128 progs with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r -> check Alcotest.int "no moves" 0 (Inter.total_moves r));
+    test "allocation at large nreg keeps the estimate" (fun () ->
+        let t = web (Fixtures.fig4_frag ()) in
+        match Inter.allocate ~nreg:128 [ t ] with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r ->
+          let th = r.Inter.threads.(0) in
+          check Alcotest.int "pr = max_pr" th.Inter.bounds.Estimate.max_pr
+            th.Inter.pr);
+    test "every committed context stays valid" (fun () ->
+        let t1 = web (Fixtures.fig3_thread1 ())
+        and t2 = web (Fixtures.fig4_frag ()) in
+        match Inter.allocate ~nreg:7 [ t1; t2 ] with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r ->
+          Array.iter
+            (fun th ->
+              check Alcotest.int "valid colouring" 0
+                (List.length
+                   (Context.check th.Inter.ctx ~pr:th.Inter.pr
+                      ~r:(th.Inter.pr + th.Inter.sr))))
+            r.Inter.threads);
+  ]
+
+let sra_tests =
+  [
+    test "SRA on fig3 thread2: zero private, one shared" (fun () ->
+        match Sra.allocate ~nreg:8 ~nthd:4 (web (Fixtures.fig3_thread2 ())) with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r ->
+          check Alcotest.int "pr" 0 r.Sra.pr;
+          check Alcotest.int "sr" 1 r.Sra.sr;
+          check Alcotest.int "demand" 1 (Sra.demand r));
+    test "SRA demand respects the budget" (fun () ->
+        match Sra.allocate ~nreg:16 ~nthd:4 (web (Fixtures.fig4_frag ())) with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r -> check Alcotest.bool "fits" true (Sra.demand r <= 16));
+    test "SRA prefers zero-move solutions when the budget is loose"
+      (fun () ->
+        match Sra.allocate ~nreg:128 ~nthd:4 (web (Fixtures.fig4_frag ())) with
+        | Error (`Infeasible m) -> Alcotest.fail m
+        | Ok r -> check Alcotest.int "cost" 0 r.Sra.cost);
+    test "SRA reports infeasibility under MinR" (fun () ->
+        match Sra.allocate ~nreg:4 ~nthd:4 (web (Fixtures.fig3_thread1 ())) with
+        | Error (`Infeasible _) -> ()
+        | Ok r ->
+          Alcotest.failf "expected infeasible, got PR=%d SR=%d" r.Sra.pr
+            r.Sra.sr);
+  ]
+
+let chaitin_tests =
+  [
+    test "fig3 thread1 colours with three registers" (fun () ->
+        check Alcotest.int "colors" 3
+          (Chaitin.color_count (web (Fixtures.fig3_thread1 ()))));
+    test "no spills when k is sufficient" (fun () ->
+        let r =
+          Chaitin.allocate ~k:8 ~spill_base:900 (web (Fixtures.fig4_frag ()))
+        in
+        check Alcotest.bool "no spills" true (Reg.Set.is_empty r.Chaitin.spilled);
+        check Alcotest.int "one pass" 1 r.Chaitin.iterations);
+    test "forced spilling still colours" (fun () ->
+        let r =
+          Chaitin.allocate ~k:3 ~spill_base:900 (web (Fixtures.fig4_frag ()))
+        in
+        check Alcotest.bool "spilled something" true
+          (not (Reg.Set.is_empty r.Chaitin.spilled));
+        check Alcotest.bool "coloured within k" true (r.Chaitin.colors <= 3));
+    test "spill code preserves behaviour" (fun () ->
+        let p = web (Fixtures.fig4_frag ()) in
+        let r = Chaitin.allocate ~k:3 ~spill_base:900 p in
+        let no_spill t = List.filter (fun (a, _) -> a < 900 || a >= 1156) t in
+        let before = Npra_sim.Refexec.run p in
+        let after = Npra_sim.Refexec.run r.Chaitin.prog in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "store trace" before.Npra_sim.Refexec.store_trace
+          (no_spill after.Npra_sim.Refexec.store_trace));
+    test "spill code adds context switches" (fun () ->
+        let p = web (Fixtures.fig4_frag ()) in
+        let r = Chaitin.allocate ~k:3 ~spill_base:900 p in
+        check Alcotest.bool "more CTX" true
+          (Prog.count_ctx_switches r.Chaitin.prog > Prog.count_ctx_switches p));
+    test "coloring respects interference" (fun () ->
+        let p = web (Fixtures.fig4_frag ()) in
+        let r = Chaitin.allocate ~k:8 ~spill_base:900 p in
+        let pts = Points.compute p in
+        Reg.Map.iter
+          (fun a ca ->
+            Reg.Map.iter
+              (fun b cb ->
+                if (not (Reg.equal a b)) && ca = cb then
+                  check Alcotest.bool
+                    (Fmt.str "%a and %a share colour but interfere" Reg.pp a
+                       Reg.pp b)
+                    true
+                    (Points.IntSet.is_empty
+                       (Points.IntSet.inter (Points.gaps_of pts a)
+                          (Points.gaps_of pts b))))
+              r.Chaitin.coloring)
+          r.Chaitin.coloring);
+  ]
+
+let suite =
+  [
+    ("regalloc.inter", inter_tests);
+    ("regalloc.sra", sra_tests);
+    ("regalloc.chaitin", chaitin_tests);
+  ]

@@ -1,0 +1,194 @@
+(* Unit tests for the IR: registers, instructions, programs, builder. *)
+
+open Npra_ir
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let reg_tests =
+  [
+    test "compare orders virtual before physical" (fun () ->
+        check Alcotest.bool "v < p" true (Reg.compare (Reg.V 5) (Reg.P 0) < 0));
+    test "equal on same register" (fun () ->
+        check Alcotest.bool "eq" true (Reg.equal (Reg.V 3) (Reg.V 3)));
+    test "not equal across kinds" (fun () ->
+        check Alcotest.bool "neq" false (Reg.equal (Reg.V 3) (Reg.P 3)));
+    test "pp virtual" (fun () ->
+        check Alcotest.string "v" "v7" (Reg.to_string (Reg.V 7)));
+    test "pp physical" (fun () ->
+        check Alcotest.string "r" "r7" (Reg.to_string (Reg.P 7)));
+    test "number strips kind" (fun () ->
+        check Alcotest.int "n" 9 (Reg.number (Reg.P 9)));
+    test "set distinguishes kinds" (fun () ->
+        let s = Reg.Set.of_list [ Reg.V 1; Reg.P 1; Reg.V 1 ] in
+        check Alcotest.int "card" 2 (Reg.Set.cardinal s));
+  ]
+
+let instr_tests =
+  let a = Reg.V 0 and b = Reg.V 1 and c = Reg.V 2 in
+  [
+    test "alu defs and uses" (fun () ->
+        let i = Instr.Alu { op = Instr.Add; dst = a; src1 = b; src2 = Instr.Reg c } in
+        check (Alcotest.list Alcotest.string) "defs" [ "v0" ]
+          (List.map Reg.to_string (Instr.defs i));
+        check (Alcotest.list Alcotest.string) "uses" [ "v1"; "v2" ]
+          (List.map Reg.to_string (Instr.uses i)));
+    test "alu with immediate uses one register" (fun () ->
+        let i = Instr.Alu { op = Instr.Sub; dst = a; src1 = b; src2 = Instr.Imm 3 } in
+        check Alcotest.int "uses" 1 (List.length (Instr.uses i)));
+    test "store defs nothing" (fun () ->
+        let i = Instr.Store { src = a; addr = b; off = 0 } in
+        check Alcotest.int "defs" 0 (List.length (Instr.defs i));
+        check Alcotest.int "uses" 2 (List.length (Instr.uses i)));
+    test "load defs its destination" (fun () ->
+        let i = Instr.Load { dst = a; addr = b; off = 4 } in
+        check (Alcotest.list Alcotest.string) "defs" [ "v0" ]
+          (List.map Reg.to_string (Instr.defs i)));
+    test "ctx-switch classification" (fun () ->
+        check Alcotest.bool "ctx" true (Instr.causes_ctx_switch Instr.Ctx_switch);
+        check Alcotest.bool "load" true
+          (Instr.causes_ctx_switch (Instr.Load { dst = a; addr = b; off = 0 }));
+        check Alcotest.bool "store" true
+          (Instr.causes_ctx_switch (Instr.Store { src = a; addr = b; off = 0 }));
+        check Alcotest.bool "mov" false
+          (Instr.causes_ctx_switch (Instr.Mov { dst = a; src = b }));
+        check Alcotest.bool "br" false
+          (Instr.causes_ctx_switch (Instr.Br { target = "x" })));
+    test "fallthrough classification" (fun () ->
+        check Alcotest.bool "br" false (Instr.falls_through (Instr.Br { target = "x" }));
+        check Alcotest.bool "halt" false (Instr.falls_through Instr.Halt);
+        check Alcotest.bool "brc" true
+          (Instr.falls_through
+             (Instr.Brc { cond = Instr.Eq; src1 = a; src2 = Instr.Imm 0; target = "x" })));
+    test "eval_alu arithmetic" (fun () ->
+        check Alcotest.int "add" 7 (Instr.eval_alu Instr.Add 3 4);
+        check Alcotest.int "sub" (-1) (Instr.eval_alu Instr.Sub 3 4);
+        check Alcotest.int "xor" 6 (Instr.eval_alu Instr.Xor 3 5);
+        check Alcotest.int "shl" 12 (Instr.eval_alu Instr.Shl 3 2);
+        check Alcotest.int "shr" 1 (Instr.eval_alu Instr.Shr 4 2);
+        check Alcotest.int "and" 1 (Instr.eval_alu Instr.And 3 5);
+        check Alcotest.int "or" 7 (Instr.eval_alu Instr.Or 3 5);
+        check Alcotest.int "mul" 12 (Instr.eval_alu Instr.Mul 3 4));
+    test "eval_cond comparisons" (fun () ->
+        check Alcotest.bool "eq" true (Instr.eval_cond Instr.Eq 2 2);
+        check Alcotest.bool "ne" true (Instr.eval_cond Instr.Ne 2 3);
+        check Alcotest.bool "lt" true (Instr.eval_cond Instr.Lt 2 3);
+        check Alcotest.bool "ge" false (Instr.eval_cond Instr.Ge 2 3);
+        check Alcotest.bool "gt" false (Instr.eval_cond Instr.Gt 2 3);
+        check Alcotest.bool "le" true (Instr.eval_cond Instr.Le 2 2));
+    test "map_regs2 separates defs from uses" (fun () ->
+        let i = Instr.Alu { op = Instr.Add; dst = a; src1 = a; src2 = Instr.Reg b } in
+        let i' =
+          Instr.map_regs2 ~def:(fun _ -> Reg.V 10) ~use:(fun _ -> Reg.V 20) i
+        in
+        match i' with
+        | Instr.Alu { dst; src1; src2 = Instr.Reg s2; _ } ->
+          check Alcotest.string "dst" "v10" (Reg.to_string dst);
+          check Alcotest.string "src1" "v20" (Reg.to_string src1);
+          check Alcotest.string "src2" "v20" (Reg.to_string s2)
+        | _ -> Alcotest.fail "shape changed");
+    test "pp round shapes" (fun () ->
+        check Alcotest.string "load"
+          "load v0, [v1+4]"
+          (Instr.to_string (Instr.Load { dst = a; addr = b; off = 4 })));
+  ]
+
+let prog_tests =
+  [
+    test "fig3 thread1 validates" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        check Alcotest.int "len" 13 (Prog.length p));
+    test "missing label rejected" (fun () ->
+        Alcotest.check_raises "invalid"
+          (Prog.Invalid "program bad: undefined label nowhere")
+          (fun () ->
+            ignore
+              (Prog.make ~name:"bad"
+                 ~code:[ Instr.Br { target = "nowhere" }; Instr.Halt ]
+                 ~labels:[])));
+    test "falling off the end rejected" (fun () ->
+        try
+          ignore
+            (Prog.make ~name:"bad" ~code:[ Instr.Nop ] ~labels:[]);
+          Alcotest.fail "expected Invalid"
+        with Prog.Invalid _ -> ());
+    test "duplicate label rejected" (fun () ->
+        try
+          ignore
+            (Prog.make ~name:"bad"
+               ~code:[ Instr.Halt ]
+               ~labels:[ ("a", 0); ("a", 0) ]);
+          Alcotest.fail "expected Invalid"
+        with Prog.Invalid _ -> ());
+    test "empty program rejected" (fun () ->
+        try
+          ignore (Prog.make ~name:"bad" ~code:[] ~labels:[]);
+          Alcotest.fail "expected Invalid"
+        with Prog.Invalid _ -> ());
+    test "succs of conditional branch has two targets" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        (* instr 2 is the brc to L1 (index 7) *)
+        check (Alcotest.list Alcotest.int) "succs" [ 3; 7 ] (Prog.succs p 2));
+    test "succs of unconditional branch" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        check (Alcotest.list Alcotest.int) "succs" [ 10 ] (Prog.succs p 6));
+    test "succs of halt is empty" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        check (Alcotest.list Alcotest.int) "succs" [] (Prog.succs p 12));
+    test "preds are inverse of succs" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        let preds = Prog.preds p in
+        check (Alcotest.list Alcotest.int) "preds of 10" [ 6; 9 ]
+          (List.sort compare preds.(10)));
+    test "ctx switch points" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        check (Alcotest.list Alcotest.int) "csbs" [ 1; 11 ]
+          (Prog.ctx_switch_points p));
+    test "vregs collected" (fun () ->
+        let p = Fixtures.fig3_thread1 () in
+        check Alcotest.int "count" 3 (Reg.Set.cardinal (Prog.vregs p)));
+    test "max_vreg" (fun () ->
+        check Alcotest.int "max" 2 (Prog.max_vreg (Fixtures.fig3_thread1 ())));
+    test "all_virtual holds pre-allocation" (fun () ->
+        check Alcotest.bool "virt" true (Prog.all_virtual (Fixtures.fig3_thread1 ())));
+  ]
+
+let builder_tests =
+  [
+    test "loop emits counted loop" (fun () ->
+        let p = Fixtures.diamond_loop () in
+        check Alcotest.bool "has branch back" true
+          (Prog.fold_instrs
+             (fun acc _ i -> acc || Instr.is_branch i)
+             false p));
+    test "named registers are memoized" (fun () ->
+        let b = Builder.create ~name:"t" in
+        let x1 = Builder.reg b "x" and x2 = Builder.reg b "x" in
+        check Alcotest.bool "same" true (Reg.equal x1 x2));
+    test "fresh registers are distinct" (fun () ->
+        let b = Builder.create ~name:"t" in
+        check Alcotest.bool "diff" false
+          (Reg.equal (Builder.fresh b) (Builder.fresh b)));
+    test "if_ joins both arms" (fun () ->
+        let b = Builder.create ~name:"t" in
+        let x = Builder.fresh b in
+        Builder.movi b x 0;
+        Builder.if_ b Instr.Eq x (Builder.imm 0)
+          ~then_:(fun () -> Builder.add b x x (Builder.imm 1))
+          ~else_:(fun () -> Builder.add b x x (Builder.imm 2));
+        Builder.halt b;
+        let p = Builder.finish b in
+        Prog.validate p;
+        (* both arms reach the halt *)
+        let r = Npra_sim.Refexec.run p in
+        (* movi, taken brc, then-arm add, halt *)
+        check Alcotest.int "instrs executed" 4 r.Npra_sim.Refexec.instructions);
+  ]
+
+let suite =
+  [
+    ("ir.reg", reg_tests);
+    ("ir.instr", instr_tests);
+    ("ir.prog", prog_tests);
+    ("ir.builder", builder_tests);
+  ]

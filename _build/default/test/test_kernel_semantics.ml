@@ -1,0 +1,242 @@
+(* Semantic invariants of the benchmark kernels: not just "it runs", but
+   properties of what each kernel computes, checked on the reference
+   executor. A kernel rewrite that silently changes the algorithm (and
+   hence its pressure profile) trips these. *)
+
+open Npra_workloads
+open Npra_sim
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let run id =
+  let w = Registry.instantiate (Registry.find_exn id) ~slot:0 in
+  (w, Refexec.run ~mem_image:w.Workload.mem_image w.Workload.prog)
+
+let final w result addr =
+  match List.assoc_opt addr result.Refexec.final_memory with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: no value at %d" w.Workload.name addr
+
+let md5_tests =
+  [
+    test "md5 digests change when the packet changes" (fun () ->
+        let w = Registry.instantiate (Registry.find_exn "md5") ~slot:0 in
+        let tweak =
+          List.map
+            (fun (a, v) -> (a, if a = w.Workload.mem_base then v lxor 1 else v))
+            w.Workload.mem_image
+        in
+        let digest image =
+          (Refexec.run ~mem_image:image w.Workload.prog).Refexec.store_trace
+        in
+        check Alcotest.bool "avalanche" true
+          (digest w.Workload.mem_image <> digest tweak));
+    test "md5 writes eight digest words per iteration" (fun () ->
+        let w, r = run "md5" in
+        check Alcotest.int "stores" (8 * w.Workload.iters)
+          (List.length r.Refexec.store_trace));
+    test "md5 digests stay within the 30-bit mask" (fun () ->
+        let _, r = run "md5" in
+        List.iter
+          (fun (_, v) ->
+            check Alcotest.bool "masked" true (v >= 0 && v <= 0x3FFFFFFF))
+          r.Refexec.store_trace);
+  ]
+
+let crc_tests =
+  [
+    test "crc32 checksum depends on every word" (fun () ->
+        let w = Registry.instantiate (Registry.find_exn "crc32") ~slot:0 in
+        let base =
+          (Refexec.run ~mem_image:w.Workload.mem_image w.Workload.prog)
+            .Refexec.store_trace
+        in
+        (* flip one bit of the 5th input word: all checksums from that
+           iteration on must change *)
+        let tweak =
+          List.map
+            (fun (a, v) ->
+              (a, if a = Workload.input_base w + 4 then v lxor 8 else v))
+            w.Workload.mem_image
+        in
+        let tweaked =
+          (Refexec.run ~mem_image:tweak w.Workload.prog).Refexec.store_trace
+        in
+        check Alcotest.bool "sensitive" true (base <> tweaked));
+  ]
+
+let fir_tests =
+  [
+    test "fir2dim is linear in the input for a zero baseline" (fun () ->
+        (* with an all-zero image every output is zero *)
+        let w = Registry.instantiate (Registry.find_exn "fir2dim") ~slot:0 in
+        let zeros = List.map (fun (a, _) -> (a, 0)) w.Workload.mem_image in
+        let r = Refexec.run ~mem_image:zeros w.Workload.prog in
+        List.iter
+          (fun (_, v) -> check Alcotest.int "zero output" 0 v)
+          r.Refexec.store_trace);
+    test "fir2dim outputs scale with a scaled pixel" (fun () ->
+        let w = Registry.instantiate (Registry.find_exn "fir2dim") ~slot:0 in
+        let out1 =
+          (Refexec.run ~mem_image:[ (Workload.input_base w, 1) ] w.Workload.prog)
+            .Refexec.store_trace
+        in
+        let out2 =
+          (Refexec.run ~mem_image:[ (Workload.input_base w, 2) ] w.Workload.prog)
+            .Refexec.store_trace
+        in
+        (* first output only involves the first pixel window *)
+        match out1, out2 with
+        | (a1, v1) :: _, (a2, v2) :: _ ->
+          check Alcotest.int "same address" a1 a2;
+          check Alcotest.int "doubles" (2 * v1) v2
+        | _ -> Alcotest.fail "no outputs");
+  ]
+
+let drr_tests =
+  [
+    test "drr deficits never exceed the accumulated quantum" (fun () ->
+        (* the stored values are post-service deficits: bounded by the
+           quantum granted so far *)
+        let w, r = run "drr" in
+        let bound = w.Workload.iters * 500 in
+        List.iter
+          (fun (_, v) ->
+            check Alcotest.bool "bounded deficit" true (v >= 0 && v <= bound))
+          r.Refexec.store_trace);
+    test "drr deficits stay non-negative" (fun () ->
+        let w, r = run "drr" in
+        (* final deficit dump region: out..out+7 hold last staged values *)
+        for q = 0 to 7 do
+          let v = final w r (Workload.output_base w + q) in
+          check Alcotest.bool "non-negative" true (v >= 0)
+        done);
+  ]
+
+let wraps_tests =
+  [
+    test "wraps_rx credits grow only by charged lengths" (fun () ->
+        let w, r = run "wraps_rx" in
+        (* every dumped credit is bounded by initial + iters * max length *)
+        let bound = 64 + (w.Workload.iters * 0x3FF) in
+        for f = 0 to 27 do
+          let v = final w r (Workload.output_base w + 1 + f) in
+          check Alcotest.bool "bounded credit" true (v >= 0 && v <= bound)
+        done);
+    test "wraps_tx always picks a candidate flow" (fun () ->
+        let w, r = run "wraps_tx" in
+        (* the chosen flow id (second store of each iteration) is in range *)
+        List.iteri
+          (fun i (a, v) ->
+            if a = Workload.output_base w + 1 then
+              check Alcotest.bool (Fmt.str "store %d in range" i) true
+                (v >= 0 && v < 28))
+          r.Refexec.store_trace);
+  ]
+
+let fwd_tests =
+  [
+    test "l2l3fwd_rx forwards the last accepted header verbatim" (fun () ->
+        (* the buffer pointer advances one word per frame and the queue is
+           overwritten in place, so the final queue holds the last frame
+           whose ethertype byte was non-zero *)
+        let w, r = run "l2l3fwd_rx" in
+        let input a =
+          match List.assoc_opt (Workload.input_base w + a) w.Workload.mem_image with
+          | Some v -> v
+          | None -> 0
+        in
+        let last_accepted = ref None in
+        for i = 0 to w.Workload.iters - 1 do
+          if input (i + 1) land 0xFF <> 0 then last_accepted := Some i
+        done;
+        match !last_accepted with
+        | None -> ()
+        | Some i ->
+          check Alcotest.int "first header word forwarded" (input i)
+            (final w r (Workload.output_base w)));
+    test "l2l3fwd_tx decrements the last live frame's TTL once" (fun () ->
+        let w, r = run "l2l3fwd_tx" in
+        let input a =
+          match List.assoc_opt (Workload.input_base w + a) w.Workload.mem_image with
+          | Some v -> v
+          | None -> 0
+        in
+        let last_live = ref None in
+        for i = 0 to w.Workload.iters - 1 do
+          if input (i + 3) land 0xFF <> 0 then last_live := Some i
+        done;
+        match !last_live with
+        | None -> ()
+        | Some i ->
+          check Alcotest.int "ttl-1" (input (i + 3) - 1)
+            (final w r (Workload.output_base w + 3)));
+  ]
+
+let route_tests =
+  [
+    test "route lookups stay inside the trie" (fun () ->
+        let w, r = run "route" in
+        List.iter
+          (fun (_, v) ->
+            check Alcotest.bool "result from the state area" true
+              (v >= Workload.state_base w
+              && v < Workload.state_base w + 256))
+          r.Refexec.store_trace);
+  ]
+
+let frag_tests =
+  [
+    test "frag checksum matches a direct computation" (fun () ->
+        let w, r = run "frag" in
+        let input a = List.assoc (Workload.input_base w + a) w.Workload.mem_image in
+        let sum = ref 0 in
+        for i = 0 to 5 do
+          sum := !sum + input i
+        done;
+        let fold s = (s land 0xFFFF) + (s lsr 16) in
+        let expect = lnot (fold (fold !sum)) land 0xFFFF in
+        check Alcotest.int "checksum" expect
+          (final w r (Workload.output_base w + 2)));
+    test "frag emits two fragments with consecutive checksums" (fun () ->
+        let w, r = run "frag" in
+        let c1 = final w r (Workload.output_base w + 2) in
+        let c2 = final w r (Workload.output_base w + 6) in
+        check Alcotest.int "second = first + 1 mod 2^16" ((c1 + 1) land 0xFFFF) c2);
+  ]
+
+let url_tests =
+  [
+    test "url hit counts are bounded by the window" (fun () ->
+        let _, r = run "url" in
+        List.iter
+          (fun (_, v) ->
+            (* max 8 words * (1 + 2) points *)
+            check Alcotest.bool "bounded" true (v >= 0 && v <= 24))
+          r.Refexec.store_trace);
+    test "url finds planted patterns" (fun () ->
+        let w = Registry.instantiate (Registry.find_exn "url") ~slot:0 in
+        (* plant '/' in the low byte of the first window word *)
+        let planted =
+          (Workload.input_base w, 0x2F)
+          :: List.filter (fun (a, _) -> a <> Workload.input_base w) w.Workload.mem_image
+        in
+        let r = Refexec.run ~mem_image:planted w.Workload.prog in
+        match r.Refexec.store_trace with
+        | (_, hits) :: _ -> check Alcotest.bool "at least one hit" true (hits >= 1)
+        | [] -> Alcotest.fail "no stores");
+  ]
+
+let suite =
+  [
+    ("kernels.md5", md5_tests);
+    ("kernels.crc32", crc_tests);
+    ("kernels.fir2dim", fir_tests);
+    ("kernels.drr", drr_tests);
+    ("kernels.wraps", wraps_tests);
+    ("kernels.l2l3fwd", fwd_tests);
+    ("kernels.route", route_tests);
+    ("kernels.frag", frag_tests);
+    ("kernels.url", url_tests);
+  ]

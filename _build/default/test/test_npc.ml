@@ -1,0 +1,364 @@
+(* Tests for the NPC frontend: lexer, parser, scope checking, and the
+   semantics of lowered programs. *)
+
+open Npra_ir
+open Npra_npc
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let compile_one src =
+  match Npc.compile src with
+  | Ok [ p ] -> p
+  | Ok ps -> Alcotest.failf "expected one thread, got %d" (List.length ps)
+  | Error e -> Alcotest.failf "compile failed: %a" Npc.pp_error e
+
+(* run one compiled thread and return its (address, value) stores *)
+let run ?(mem_image = []) src =
+  let p = compile_one src in
+  (Npra_sim.Refexec.run ~mem_image p).Npra_sim.Refexec.store_trace
+
+let stores = Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)
+
+let lexer_tests =
+  [
+    test "keywords vs identifiers" (fun () ->
+        let toks = Nlexer.tokenize "thread whiled var3 if" in
+        let shape =
+          List.map
+            (fun l ->
+              match l.Nlexer.token with
+              | Nlexer.TTHREAD -> "thread"
+              | Nlexer.TIDENT _ -> "ident"
+              | Nlexer.TIF -> "if"
+              | Nlexer.TEOF -> "eof"
+              | _ -> "?")
+            toks
+        in
+        check (Alcotest.list Alcotest.string) "tokens"
+          [ "thread"; "ident"; "ident"; "if"; "eof" ]
+          shape);
+    test "hex and decimal literals" (fun () ->
+        let ints =
+          List.filter_map
+            (fun l ->
+              match l.Nlexer.token with Nlexer.TINT n -> Some n | _ -> None)
+            (Nlexer.tokenize "0xFF 42")
+        in
+        check (Alcotest.list Alcotest.int) "ints" [ 255; 42 ] ints);
+    test "both comment styles" (fun () ->
+        let toks = Nlexer.tokenize "1 // line\n/* block\nstill */ 2" in
+        let ints =
+          List.filter_map
+            (fun l ->
+              match l.Nlexer.token with Nlexer.TINT n -> Some n | _ -> None)
+            toks
+        in
+        check (Alcotest.list Alcotest.int) "ints" [ 1; 2 ] ints);
+    test "unterminated comment rejected" (fun () ->
+        try
+          ignore (Nlexer.tokenize "/* oops");
+          Alcotest.fail "expected Error"
+        with Nlexer.Error _ -> ());
+    test "positions track lines" (fun () ->
+        let toks = Nlexer.tokenize "a\nb\nc" in
+        let lines =
+          List.filter_map
+            (fun l ->
+              match l.Nlexer.token with
+              | Nlexer.TIDENT _ -> Some l.Nlexer.pos.Ast.line
+              | _ -> None)
+            toks
+        in
+        check (Alcotest.list Alcotest.int) "lines" [ 1; 2; 3 ] lines);
+  ]
+
+let parser_tests =
+  [
+    test "precedence: 1 + 2 * 3 parses as 1 + (2*3)" (fun () ->
+        check stores "value" [ (0, 7) ] (run "thread t { mem[0] = 1 + 2 * 3; }"));
+    test "precedence: shifts bind tighter than comparisons" (fun () ->
+        check stores "value" [ (0, 1) ]
+          (run "thread t { mem[0] = 1 << 3 > 7; }"));
+    test "parentheses override" (fun () ->
+        check stores "value" [ (0, 9) ] (run "thread t { mem[0] = (1 + 2) * 3; }"));
+    test "unary operators" (fun () ->
+        check stores "value" [ (0, -5); (1, 1); (2, -1) ]
+          (run
+             "thread t { mem[0] = -5; mem[1] = !0; mem[2] = ~0; }"));
+    test "missing semicolon rejected" (fun () ->
+        match Npc.compile "thread t { var x = 1 }" with
+        | Error (Npc.Parse_error _) -> ()
+        | Error e -> Alcotest.failf "wrong error: %a" Npc.pp_error e
+        | Ok _ -> Alcotest.fail "expected parse error");
+    test "empty file rejected" (fun () ->
+        match Npc.compile "  // nothing\n" with
+        | Error (Npc.Parse_error _) -> ()
+        | Error e -> Alcotest.failf "wrong error: %a" Npc.pp_error e
+        | Ok _ -> Alcotest.fail "expected parse error");
+    test "several threads parse" (fun () ->
+        match Npc.compile "thread a { halt; } thread b { halt; }" with
+        | Ok ps ->
+          check
+            (Alcotest.list Alcotest.string)
+            "names" [ "a"; "b" ]
+            (List.map (fun p -> p.Prog.name) ps)
+        | Error e -> Alcotest.failf "compile failed: %a" Npc.pp_error e);
+  ]
+
+let expect_sema_global src fragment =
+  match Npc.compile src with
+  | Error (Npc.Sema_errors errs) ->
+    let rendered = List.map (fun e -> Fmt.str "%a" Sema.pp_error e) errs in
+    if
+      not
+        (List.exists
+           (fun s ->
+             let n = String.length fragment and h = String.length s in
+             let rec go i =
+               i + n <= h && (String.sub s i n = fragment || go (i + 1))
+             in
+             n = 0 || go 0)
+           rendered)
+    then
+      Alcotest.failf "no error mentions %S in: %s" fragment
+        (String.concat " | " rendered)
+  | Error e -> Alcotest.failf "wrong error kind: %a" Npc.pp_error e
+  | Ok _ -> Alcotest.fail "expected sema errors"
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let sema_tests =
+  let expect_sema src fragment =
+    match Npc.compile src with
+    | Error (Npc.Sema_errors errs) ->
+      check Alcotest.bool
+        (Fmt.str "mentions %S" fragment)
+        true
+        (List.exists
+           (fun e -> contains ~needle:fragment (Fmt.str "%a" Sema.pp_error e))
+           errs)
+    | Error e -> Alcotest.failf "wrong error kind: %a" Npc.pp_error e
+    | Ok _ -> Alcotest.fail "expected sema errors"
+  in
+  [
+    test "undeclared variable use" (fun () ->
+        expect_sema "thread t { mem[0] = x; }" "undeclared variable x");
+    test "assignment to undeclared variable" (fun () ->
+        expect_sema "thread t { x = 1; }" "undeclared variable x");
+    test "double declaration in one block" (fun () ->
+        expect_sema "thread t { var x = 1; var x = 2; }" "already declared");
+    test "shadowing in an inner block is allowed" (fun () ->
+        check stores "value" [ (0, 2); (1, 1) ]
+          (run
+             "thread t { var x = 1; { var x = 2; mem[0] = x; } mem[1] = x; }"));
+    test "inner declarations do not leak" (fun () ->
+        expect_sema "thread t { { var x = 1; } mem[0] = x; }"
+          "undeclared variable x");
+    test "duplicate thread names" (fun () ->
+        expect_sema "thread a { halt; } thread a { halt; }"
+          "duplicate thread name a");
+    test "all errors reported, not just the first" (fun () ->
+        match Npc.compile "thread t { x = 1; y = 2; }" with
+        | Error (Npc.Sema_errors errs) ->
+          check Alcotest.int "two errors" 2 (List.length errs)
+        | _ -> Alcotest.fail "expected sema errors");
+  ]
+
+let semantics_tests =
+  [
+    test "while loop sums" (fun () ->
+        check stores "sum 1..5" [ (0, 15) ]
+          (run
+             "thread t { var s = 0; var i = 1; while (i <= 5) { s = s + i; \
+              i = i + 1; } mem[0] = s; }"));
+    test "if/else both arms" (fun () ->
+        check stores "arms" [ (0, 10); (1, 20) ]
+          (run
+             "thread t { var a = 1; var b = 0;\n\
+              if (a) { mem[0] = 10; } else { mem[0] = 11; }\n\
+              if (b) { mem[1] = 21; } else { mem[1] = 20; }\n\
+              }"));
+    test "short-circuit && skips the right operand" (fun () ->
+        (* if && evaluated mem[9999]=0 eagerly nothing changes, but the
+           condition uses a guarded read pattern to prove the skip *)
+        check stores "guard" [ (0, 1) ]
+          (run
+             "thread t { var ok = 0; if (0 && mem[50] == 1) { ok = 9; } \
+              mem[0] = ok + 1; }"));
+    test "|| takes the first true arm" (fun () ->
+        check stores "or" [ (0, 1) ]
+          (run "thread t { var r = 0; if (1 || mem[50]) { r = 1; } mem[0] = r; }"));
+    test "comparisons materialise 0/1" (fun () ->
+        check stores "cmp" [ (0, 1); (1, 0); (2, 1); (3, 1) ]
+          (run
+             "thread t { mem[0] = 3 < 5; mem[1] = 3 > 5; mem[2] = 5 <= 5; \
+              mem[3] = 4 != 2; }"));
+    test "memory round trip" (fun () ->
+        check stores "copy" [ (10, 77); (11, 78) ]
+          (run ~mem_image:[ (5, 77) ]
+             "thread t { var v = mem[5]; mem[10] = v; mem[11] = v + 1; }"));
+    test "yield compiles to a context switch" (fun () ->
+        let p = compile_one "thread t { yield; }" in
+        check Alcotest.bool "has ctx" true
+          (Array.exists (fun i -> i = Instr.Ctx_switch) p.Prog.code));
+    test "halt stops execution early" (fun () ->
+        check stores "early" [ (0, 1) ]
+          (run "thread t { mem[0] = 1; halt; mem[1] = 2; }"));
+    test "nested loops" (fun () ->
+        check stores "3x3" [ (0, 9) ]
+          (run
+             "thread t { var c = 0; var i = 0; while (i < 3) { var j = 0; \
+              while (j < 3) { c = c + 1; j = j + 1; } i = i + 1; } mem[0] = \
+              c; }"));
+    test "constant folding keeps immediates immediate" (fun () ->
+        let p = compile_one "thread t { mem[100] = 2 + 3 * 4; }" in
+        (* the value 14 appears as a movi, no ALU instructions emitted *)
+        check Alcotest.bool "no alu" true
+          (Array.for_all
+             (fun i -> match i with Instr.Alu _ -> false | _ -> true)
+             p.Prog.code));
+  ]
+
+let loop_tests =
+  [
+    test "for loop counts" (fun () ->
+        check stores "sum" [ (0, 10) ]
+          (run
+             "thread t { var s = 0; for (var i = 0; i < 5; i = i + 1) { s =               s + i; } mem[0] = s; }"));
+    test "for with empty sections" (fun () ->
+        check stores "value" [ (0, 3) ]
+          (run
+             "thread t { var i = 0; for (; i < 3;) { i = i + 1; } mem[0] =               i; }"));
+    test "break leaves the loop early" (fun () ->
+        check stores "broke at 3" [ (0, 3) ]
+          (run
+             "thread t { var i = 0; while (1) { i = i + 1; if (i == 3) {               break; } } mem[0] = i; }"));
+    test "continue skips to the step" (fun () ->
+        (* sum of odd i in 0..5: 1 + 3 + 5 = 9 *)
+        check stores "sum of odds" [ (0, 9) ]
+          (run
+             "thread t { var s = 0; for (var i = 0; i <= 5; i = i + 1) { if               ((i & 1) == 0) { continue; } s = s + i; } mem[0] = s; }"));
+    test "break binds to the innermost loop" (fun () ->
+        check stores "inner breaks only" [ (0, 6) ]
+          (run
+             "thread t { var c = 0; for (var i = 0; i < 3; i = i + 1) { var               j = 0; while (1) { j = j + 1; if (j == 2) { break; } } c = c               + j; } mem[0] = c; }"));
+    test "for-loop variable scopes to the loop" (fun () ->
+        match
+          Npc.compile
+            "thread t { for (var i = 0; i < 2; i = i + 1) { } mem[0] = i; }"
+        with
+        | Error (Npc.Sema_errors _) -> ()
+        | _ -> Alcotest.fail "expected a scope error");
+    test "break outside a loop is rejected" (fun () ->
+        match Npc.compile "thread t { break; }" with
+        | Error (Npc.Sema_errors _) -> ()
+        | _ -> Alcotest.fail "expected a sema error");
+    test "continue outside a loop is rejected" (fun () ->
+        match Npc.compile "thread t { if (1) { continue; } }" with
+        | Error (Npc.Sema_errors _) -> ()
+        | _ -> Alcotest.fail "expected a sema error");
+    test "step cannot declare" (fun () ->
+        match
+          Npc.compile "thread t { for (var i = 0; i < 2; var j = 1) { } }"
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected an error");
+  ]
+
+let function_tests =
+  [
+    test "a simple function inlines and computes" (fun () ->
+        check stores "square" [ (0, 49) ]
+          (run
+             "fun square(x) { return x * x; } thread t { mem[0] =               square(7); }"));
+    test "functions call functions" (fun () ->
+        check stores "compose" [ (0, 36) ]
+          (run
+             "fun double(x) { return x + x; } fun quad(x) { return               double(double(x)); } thread t { mem[0] = quad(9); }"));
+    test "arguments are call-by-value" (fun () ->
+        check stores "caller unchanged" [ (1, 4); (0, 3) ]
+          (run
+             "fun bump(x) { x = x + 1; return x; } thread t { var a = 3;               mem[1] = bump(a); mem[0] = a; }"));
+    test "early return skips the rest" (fun () ->
+        check stores "clamped" [ (0, 10); (1, 4) ]
+          (run
+             "fun clamp(x) { if (x > 10) { return 10; } return x; } thread               t { mem[0] = clamp(99); mem[1] = clamp(4); }"));
+    test "functions may read memory" (fun () ->
+        check stores "sum" [ (0, 30) ]
+          (run ~mem_image:[ (100, 10); (101, 20) ]
+             "fun sum2(p) { return mem[p] + mem[p + 1]; } thread t { mem[0]               = sum2(100); }"));
+    test "a function with no executed return yields zero" (fun () ->
+        check stores "default" [ (0, 0) ]
+          (run "fun nothing(x) { if (0) { return x; } } thread t { mem[0] =                 nothing(5); }"));
+    test "recursion is rejected" (fun () ->
+        expect_sema_global
+          "fun f(x) { return g(x); } fun g(x) { return f(x); } thread t {            mem[0] = f(1); }"
+          "recursive call chain");
+    test "undefined function is rejected" (fun () ->
+        expect_sema_global "thread t { mem[0] = mystery(1); }"
+          "undefined function mystery");
+    test "arity mismatch is rejected" (fun () ->
+        expect_sema_global
+          "fun add(a, b) { return a + b; } thread t { mem[0] = add(1); }"
+          "expects 2 argument(s), got 1");
+    test "return outside a function is rejected" (fun () ->
+        expect_sema_global "thread t { return 1; }" "return outside a function");
+    test "duplicate parameters are rejected" (fun () ->
+        expect_sema_global
+          "fun f(a, a) { return a; } thread t { mem[0] = f(1, 2); }"
+          "duplicate parameter a");
+    test "parameters do not leak into the caller" (fun () ->
+        expect_sema_global
+          "fun f(secret) { return secret; } thread t { var y = f(1); mem[0]            = secret; }"
+          "undeclared variable secret");
+    test "functions see only their parameters, not caller locals" (fun () ->
+        expect_sema_global
+          "fun f(x) { return x + hidden; } thread t { var hidden = 1;            mem[0] = f(2); }"
+          "undeclared variable hidden");
+    test "function calls compose with the full pipeline" (fun () ->
+        let progs =
+          Npc.compile_exn
+            "fun csum(p, n) { var s = 0; for (var i = 0; i < n; i = i + 1)              { s = s + mem[p + i]; } return s; } thread a { mem[200] =              csum(100, 3); } thread b { yield; mem[300] = csum(104, 2); }"
+        in
+        let mem_image =
+          [ (100, 1); (101, 2); (102, 3); (104, 10); (105, 20) ]
+        in
+        let bal = Npra_core.Pipeline.balanced ~nreg:12 progs in
+        check Alcotest.int "verified" 0
+          (List.length bal.Npra_core.Pipeline.verify_errors);
+        check Alcotest.bool "differential" true
+          (Npra_core.Pipeline.differential ~mem_image progs
+             bal.Npra_core.Pipeline.programs));
+  ]
+
+let pipeline_tests =
+  [
+    test "compiled threads allocate, verify and run identically" (fun () ->
+        let src =
+          "thread a { var s = 0; var p = 100; var n = 3; while (n > 0) { s \
+           = s + mem[p]; p = p + 1; n = n - 1; } mem[200] = s; }\n\
+           thread b { yield; var x = 5; var y = x * x; mem[300] = y; }"
+        in
+        let progs = Npc.compile_exn src in
+        let mem_image = [ (100, 1); (101, 2); (102, 3) ] in
+        let bal = Npra_core.Pipeline.balanced ~nreg:8 progs in
+        check Alcotest.int "verified" 0 (List.length bal.Npra_core.Pipeline.verify_errors);
+        check Alcotest.bool "differential" true
+          (Npra_core.Pipeline.differential ~mem_image progs
+             bal.Npra_core.Pipeline.programs));
+  ]
+
+let suite =
+  [
+    ("npc.lexer", lexer_tests);
+    ("npc.parser", parser_tests);
+    ("npc.sema", sema_tests);
+    ("npc.semantics", semantics_tests);
+    ("npc.loops", loop_tests);
+    ("npc.functions", function_tests);
+    ("npc.pipeline", pipeline_tests);
+  ]

@@ -1,0 +1,194 @@
+(* Tests for the optimiser: copy propagation and dead-code elimination,
+   including behaviour preservation on random programs and on NPC
+   frontend output. *)
+
+open Npra_ir
+open Npra_opt
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+let stores = Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)
+
+let trace ?(mem_image = []) p =
+  (Npra_sim.Refexec.run ~mem_image p).Npra_sim.Refexec.store_trace
+
+let copyprop_tests =
+  [
+    test "a straight-line copy chain collapses" (fun () ->
+        let v i = Reg.V i in
+        let p =
+          Prog.make ~name:"chain"
+            ~code:
+              [
+                Instr.Movi { dst = v 0; imm = 7 };
+                Instr.Mov { dst = v 1; src = v 0 };
+                Instr.Mov { dst = v 2; src = v 1 };
+                Instr.Movi { dst = v 3; imm = 100 };
+                Instr.Store { src = v 2; addr = v 3; off = 0 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let p', rewritten = Copyprop.run p in
+        check Alcotest.bool "rewrote uses" true (rewritten >= 2);
+        (match Prog.instr p' 4 with
+        | Instr.Store { src; _ } ->
+          check Alcotest.string "store reads the origin" "v0" (Reg.to_string src)
+        | _ -> Alcotest.fail "shape");
+        check stores "behaviour" (trace p) (trace p'));
+    test "a redefinition kills the copy" (fun () ->
+        let v i = Reg.V i in
+        let p =
+          Prog.make ~name:"kill"
+            ~code:
+              [
+                Instr.Movi { dst = v 0; imm = 7 };
+                Instr.Mov { dst = v 1; src = v 0 };
+                Instr.Movi { dst = v 0; imm = 9 };  (* kills (v1, v0) *)
+                Instr.Movi { dst = v 3; imm = 100 };
+                Instr.Store { src = v 1; addr = v 3; off = 0 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let p', _ = Copyprop.run p in
+        (match Prog.instr p' 4 with
+        | Instr.Store { src; _ } ->
+          check Alcotest.string "still reads the copy" "v1" (Reg.to_string src)
+        | _ -> Alcotest.fail "shape");
+        check stores "behaviour" (trace p) (trace p'));
+    test "joins intersect available copies" (fun () ->
+        (* the copy only exists on one branch arm: no propagation after
+           the join *)
+        let b = Builder.create ~name:"join" in
+        let x = Builder.fresh b and y = Builder.fresh b in
+        Builder.movi b x 5;
+        Builder.if_ b Instr.Eq x (Builder.imm 5)
+          ~then_:(fun () -> Builder.mov b y x)
+          ~else_:(fun () -> Builder.movi b y 6);
+        let addr = Builder.fresh b in
+        Builder.movi b addr 100;
+        Builder.store b y addr 0;
+        Builder.halt b;
+        let p = Builder.finish b in
+        let p', _ = Copyprop.run p in
+        check stores "behaviour" (trace p) (trace p'));
+  ]
+
+let dce_tests =
+  [
+    test "dead arithmetic is removed" (fun () ->
+        let v i = Reg.V i in
+        let p =
+          Prog.make ~name:"dead"
+            ~code:
+              [
+                Instr.Movi { dst = v 0; imm = 1 };
+                Instr.Alu { op = Instr.Add; dst = v 1; src1 = v 0; src2 = Instr.Imm 2 };
+                Instr.Movi { dst = v 2; imm = 100 };
+                Instr.Store { src = v 0; addr = v 2; off = 0 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let p', removed = Dce.run p in
+        check Alcotest.int "one dead add" 1 removed;
+        check Alcotest.int "shrunk" 4 (Prog.length p');
+        check stores "behaviour" (trace p) (trace p'));
+    test "dead chains disappear transitively" (fun () ->
+        let v i = Reg.V i in
+        let p =
+          Prog.make ~name:"chain"
+            ~code:
+              [
+                Instr.Movi { dst = v 0; imm = 1 };
+                Instr.Alu { op = Instr.Add; dst = v 1; src1 = v 0; src2 = Instr.Imm 1 };
+                Instr.Alu { op = Instr.Add; dst = v 2; src1 = v 1; src2 = Instr.Imm 1 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let p', removed = Dce.run p in
+        check Alcotest.int "all three" 3 removed;
+        check Alcotest.int "only halt left" 1 (Prog.length p'));
+    test "loads are never removed (their switch is behaviour)" (fun () ->
+        let v i = Reg.V i in
+        let p =
+          Prog.make ~name:"load"
+            ~code:
+              [
+                Instr.Movi { dst = v 0; imm = 100 };
+                Instr.Load { dst = v 1; addr = v 0; off = 0 };  (* dead dst *)
+                Instr.Store { src = v 0; addr = v 0; off = 1 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let p', _ = Dce.run p in
+        check Alcotest.bool "load kept" true
+          (Array.exists
+             (fun i -> match i with Instr.Load _ -> true | _ -> false)
+             p'.Prog.code));
+    test "labels survive deletion" (fun () ->
+        let p = Fixtures.diamond_loop () in
+        let p', _ = Dce.run p in
+        Prog.validate p';
+        check stores "behaviour" (trace p) (trace p'));
+  ]
+
+let driver_tests =
+  [
+    test "copy propagation enables DCE of the copies" (fun () ->
+        let v i = Reg.V i in
+        let p =
+          Prog.make ~name:"combined"
+            ~code:
+              [
+                Instr.Movi { dst = v 0; imm = 7 };
+                Instr.Mov { dst = v 1; src = v 0 };
+                Instr.Movi { dst = v 3; imm = 100 };
+                Instr.Store { src = v 1; addr = v 3; off = 0 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let p', stats = Opt.run p in
+        check Alcotest.bool "copy removed" true (stats.Opt.instructions_removed >= 1);
+        check Alcotest.bool "no mov left" true
+          (Array.for_all
+             (fun i -> match i with Instr.Mov _ -> false | _ -> true)
+             p'.Prog.code);
+        check stores "behaviour" (trace p) (trace p'));
+    test "npc frontend output shrinks but behaves identically" (fun () ->
+        let progs =
+          Npra_npc.Npc.compile_exn
+            "thread t { var a = 5; var b = a; var c = b + 1; var unused = \
+             c * 3; mem[100] = c; }"
+        in
+        let p = List.hd progs in
+        let p', _stats = Opt.run p in
+        check Alcotest.bool "smaller" true (Prog.length p' <= Prog.length p);
+        check stores "behaviour" (trace p) (trace p'));
+    test "workload kernels are already tight" (fun () ->
+        (* the builder-written kernels contain almost nothing to clean;
+           the optimiser must at least not change their behaviour *)
+        List.iter
+          (fun id ->
+            let w =
+              Npra_workloads.Registry.instantiate
+                (Npra_workloads.Registry.find_exn id) ~slot:0
+            in
+            let p = w.Npra_workloads.Workload.prog in
+            let p', _ = Opt.run p in
+            check stores (id ^ " behaviour")
+              (trace ~mem_image:w.Npra_workloads.Workload.mem_image p)
+              (trace ~mem_image:w.Npra_workloads.Workload.mem_image p'))
+          [ "frag"; "crc32"; "url"; "route"; "l2l3fwd_rx" ]);
+  ]
+
+let suite =
+  [
+    ("opt.copyprop", copyprop_tests);
+    ("opt.dce", dce_tests);
+    ("opt.driver", driver_tests);
+  ]

@@ -1,0 +1,149 @@
+(* Integration tests: the full balanced pipeline and the spilling
+   baseline, end to end, over real workload mixes — allocation fits,
+   verification passes, and the rewritten threads behave identically to
+   the originals both alone and interleaved on the machine. *)
+
+open Npra_workloads
+open Npra_core
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let mix ids =
+  List.mapi (fun i id -> Registry.instantiate (Registry.find_exn id) ~slot:i) ids
+
+let mixes =
+  [
+    ("fig-scenario-1", [ "md5"; "md5"; "fir2dim"; "fir2dim" ]);
+    ("fig-scenario-2", [ "l2l3fwd_rx"; "l2l3fwd_tx"; "md5"; "md5" ]);
+    ("fig-scenario-3", [ "wraps_rx"; "wraps_tx"; "fir2dim"; "frag" ]);
+    ("light-mix", [ "crc32"; "url"; "route"; "drr" ]);
+  ]
+
+let balanced_tests =
+  List.concat_map
+    (fun (name, ids) ->
+      let run () =
+        let ws = mix ids in
+        let progs = List.map (fun w -> w.Workload.prog) ws in
+        let bal = Pipeline.balanced ~nreg:128 progs in
+        (ws, bal)
+      in
+      [
+        test (name ^ ": allocation fits and verifies") (fun () ->
+            let _, bal = run () in
+            check Alcotest.int "verify" 0
+              (List.length bal.Pipeline.verify_errors);
+            check Alcotest.bool "fits" true
+              (Npra_regalloc.Inter.demand bal.Pipeline.inter.Npra_regalloc.Inter.threads
+              <= 128));
+        test (name ^ ": differential execution matches") (fun () ->
+            let ws, bal = run () in
+            let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+            check Alcotest.bool "identical behaviour" true
+              (Pipeline.differential ~mem_image
+                 (List.map (fun w -> w.Workload.prog) ws)
+                 bal.Pipeline.programs));
+      ])
+    mixes
+
+let baseline_tests =
+  List.concat_map
+    (fun (name, ids) ->
+      [
+        test (name ^ ": baseline preserves behaviour") (fun () ->
+            let ws = mix ids in
+            let progs = List.map (fun w -> w.Workload.prog) ws in
+            let spill_bases = List.map Workload.spill_base ws in
+            let base = Pipeline.baseline ~nreg:128 ~spill_bases progs in
+            let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+            (* spill-area stores are allocator-internal, not behaviour *)
+            let ignore_addr a =
+              List.exists (fun b -> a >= b && a < b + 256) spill_bases
+            in
+            check Alcotest.bool "identical behaviour" true
+              (Pipeline.differential ~ignore_addr ~mem_image progs
+                 base.Pipeline.base_programs));
+      ])
+    mixes
+
+let experiment_tests =
+  [
+    test "table1 computes a row per benchmark" (fun () ->
+        let rows = Experiments.table1 () in
+        check Alcotest.int "rows" 11 (List.length rows);
+        List.iter
+          (fun r ->
+            check Alcotest.bool "bounds ordered" true
+              (r.Experiments.regp_csb_max <= r.Experiments.regp_max
+              && r.Experiments.regp_max <= r.Experiments.max_r
+              && r.Experiments.max_pr <= r.Experiments.max_r);
+            check Alcotest.bool "cycles measured" true
+              (r.Experiments.cycles_per_iter > 0.))
+          rows);
+    test "fig14 savings are non-negative everywhere" (fun () ->
+        let rows = Experiments.fig14 () in
+        List.iter
+          (fun r ->
+            check Alcotest.bool
+              (r.Experiments.f14_name ^ " saving >= 0")
+              true
+              (r.Experiments.saving_pct >= -0.001))
+          rows;
+        check Alcotest.bool "average in a sane band" true
+          (Experiments.fig14_average rows > 5.));
+    test "table2 reaches every benchmark's lower bounds" (fun () ->
+        let rows = Experiments.table2 () in
+        check Alcotest.int "rows" 11 (List.length rows);
+        List.iter
+          (fun r ->
+            check Alcotest.bool "overhead bounded" true
+              (r.Experiments.overhead_pct < 50.))
+          rows);
+    test "table3 scenarios: critical up, others mildly down" (fun () ->
+        let rows = Experiments.table3 () in
+        check Alcotest.int "scenarios" 3 (List.length rows);
+        List.iter
+          (fun row ->
+            check Alcotest.int "verified" 0 row.Experiments.t3_verify_errors;
+            List.iter
+              (fun t ->
+                let crit =
+                  List.mem t.Experiments.t3_name
+                    [ "md5"; "wraps_rx"; "wraps_tx" ]
+                in
+                if crit then begin
+                  (* the paper's 18-24% speed-up band, give or take *)
+                  check Alcotest.bool
+                    (t.Experiments.t3_name ^ " speeds up")
+                    true
+                    (t.Experiments.change_pct < -10.);
+                  check Alcotest.bool
+                    (t.Experiments.t3_name ^ " speeds up solo too")
+                    true
+                    (t.Experiments.solo_change_pct < -10.)
+                end
+                else begin
+                  (* the allocation itself costs the light threads almost
+                     nothing (the paper's 1-4% attribution to moves); the
+                     contended figure additionally absorbs PU-scheduling
+                     effects of the faster critical threads *)
+                  check Alcotest.bool
+                    (t.Experiments.t3_name ^ " solo cost is tiny")
+                    true
+                    (t.Experiments.solo_change_pct < 5.);
+                  check Alcotest.bool
+                    (t.Experiments.t3_name ^ " contended cost bounded")
+                    true
+                    (t.Experiments.change_pct < 25.)
+                end)
+              row.Experiments.threads)
+          rows);
+  ]
+
+let suite =
+  [
+    ("pipeline.balanced", balanced_tests);
+    ("pipeline.baseline", baseline_tests);
+    ("pipeline.experiments", experiment_tests);
+  ]

@@ -1,0 +1,213 @@
+(* Tests for physical assignment, move materialisation, and the safety
+   verifier. *)
+
+open Npra_ir
+open Npra_cfg
+open Npra_regalloc
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let trace = Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)
+
+let assign_tests =
+  [
+    test "layout packs private blocks bottom-up" (fun () ->
+        let l = Assign.layout ~nreg:16 ~prs:[ 3; 2; 4 ] ~sgr:5 in
+        check Alcotest.(pair int int) "t0" (0, 3) (Assign.private_range l ~thread:0);
+        check Alcotest.(pair int int) "t1" (3, 5) (Assign.private_range l ~thread:1);
+        check Alcotest.(pair int int) "t2" (5, 9) (Assign.private_range l ~thread:2);
+        check Alcotest.(pair int int) "shared" (11, 16) (Assign.shared_range l));
+    test "layout overflow raises" (fun () ->
+        try
+          ignore (Assign.layout ~nreg:8 ~prs:[ 4; 4 ] ~sgr:1);
+          Alcotest.fail "expected Overflow"
+        with Assign.Overflow _ -> ());
+    test "reg_of_color maps private then shared" (fun () ->
+        let l = Assign.layout ~nreg:16 ~prs:[ 3; 2 ] ~sgr:4 in
+        check Alcotest.string "t0 c1" "r0"
+          (Reg.to_string (Assign.reg_of_color l ~thread:0 1));
+        check Alcotest.string "t0 c4" "r12"
+          (Reg.to_string (Assign.reg_of_color l ~thread:0 4));
+        check Alcotest.string "t1 c3" "r12"
+          (Reg.to_string (Assign.reg_of_color l ~thread:1 3));
+        check Alcotest.string "t1 c2" "r4"
+          (Reg.to_string (Assign.reg_of_color l ~thread:1 2)));
+    test "shared colours alias across threads" (fun () ->
+        let l = Assign.layout ~nreg:16 ~prs:[ 3; 2 ] ~sgr:4 in
+        (* first shared colour of each thread is the same register *)
+        check Alcotest.bool "alias" true
+          (Reg.equal
+             (Assign.reg_of_color l ~thread:0 4)
+             (Assign.reg_of_color l ~thread:1 3)));
+    test "fixed partition splits evenly" (fun () ->
+        let l = Assign.fixed_partition ~nreg:128 ~nthd:4 in
+        check Alcotest.(pair int int) "t2" (64, 96) (Assign.private_range l ~thread:2);
+        check Alcotest.int "no shared" 0 l.Assign.sgr);
+  ]
+
+let copy_tests =
+  let p n = Reg.P n in
+  let run_copy pairs init =
+    (* interpret the emitted sequence over a register map *)
+    let regs = Hashtbl.create 8 in
+    List.iter (fun (r, v) -> Hashtbl.replace regs r v) init;
+    let get r = try Hashtbl.find regs r with Not_found -> 0 in
+    List.iter
+      (fun ins ->
+        match ins with
+        | Instr.Mov { dst; src } -> Hashtbl.replace regs dst (get src)
+        | Instr.Alu { op = Instr.Xor; dst; src1; src2 = Instr.Reg s2 } ->
+          Hashtbl.replace regs dst (get src1 lxor get s2)
+        | _ -> Alcotest.fail "unexpected instruction in copy sequence")
+      (Rewrite.sequentialize_copy pairs);
+    get
+  in
+  [
+    test "chain copies in dependency order" (fun () ->
+        (* r1 <- r2, r2 <- r3 must read r2 before overwriting it *)
+        let get =
+          run_copy [ (p 1, p 2); (p 2, p 3) ] [ (p 2, 20); (p 3, 30) ]
+        in
+        check Alcotest.int "r1" 20 (get (p 1));
+        check Alcotest.int "r2" 30 (get (p 2)));
+    test "two-cycle swaps via xor" (fun () ->
+        let get =
+          run_copy [ (p 1, p 2); (p 2, p 1) ] [ (p 1, 10); (p 2, 20) ]
+        in
+        check Alcotest.int "r1" 20 (get (p 1));
+        check Alcotest.int "r2" 10 (get (p 2)));
+    test "three-cycle rotates correctly" (fun () ->
+        let get =
+          run_copy
+            [ (p 1, p 2); (p 2, p 3); (p 3, p 1) ]
+            [ (p 1, 10); (p 2, 20); (p 3, 30) ]
+        in
+        check Alcotest.int "r1" 20 (get (p 1));
+        check Alcotest.int "r2" 30 (get (p 2));
+        check Alcotest.int "r3" 10 (get (p 3)));
+    test "mixed chain plus cycle" (fun () ->
+        let get =
+          run_copy
+            [ (p 5, p 1); (p 1, p 2); (p 2, p 1) ]
+            [ (p 1, 10); (p 2, 20) ]
+        in
+        check Alcotest.int "r5" 10 (get (p 5));
+        check Alcotest.int "r1" 20 (get (p 1));
+        check Alcotest.int "r2" 10 (get (p 2)));
+    test "empty copy emits nothing" (fun () ->
+        check Alcotest.int "len" 0 (List.length (Rewrite.sequentialize_copy [])));
+  ]
+
+(* Full allocate-and-rewrite round trips checked against the reference
+   executor. *)
+let roundtrip prog ~nreg =
+  let prog = Webs.rename prog in
+  match Inter.allocate ~nreg [ prog ] with
+  | Error (`Infeasible m) -> Alcotest.fail m
+  | Ok inter ->
+    let th = inter.Inter.threads.(0) in
+    let layout = Assign.layout ~nreg ~prs:[ th.Inter.pr ] ~sgr:inter.Inter.sgr in
+    let phys =
+      Rewrite.apply th.Inter.ctx
+        ~reg_of_color:(Assign.reg_of_color layout ~thread:0)
+    in
+    (prog, phys, layout)
+
+let rewrite_tests =
+  [
+    test "fig3 thread1 rewritten at 2 registers behaves identically"
+      (fun () ->
+        let orig, phys, _ = roundtrip (Fixtures.fig3_thread1 ()) ~nreg:2 in
+        let a = Npra_sim.Refexec.run orig and b = Npra_sim.Refexec.run phys in
+        check trace "trace" a.Npra_sim.Refexec.store_trace
+          b.Npra_sim.Refexec.store_trace);
+    test "fig4 rewritten at its minimum behaves identically" (fun () ->
+        let orig, phys, _ = roundtrip (Fixtures.fig4_frag ()) ~nreg:7 in
+        let a = Npra_sim.Refexec.run orig and b = Npra_sim.Refexec.run phys in
+        check trace "trace" a.Npra_sim.Refexec.store_trace
+          b.Npra_sim.Refexec.store_trace);
+    test "rewritten programs are fully physical" (fun () ->
+        let _, phys, _ = roundtrip (Fixtures.fig4_frag ()) ~nreg:7 in
+        check Alcotest.bool "physical" true (Prog.all_physical phys));
+    test "rewritten programs pass the verifier" (fun () ->
+        let _, phys, layout = roundtrip (Fixtures.fig4_frag ()) ~nreg:7 in
+        check Alcotest.int "no errors" 0
+          (List.length (Verify.check_system layout [ phys ])));
+    test "diamond loop survives trampoline insertion" (fun () ->
+        let orig, phys, _ = roundtrip (Fixtures.diamond_loop ()) ~nreg:2 in
+        let a = Npra_sim.Refexec.run orig and b = Npra_sim.Refexec.run phys in
+        check trace "trace" a.Npra_sim.Refexec.store_trace
+          b.Npra_sim.Refexec.store_trace);
+  ]
+
+let verify_tests =
+  [
+    test "clean allocation verifies" (fun () ->
+        let _, phys, layout = roundtrip (Fixtures.fig3_thread1 ()) ~nreg:3 in
+        check Alcotest.int "ok" 0
+          (List.length (Verify.check_system layout [ phys ])));
+    test "virtual leftovers are flagged" (fun () ->
+        let layout = Assign.fixed_partition ~nreg:8 ~nthd:1 in
+        let errs =
+          Verify.check_thread layout ~thread:0 (Fixtures.fig3_thread1 ())
+        in
+        check Alcotest.bool "flags virtuals" true
+          (List.exists
+             (function Verify.Virtual_register _ -> true | _ -> false)
+             errs));
+    test "a value parked in a shared register across a CSB is flagged"
+      (fun () ->
+        (* hand-build an unsafe program: r7 (shared under this layout)
+           live across a ctx_switch *)
+        let layout = Assign.layout ~nreg:8 ~prs:[ 2 ] ~sgr:2 in
+        let p =
+          Prog.make ~name:"unsafe"
+            ~code:
+              [
+                Instr.Movi { dst = Reg.P 7; imm = 1 };
+                Instr.Ctx_switch;
+                Instr.Store { src = Reg.P 7; addr = Reg.P 0; off = 0 };
+                Instr.Halt;
+              ]
+            ~labels:[]
+        in
+        let errs = Verify.check_thread layout ~thread:0 p in
+        check Alcotest.bool "flagged" true
+          (List.exists
+             (function Verify.Shared_live_across_csb _ -> true | _ -> false)
+             errs));
+    test "foreign private registers are flagged" (fun () ->
+        let layout = Assign.layout ~nreg:8 ~prs:[ 2; 2 ] ~sgr:2 in
+        let p =
+          Prog.make ~name:"foreign"
+            ~code:
+              [ Instr.Movi { dst = Reg.P 2; imm = 1 }; Instr.Halt ]
+            ~labels:[]
+        in
+        let errs = Verify.check_thread layout ~thread:0 p in
+        check Alcotest.bool "flagged" true
+          (List.exists
+             (function Verify.Foreign_register _ -> true | _ -> false)
+             errs));
+    test "overlapping layouts are rejected" (fun () ->
+        (* construct an overlapping layout directly *)
+        let l =
+          {
+            Assign.nreg = 8;
+            private_base = [| 0; 1 |];
+            private_size = [| 2; 2 |];
+            shared_base = 8;
+            sgr = 0;
+          }
+        in
+        check Alcotest.bool "overlap" true (Verify.check_layout l <> []));
+  ]
+
+let suite =
+  [
+    ("regalloc.assign", assign_tests);
+    ("regalloc.copy", copy_tests);
+    ("regalloc.rewrite", rewrite_tests);
+    ("regalloc.verify", verify_tests);
+  ]

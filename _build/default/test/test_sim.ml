@@ -1,0 +1,219 @@
+(* Tests for the cycle-level machine and the reference executor. *)
+
+open Npra_ir
+open Npra_sim
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+(* tiny physical programs *)
+let prog name code labels = Prog.make ~name ~code ~labels
+
+let store_all name ~addr values =
+  (* write the given immediates to consecutive addresses *)
+  let code =
+    List.concat
+      (List.mapi
+         (fun i v ->
+           [
+             Instr.Movi { dst = Reg.P 0; imm = v };
+             Instr.Movi { dst = Reg.P 1; imm = addr + i };
+             Instr.Store { src = Reg.P 0; addr = Reg.P 1; off = 0 };
+           ])
+         values)
+    @ [ Instr.Halt ]
+  in
+  prog name code []
+
+let machine_tests =
+  [
+    test "alu instructions cost one cycle each" (fun () ->
+        let p =
+          prog "alu"
+            [
+              Instr.Movi { dst = Reg.P 0; imm = 1 };
+              Instr.Alu { op = Instr.Add; dst = Reg.P 0; src1 = Reg.P 0; src2 = Instr.Imm 2 };
+              Instr.Halt;
+            ]
+            []
+        in
+        let m = Machine.run [ p ] in
+        let r = Machine.report m in
+        (* movi + add + halt = 3 cycles *)
+        check Alcotest.int "cycles" 3 r.Machine.total_cycles);
+    test "load blocks for the memory latency" (fun () ->
+        let p =
+          prog "load"
+            [
+              Instr.Movi { dst = Reg.P 1; imm = 100 };
+              Instr.Load { dst = Reg.P 0; addr = Reg.P 1; off = 0 };
+              Instr.Halt;
+            ]
+            []
+        in
+        let m = Machine.run [ p ] in
+        let r = Machine.report m in
+        (* movi(1) + load(1) + block(20) + switch + halt *)
+        check Alcotest.bool "at least 22" true (r.Machine.total_cycles >= 22));
+    test "loaded value is visible after resume" (fun () ->
+        let p =
+          prog "load_use"
+            [
+              Instr.Movi { dst = Reg.P 1; imm = 100 };
+              Instr.Load { dst = Reg.P 0; addr = Reg.P 1; off = 0 };
+              Instr.Store { src = Reg.P 0; addr = Reg.P 1; off = 1 };
+              Instr.Halt;
+            ]
+            []
+        in
+        let m = Machine.run ~mem_image:[ (100, 77) ] [ p ] in
+        let r = Machine.report m in
+        let tr = List.hd r.Machine.thread_reports in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "store" [ (101, 77) ] tr.Machine.store_trace);
+    test "two threads interleave on loads" (fun () ->
+        let a = store_all "a" ~addr:10 [ 1; 2; 3 ]
+        and b = store_all "b" ~addr:20 [ 4; 5; 6 ] in
+        let m = Machine.run [ a; b ] in
+        let r = Machine.report m in
+        (* both complete, and the total is far below the serialized sum
+           because memory latencies overlap *)
+        List.iter
+          (fun tr ->
+            check Alcotest.bool "completed" true (tr.Machine.completion <> None))
+          r.Machine.thread_reports;
+        let solo = Machine.report (Machine.run [ a ]) in
+        check Alcotest.bool "overlap" true
+          (r.Machine.total_cycles < 2 * solo.Machine.total_cycles));
+    test "ctx_switch rotates between ready threads" (fun () ->
+        let yield name v =
+          prog name
+            [
+              Instr.Movi { dst = Reg.P (if v = 1 then 0 else 2); imm = v };
+              Instr.Ctx_switch;
+              Instr.Movi { dst = Reg.P 1; imm = 900 };
+              Instr.Store { src = Reg.P (if v = 1 then 0 else 2); addr = Reg.P 1; off = v };
+              Instr.Halt;
+            ]
+            []
+        in
+        let m = Machine.run [ yield "y1" 1; yield "y2" 2 ] in
+        let r = Machine.report m in
+        List.iter
+          (fun tr -> check Alcotest.int "one ctx" 2 tr.Machine.context_switches)
+          r.Machine.thread_reports);
+    test "unsafe register sharing corrupts results (negative control)"
+      (fun () ->
+        (* both threads use r0 across a ctx_switch: the second thread
+           clobbers the first one's value *)
+        let clobber name v addr =
+          prog name
+            [
+              Instr.Movi { dst = Reg.P 0; imm = v };
+              Instr.Ctx_switch;
+              Instr.Movi { dst = Reg.P 1; imm = addr };
+              Instr.Store { src = Reg.P 0; addr = Reg.P 1; off = 0 };
+              Instr.Halt;
+            ]
+            []
+        in
+        let m = Machine.run [ clobber "c1" 11 300; clobber "c2" 22 301 ] in
+        let r = Machine.report m in
+        let t1 = List.hd r.Machine.thread_reports in
+        (* thread 1 wrote thread 2's value: exactly the unsafety the
+           verifier exists to prevent *)
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "corrupted" [ (300, 22) ] t1.Machine.store_trace);
+    test "virtual registers are rejected" (fun () ->
+        let p =
+          prog "virt" [ Instr.Movi { dst = Reg.V 0; imm = 1 }; Instr.Halt ] []
+        in
+        try
+          ignore (Machine.run [ p ]);
+          Alcotest.fail "expected Stuck"
+        with Machine.Stuck _ -> ());
+    test "runaway execution is caught" (fun () ->
+        let p =
+          prog "spin" [ Instr.Br { target = "top" } ] [ ("top", 0) ]
+        in
+        let config = { Machine.default_config with max_cycles = 1000 } in
+        try
+          ignore (Machine.run ~config [ p ]);
+          Alcotest.fail "expected Stuck"
+        with Machine.Stuck _ -> ());
+    test "memory image preloads" (fun () ->
+        let p =
+          prog "pre"
+            [
+              Instr.Movi { dst = Reg.P 1; imm = 50 };
+              Instr.Load { dst = Reg.P 0; addr = Reg.P 1; off = 0 };
+              Instr.Store { src = Reg.P 0; addr = Reg.P 1; off = 10 };
+              Instr.Halt;
+            ]
+            []
+        in
+        let m = Machine.run ~mem_image:[ (50, 123) ] [ p ] in
+        check Alcotest.int "value" 123 (Memory.peek (Machine.memory m) 60));
+  ]
+
+let refexec_tests =
+  [
+    test "refexec matches machine on a single thread" (fun () ->
+        let p = store_all "s" ~addr:40 [ 9; 8; 7 ] in
+        let a = Refexec.run p in
+        let m = Machine.report (Machine.run [ p ]) in
+        let tr = List.hd m.Machine.thread_reports in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "traces agree" a.Refexec.store_trace tr.Machine.store_trace);
+    test "refexec executes virtual programs" (fun () ->
+        let r = Npra_sim.Refexec.run (Fixtures.diamond_loop ()) in
+        check Alcotest.int "one store" 1 (List.length r.Refexec.store_trace));
+    test "refexec counts loads" (fun () ->
+        let r = Refexec.run (Fixtures.fig4_frag ()) in
+        check Alcotest.bool "loads > 0" true (r.Refexec.loads > 0));
+    test "refexec catches runaways" (fun () ->
+        let p = prog "spin" [ Instr.Br { target = "t" } ] [ ("t", 0) ] in
+        try
+          ignore (Refexec.run ~max_steps:100 p);
+          Alcotest.fail "expected Runaway"
+        with Refexec.Runaway _ -> ());
+    test "diamond loop computes the expected accumulator" (fun () ->
+        (* n counts 4,3,2,1: arm +10 when n=2, else +1 -> acc = 13 *)
+        let r = Refexec.run (Fixtures.diamond_loop ()) in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "store" [ (600, 13) ] r.Refexec.store_trace);
+  ]
+
+let memory_tests =
+  [
+    test "unwritten memory reads zero" (fun () ->
+        let m = Memory.create () in
+        check Alcotest.int "zero" 0 (Memory.read m 42));
+    test "write then read" (fun () ->
+        let m = Memory.create () in
+        Memory.write m 7 99;
+        check Alcotest.int "read" 99 (Memory.read m 7));
+    test "dump is sorted" (fun () ->
+        let m = Memory.create () in
+        Memory.write m 9 1;
+        Memory.write m 3 2;
+        Memory.write m 5 3;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "sorted" [ (3, 2); (5, 3); (9, 1) ] (Memory.dump m));
+    test "peek does not count as a read" (fun () ->
+        let m = Memory.create () in
+        ignore (Memory.peek m 1);
+        check Alcotest.int "reads" 0 (Memory.reads m));
+  ]
+
+let suite =
+  [
+    ("sim.machine", machine_tests);
+    ("sim.refexec", refexec_tests);
+    ("sim.memory", memory_tests);
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the benchmark kernels: structural sanity, determinism, and
+   behavioural fidelity under the reference executor. *)
+
+open Npra_ir
+open Npra_workloads
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let all_ids = Registry.ids ()
+
+let per_workload name f =
+  List.map
+    (fun id ->
+      test (Fmt.str "%s: %s" id name) (fun () ->
+          f (Registry.instantiate (Registry.find_exn id) ~slot:0)))
+    all_ids
+
+let structure_tests =
+  per_workload "program validates and is virtual" (fun w ->
+      Prog.validate w.Workload.prog;
+      check Alcotest.bool "virtual" true (Prog.all_virtual w.Workload.prog))
+  @ per_workload "has context switches" (fun w ->
+        check Alcotest.bool "has CSBs" true
+          (Prog.count_ctx_switches w.Workload.prog > 0))
+  @ per_workload "terminates under the reference executor" (fun w ->
+        let r =
+          Npra_sim.Refexec.run ~mem_image:w.Workload.mem_image w.Workload.prog
+        in
+        check Alcotest.bool "stores something" true
+          (r.Npra_sim.Refexec.store_trace <> []))
+  @ per_workload "memory image stays in its instance" (fun w ->
+        List.iter
+          (fun (a, _) ->
+            check Alcotest.bool "in range" true
+              (a >= w.Workload.mem_base
+              && a < w.Workload.mem_base + Workload.instance_size))
+          w.Workload.mem_image)
+
+let determinism_tests =
+  [
+    test "instantiation is deterministic" (fun () ->
+        List.iter
+          (fun id ->
+            let spec = Registry.find_exn id in
+            let a = Registry.instantiate spec ~slot:0
+            and b = Registry.instantiate spec ~slot:0 in
+            check Alcotest.bool (id ^ " same code") true
+              (a.Workload.prog.Prog.code = b.Workload.prog.Prog.code);
+            check Alcotest.bool (id ^ " same image") true
+              (a.Workload.mem_image = b.Workload.mem_image))
+          all_ids);
+    test "different slots use disjoint memory" (fun () ->
+        let spec = Registry.find_exn "md5" in
+        let a = Registry.instantiate spec ~slot:0
+        and b = Registry.instantiate spec ~slot:1 in
+        let addrs w =
+          List.map fst w.Workload.mem_image |> List.sort_uniq compare
+        in
+        let inter =
+          List.filter (fun x -> List.mem x (addrs b)) (addrs a)
+        in
+        check Alcotest.int "no overlap" 0 (List.length inter));
+    test "random_words is seeded" (fun () ->
+        check Alcotest.bool "same seed same words" true
+          (Workload.random_words ~seed:7 16 = Workload.random_words ~seed:7 16);
+        check Alcotest.bool "different seeds differ" true
+          (Workload.random_words ~seed:7 16 <> Workload.random_words ~seed:8 16));
+    test "registry finds every id and rejects unknowns" (fun () ->
+        List.iter
+          (fun id -> check Alcotest.bool id true (Registry.find id <> None))
+          all_ids;
+        check Alcotest.bool "unknown" true (Registry.find "nope" = None));
+    test "registry has the paper's 11 benchmarks" (fun () ->
+        check Alcotest.int "count" 11 (List.length all_ids));
+  ]
+
+(* Profile assertions: the properties DESIGN.md relies on. *)
+let profile_tests =
+  let bounds id =
+    let w = Registry.instantiate (Registry.find_exn id) ~slot:0 in
+    let prog = Npra_cfg.Webs.rename w.Workload.prog in
+    let ctx = Npra_regalloc.Context.create prog in
+    let _, b = Npra_regalloc.Estimate.run ctx in
+    b
+  in
+  [
+    test "md5 pressure exceeds the fixed 32-register partition" (fun () ->
+        let b = bounds "md5" in
+        check Alcotest.bool "min_r > 32" true (b.Npra_regalloc.Estimate.min_r > 32));
+    test "wraps pressure exceeds the fixed partition" (fun () ->
+        List.iter
+          (fun id ->
+            let b = bounds id in
+            check Alcotest.bool (id ^ " min_r > 32") true
+              (b.Npra_regalloc.Estimate.min_r > 32))
+          [ "wraps_rx"; "wraps_tx" ]);
+    test "fir2dim: high internal, low boundary pressure" (fun () ->
+        let b = bounds "fir2dim" in
+        check Alcotest.bool "boundary small" true
+          (b.Npra_regalloc.Estimate.min_pr <= 8);
+        check Alcotest.bool "internal much larger" true
+          (b.Npra_regalloc.Estimate.min_r >= 2 * b.Npra_regalloc.Estimate.min_pr));
+    test "light kernels fit the fixed partition" (fun () ->
+        List.iter
+          (fun id ->
+            let b = bounds id in
+            check Alcotest.bool (id ^ " fits 32") true
+              (b.Npra_regalloc.Estimate.max_r <= 32))
+          [ "frag"; "crc32"; "url"; "route"; "l2l3fwd_rx"; "l2l3fwd_tx"; "drr" ]);
+  ]
+
+let suite =
+  [
+    ("workloads.structure", structure_tests);
+    ("workloads.determinism", determinism_tests);
+    ("workloads.profile", profile_tests);
+  ]
