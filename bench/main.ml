@@ -4,7 +4,12 @@
    Usage:
      dune exec bench/main.exe              all experiments + timings
      dune exec bench/main.exe table1       one experiment
-     dune exec bench/main.exe table1 fig14 table2 table3 timing ablation
+     dune exec bench/main.exe -- dataflow --json BENCH_dataflow.json
+
+   Flags:
+     --json PATH   where [dataflow] writes its JSON report
+                   (default BENCH_dataflow.json)
+     --quick       tiny Bechamel quota, for CI smoke runs
 
    Absolute cycle numbers come from our machine model, not the IXP1200
    Developer Workbench, so EXPERIMENTS.md compares shapes and ratios
@@ -248,23 +253,159 @@ let run_timing () =
        (bechamel_tests ()))
 
 (* ------------------------------------------------------------------ *)
+(* Dataflow engine benchmark: dense bitset liveness vs the Reg.Set     *)
+(* reference oracle, on every workload kernel plus a ~10k-instruction  *)
+(* synthetic program. Writes the BENCH_dataflow.json trajectory file.  *)
+
+let json_path = ref "BENCH_dataflow.json"
+let quick = ref false
+
+type df_case = { df_name : string; median_ns : float; samples : int }
+
+let median_ns_per_run test =
+  let open Bechamel in
+  let quota = Time.second (if !quick then 0.005 else 0.5) in
+  let cfg =
+    Benchmark.cfg ~limit:(if !quick then 5 else 200) ~quota ~kde:None ()
+  in
+  let raws = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let label = Measure.label Toolkit.Instance.monotonic_clock in
+  let per_run =
+    Hashtbl.fold
+      (fun _ b acc ->
+        Array.fold_left
+          (fun acc raw ->
+            let runs = Measurement_raw.run raw in
+            if runs > 0. then (Measurement_raw.get ~label raw /. runs) :: acc
+            else acc)
+          acc b.Benchmark.lr)
+      raws []
+    |> List.sort compare |> Array.of_list
+  in
+  let n = Array.length per_run in
+  if n = 0 then (Float.nan, 0)
+  else
+    let median =
+      if n mod 2 = 1 then per_run.(n / 2)
+      else (per_run.((n / 2) - 1) +. per_run.(n / 2)) /. 2.
+    in
+    (median, n)
+
+let dataflow_programs () =
+  let kernels =
+    List.map
+      (fun spec ->
+        ( spec.Workload.id,
+          (Registry.instantiate spec ~slot:0).Workload.prog ))
+      Registry.all
+  in
+  kernels @ [ ("synthetic10k", Synthetic.large ~size:10_000 ()) ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_dataflow_json path cases speedups =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  let pp_case ppf c =
+    Fmt.pf ppf {|    {"name": "%s", "median_ns_per_run": %.1f, "samples": %d}|}
+      (json_escape c.df_name) c.median_ns c.samples
+  in
+  let pp_speedup ppf (id, s) =
+    Fmt.pf ppf {|    "%s": %.2f|} (json_escape id) s
+  in
+  Fmt.pf ppf
+    "{@\n  \"benchmark\": \"dataflow\",@\n  \"unit\": \"ns/run\",@\n  \
+     \"cases\": [@\n%a@\n  ],@\n  \"speedup_dense_over_reference\": {@\n%a@\n  \
+     }@\n}@."
+    Fmt.(list ~sep:(any ",@\n") pp_case)
+    cases
+    Fmt.(list ~sep:(any ",@\n") pp_speedup)
+    speedups;
+  close_out oc
+
+let run_dataflow () =
+  (* Fail on an unwritable JSON path before the minutes-long run, not
+     after it. *)
+  (match open_out_gen [ Open_append; Open_creat ] 0o644 !json_path with
+  | oc -> close_out oc
+  | exception Sys_error msg ->
+    Fmt.epr "cannot write %s: %s@." !json_path msg;
+    exit 2);
+  Fmt.pr "@.== Dataflow: dense bitset engine vs Reg.Set reference ==@.";
+  let open Bechamel in
+  let programs = dataflow_programs () in
+  Fmt.pr "%-24s %14s %14s %9s@." "program" "dense ns" "reference ns" "speedup";
+  let cases, speedups =
+    List.fold_left
+      (fun (cases, speedups) (id, prog) ->
+        let time name f =
+          let median, samples =
+            median_ns_per_run (Test.make ~name (Staged.stage f))
+          in
+          { df_name = name; median_ns = median; samples }
+        in
+        let dense =
+          time (Fmt.str "liveness-dense:%s" id) (fun () ->
+              Npra_cfg.Liveness.compute prog)
+        in
+        let reference =
+          time (Fmt.str "liveness-reference:%s" id) (fun () ->
+              Npra_cfg.Liveness.compute_reference prog)
+        in
+        let speedup = reference.median_ns /. dense.median_ns in
+        Fmt.pr "%-24s %14.1f %14.1f %8.2fx@." id dense.median_ns
+          reference.median_ns speedup;
+        (cases @ [ dense; reference ], speedups @ [ (id, speedup) ]))
+      ([], []) programs
+  in
+  write_dataflow_json !json_path cases speedups;
+  Fmt.pr "wrote %s@." !json_path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let known =
     [
       ("table1", run_table1); ("fig14", run_fig14); ("table2", run_table2);
       ("table3", run_table3); ("ablation", run_ablation);
-      ("timing", run_timing);
+      ("timing", run_timing); ("dataflow", run_dataflow);
     ]
   in
-  let args = List.tl (Array.to_list Sys.argv) in
+  let print_subcommands ppf =
+    Fmt.pf ppf "subcommands:@.";
+    List.iter (fun (n, _) -> Fmt.pf ppf "  %s@." n) known
+  in
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--json" :: path :: rest ->
+      json_path := path;
+      parse names rest
+    | [ "--json" ] ->
+      Fmt.epr "--json needs a path argument@.";
+      exit 2
+    | "--quick" :: rest ->
+      quick := true;
+      parse names rest
+    | name :: rest -> parse (name :: names) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected = if args = [] then List.map fst known else args in
+  (* Validate every requested subcommand up front so an unknown name
+     fails fast, with the full list, before any experiment runs. *)
   List.iter
     (fun name ->
-      match List.assoc_opt name known with
-      | Some f -> f ()
-      | None ->
-        Fmt.epr "unknown experiment %S (known: %s)@." name
-          (String.concat ", " (List.map fst known));
-        exit 2)
-    selected
+      if not (List.mem_assoc name known) then begin
+        Fmt.epr "unknown subcommand %S@.%t" name print_subcommands;
+        exit 2
+      end)
+    selected;
+  List.iter (fun name -> (List.assoc name known) ()) selected

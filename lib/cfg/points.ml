@@ -14,7 +14,11 @@
    A context-switch boundary (CSB) lives inside its causing instruction
    [c]: the values that survive it are [live_out(c) \ defs(c)]; each such
    value is live at both gap [c] and gap [c+1], and by convention the live
-   range segment containing gap [c] "owns" the crossing. *)
+   range segment containing gap [c] "owns" the crossing.
+
+   Per-gap live sets are dense bitsets over the program's register
+   numbering (shared with {!Liveness}); the Reg.Set accessors materialise
+   tree-set views on demand for the remaining sparse consumers. *)
 
 open Npra_ir
 module IntSet = Set.Make (Int)
@@ -23,9 +27,10 @@ type t = {
   prog : Prog.t;
   live : Liveness.t;
   n : int;
-  live_at_gap : Reg.Set.t array;  (* length n+1 *)
+  num : Numbering.t;
+  live_at_gap : Bitset.t array;  (* length n+1 *)
   gaps_of : IntSet.t Reg.Map.t;
-  across : Reg.Set.t array;  (* per instruction; empty unless CSB *)
+  across : Bitset.t array;  (* per instruction; empty unless CSB *)
   csb_points : int list;  (* CSB instruction indices, program order *)
   csbs_of : IntSet.t Reg.Map.t;
   edges : (int * int) list;  (* gap edges *)
@@ -33,41 +38,49 @@ type t = {
 
 let compute prog =
   let live = Liveness.compute prog in
+  let num = Liveness.numbering live in
   let n = Prog.length prog in
-  let live_at_gap = Array.make (n + 1) Reg.Set.empty in
-  for p = 0 to n - 1 do
-    live_at_gap.(p) <- Liveness.live_in live p
-  done;
+  let live_at_gap =
+    Array.init (n + 1) (fun p ->
+        if p < n then Liveness.live_in_bits live p
+        else Bitset.create (Numbering.size num))
+  in
   for p = 1 to n do
-    let defs = Reg.Set.of_list (Instr.defs (Prog.instr prog (p - 1))) in
-    live_at_gap.(p) <- Reg.Set.union live_at_gap.(p) defs
+    List.iter
+      (fun d -> Bitset.add live_at_gap.(p) (Numbering.index num d))
+      (Instr.defs (Prog.instr prog (p - 1)))
   done;
   let gaps_of = ref Reg.Map.empty in
   Array.iteri
-    (fun p regs ->
-      Reg.Set.iter
-        (fun r ->
+    (fun p bits ->
+      Bitset.iter
+        (fun i ->
+          let r = Numbering.reg num i in
           gaps_of :=
             Reg.Map.update r
               (function
                 | None -> Some (IntSet.singleton p)
                 | Some s -> Some (IntSet.add p s))
               !gaps_of)
-        regs)
+        bits)
     live_at_gap;
-  let across = Array.make n Reg.Set.empty in
+  let across =
+    Array.init n (fun i ->
+        if Instr.causes_ctx_switch (Prog.instr prog i) then
+          Liveness.live_across_bits live i
+        else Bitset.create (Numbering.size num))
+  in
   let csb_points = ref [] in
   for i = n - 1 downto 0 do
-    if Instr.causes_ctx_switch (Prog.instr prog i) then begin
-      across.(i) <- Liveness.live_across live i;
+    if Instr.causes_ctx_switch (Prog.instr prog i) then
       csb_points := i :: !csb_points
-    end
   done;
   let csbs_of = ref Reg.Map.empty in
   List.iter
     (fun c ->
-      Reg.Set.iter
-        (fun r ->
+      Bitset.iter
+        (fun i ->
+          let r = Numbering.reg num i in
           csbs_of :=
             Reg.Map.update r
               (function
@@ -92,6 +105,7 @@ let compute prog =
     prog;
     live;
     n;
+    num;
     live_at_gap;
     gaps_of = !gaps_of;
     across;
@@ -101,8 +115,20 @@ let compute prog =
   }
 
 let liveness t = t.live
+let numbering t = t.num
 let num_gaps t = t.n + 1
-let live_at_gap t p = t.live_at_gap.(p)
+
+let set_of_bits num bits =
+  Bitset.fold (fun i acc -> Reg.Set.add (Numbering.reg num i) acc) bits
+    Reg.Set.empty
+
+let live_at_gap t p = set_of_bits t.num t.live_at_gap.(p)
+let live_at_gap_bits t p = t.live_at_gap.(p)
+
+let live_at t p r =
+  match Numbering.index_opt t.num r with
+  | Some i -> Bitset.mem t.live_at_gap.(p) i
+  | None -> false
 
 let gaps_of t r =
   match Reg.Map.find_opt r t.gaps_of with
@@ -114,7 +140,8 @@ let csbs_of t r =
   | Some s -> s
   | None -> IntSet.empty
 
-let across t i = t.across.(i)
+let across t i = set_of_bits t.num t.across.(i)
+let across_bits t i = t.across.(i)
 let csb_points t = t.csb_points
 let gap_edges t = t.edges
 
@@ -123,11 +150,11 @@ let gap_edges_of t r =
   List.filter (fun (p, q) -> IntSet.mem p gaps && IntSet.mem q gaps) t.edges
 
 let reg_pressure_max t =
-  Array.fold_left (fun acc s -> max acc (Reg.Set.cardinal s)) 0 t.live_at_gap
+  Array.fold_left (fun acc s -> max acc (Bitset.cardinal s)) 0 t.live_at_gap
 
 let reg_pressure_csb_max t =
   List.fold_left
-    (fun acc c -> max acc (Reg.Set.cardinal t.across.(c)))
+    (fun acc c -> max acc (Bitset.cardinal t.across.(c)))
     0 t.csb_points
 
 let is_boundary t r = not (IntSet.is_empty (csbs_of t r))

@@ -12,7 +12,12 @@
     A context-switch boundary (CSB) lives inside its causing instruction
     [c]: the values surviving it are [live_out(c) \ defs(c)], each live at
     both gaps [c] and [c+1]; the segment containing gap [c] owns the
-    crossing. *)
+    crossing.
+
+    Per-gap live sets are stored as dense {!Bitset}s over the program's
+    {!Npra_ir.Numbering}; the [Reg.Set] accessors materialise views on
+    demand and the [_bits] accessors expose the dense form for hot
+    consumers. *)
 
 open Npra_ir
 module IntSet : Set.S with type elt = int
@@ -23,10 +28,20 @@ val compute : Prog.t -> t
 
 val liveness : t -> Liveness.t
 
+val numbering : t -> Numbering.t
+(** The dense register numbering shared with the underlying liveness. *)
+
 val num_gaps : t -> int
 (** [Prog.length p + 1]. *)
 
 val live_at_gap : t -> int -> Reg.Set.t
+
+val live_at_gap_bits : t -> int -> Bitset.t
+(** Dense view of {!live_at_gap}; the analysis' own state — callers must
+    not mutate it. *)
+
+val live_at : t -> int -> Reg.t -> bool
+(** [live_at t p r] iff [r] is live at gap [p]; O(1). *)
 
 val gaps_of : t -> Reg.t -> IntSet.t
 (** All gaps where the register is live (its whole live range as points). *)
@@ -37,6 +52,9 @@ val csbs_of : t -> Reg.t -> IntSet.t
 val across : t -> int -> Reg.Set.t
 (** Registers live across the CSB of instruction [i]; empty if [i] does
     not cause a context switch. *)
+
+val across_bits : t -> int -> Bitset.t
+(** Dense view of {!across}; not to be mutated by callers. *)
 
 val csb_points : t -> int list
 (** CSB instruction indices, in program order. *)

@@ -1,0 +1,56 @@
+(* Dense per-program register numbering.
+
+   Registers are numbered in Reg.compare order so the mapping depends only
+   on the set of registers, not on how the program was traversed. Lookup
+   is a hash-table hit; the inverse is an array index. *)
+
+(* Registers are keyed by [2 * number + kind] in an int hash table:
+   lookups sit on the setup path of every dense analysis and the
+   specialised table avoids polymorphic hashing of the variant. *)
+module IntTbl = Hashtbl.Make (Int)
+
+let key = function Reg.V n -> n lsl 1 | Reg.P n -> (n lsl 1) lor 1
+
+type t = {
+  regs : Reg.t array;  (* index -> register, sorted by Reg.compare *)
+  indices : int IntTbl.t;  (* key reg -> index *)
+}
+
+let of_array regs =
+  let indices = IntTbl.create (Array.length regs * 2) in
+  Array.iteri (fun i r -> IntTbl.replace indices (key r) i) regs;
+  { regs; indices }
+
+let of_regs set = of_array (Array.of_list (Reg.Set.elements set))
+
+let of_prog prog =
+  (* One hash-table pass instead of [Prog.regs]'s tree set. *)
+  let seen = IntTbl.create 64 in
+  Prog.fold_instrs
+    (fun () _ ins ->
+      List.iter (fun r -> IntTbl.replace seen (key r) r) (Instr.defs ins);
+      List.iter (fun r -> IntTbl.replace seen (key r) r) (Instr.uses ins))
+    () prog;
+  let regs =
+    IntTbl.fold (fun _ r acc -> r :: acc) seen []
+    |> List.sort Reg.compare |> Array.of_list
+  in
+  of_array regs
+
+let size t = Array.length t.regs
+
+let index_opt t r = IntTbl.find_opt t.indices (key r)
+
+let index t r =
+  match IntTbl.find_opt t.indices (key r) with
+  | Some i -> i
+  | None -> Fmt.invalid_arg "Numbering.index: %a is not numbered" Reg.pp r
+
+let mem t r = IntTbl.mem t.indices (key r)
+
+let reg t i = t.regs.(i)
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}"
+    Fmt.(iter_bindings ~sep:comma Array.iteri (pair ~sep:(any ":") int Reg.pp))
+    t.regs

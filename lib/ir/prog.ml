@@ -70,11 +70,28 @@ let succs t i =
     if List.mem j fall then fall else fall @ [ j ]
   | None -> fall
 
+let succs_array t =
+  (* One pass with a label lookup table: [succs] pays an O(labels)
+     association-list lookup per branch, which dominates analysis setup
+     on large programs. *)
+  let n = Array.length t.code in
+  let tbl = Hashtbl.create (List.length t.labels * 2) in
+  List.iter (fun (l, i) -> Hashtbl.replace tbl l i) t.labels;
+  Array.init n (fun i ->
+      let ins = t.code.(i) in
+      let fall = if Instr.falls_through ins && i + 1 < n then [ i + 1 ] else [] in
+      match Instr.branch_target ins with
+      | Some l ->
+        let j = Hashtbl.find tbl l in
+        if List.mem j fall then fall else fall @ [ j ]
+      | None -> fall)
+
 let preds t =
   let n = Array.length t.code in
+  let succs = succs_array t in
   let p = Array.make n [] in
   for i = 0 to n - 1 do
-    List.iter (fun j -> p.(j) <- i :: p.(j)) (succs t i)
+    List.iter (fun j -> p.(j) <- i :: p.(j)) succs.(i)
   done;
   p
 

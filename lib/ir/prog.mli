@@ -35,6 +35,10 @@ val labels_at : t -> int -> Instr.label list
 val succs : t -> int -> int list
 (** Successor instruction indices (fallthrough first when both exist). *)
 
+val succs_array : t -> int list array
+(** All successor lists in one pass over the program, with a single
+    label lookup table — what the dataflow engines iterate over. *)
+
 val preds : t -> int list array
 (** Predecessor indices for every instruction. *)
 

@@ -37,11 +37,13 @@ type node = {
 type t = {
   prog : Prog.t;
   pts : Points.t;
+  num : Numbering.t;  (* dense register numbering shared with [pts] *)
   regions : Nsr.t;
   nodes : node IntMap.t;
   seg_at : int KeyMap.t;  (* (vreg, gap) -> node id *)
   vreg_edges : (Reg.t * (int * int) list) list;  (* per-web gap edges *)
   defs_at : Reg.Set.t array;  (* registers defined by instruction i *)
+  defs_bits : Bitset.t array;  (* dense view of [defs_at] *)
   falls : bool array;  (* instruction i falls through to i+1 *)
   def_gaps : IntSet.t Reg.Map.t;  (* gaps right after a def of the vreg *)
   next_id : int;
@@ -53,6 +55,7 @@ let regions t = t.regions
 
 let create prog =
   let pts = Points.compute prog in
+  let num = Points.numbering pts in
   let regions = Nsr.compute prog in
   let live_regs =
     Reg.Set.filter
@@ -81,6 +84,14 @@ let create prog =
   let defs_at =
     Array.init n (fun i -> Reg.Set.of_list (Instr.defs (Prog.instr prog i)))
   in
+  let defs_bits =
+    Array.map
+      (fun ds ->
+        let b = Bitset.create (Numbering.size num) in
+        Reg.Set.iter (fun r -> Bitset.add b (Numbering.index num r)) ds;
+        b)
+      defs_at
+  in
   let falls = Array.init n (fun i -> Instr.falls_through (Prog.instr prog i)) in
   let def_gaps =
     let acc = ref Reg.Map.empty in
@@ -98,8 +109,8 @@ let create prog =
       defs_at;
     !acc
   in
-  { prog; pts; regions; nodes; seg_at; vreg_edges; defs_at; falls; def_gaps;
-    next_id }
+  { prog; pts; num; regions; nodes; seg_at; vreg_edges; defs_at; defs_bits;
+    falls; def_gaps; next_id }
 
 let node t id = IntMap.find id t.nodes
 let nodes t = IntMap.bindings t.nodes |> List.map snd
@@ -110,12 +121,14 @@ let seg t vreg gap = KeyMap.find_opt (vreg, gap) t.seg_at
 let is_boundary n = not (IntSet.is_empty n.csbs)
 
 let occupants t gap =
-  Reg.Set.fold
-    (fun v acc ->
+  (* Hot path: iterate the dense per-gap bitset rather than a tree set. *)
+  Bitset.fold
+    (fun i acc ->
+      let v = Numbering.reg t.num i in
       match seg t v gap with
       | Some id -> IntMap.add id (node t id) acc
       | None -> acc)
-    (Points.live_at_gap t.pts gap)
+    (Points.live_at_gap_bits t.pts gap)
     IntMap.empty
   |> IntMap.bindings |> List.map snd
 
@@ -128,14 +141,20 @@ let occupants t gap =
    itself is defined by p there is no move at all: the definition
    writes straight into the p+1 segment.) *)
 
-let live_through t p =
+let live_through_bits t p =
   (* vregs live at both ends of the fallthrough edge (p, p+1), not
-     defined by p *)
-  if p < 0 || p >= Array.length t.falls || not t.falls.(p) then Reg.Set.empty
-  else
-    Reg.Set.diff
-      (Reg.Set.inter (Points.live_at_gap t.pts p) (Points.live_at_gap t.pts (p + 1)))
-      t.defs_at.(p)
+     defined by p; a fresh bitset the caller owns *)
+  if p < 0 || p >= Array.length t.falls || not t.falls.(p) then
+    Bitset.create (Numbering.size t.num)
+  else begin
+    let s =
+      Bitset.inter
+        (Points.live_at_gap_bits t.pts p)
+        (Points.live_at_gap_bits t.pts (p + 1))
+    in
+    Bitset.diff_into ~into:s t.defs_bits.(p);
+    s
+  end
 
 let outgoing_at t q =
   (* segments whose value is carried across edge (q-1, q) by an actual
@@ -144,14 +163,15 @@ let outgoing_at t q =
      uncoloured segments are included conservatively) *)
   if q < 1 then []
   else
-    Reg.Set.fold
-      (fun v acc ->
+    Bitset.fold
+      (fun i acc ->
+        let v = Numbering.reg t.num i in
         match seg t v (q - 1), seg t v q with
         | Some a, Some b when a <> b ->
           let na = node t a and nb = node t b in
           if na.color > 0 && na.color = nb.color then acc else na :: acc
         | _ -> acc)
-      (live_through t (q - 1))
+      (live_through_bits t (q - 1))
       []
 
 let def_segs_at t q =
@@ -207,7 +227,7 @@ let hazard_neighbors t n =
     IntSet.fold
       (fun p acc ->
         if
-          Reg.Set.mem n.vreg (live_through t p)
+          Bitset.mem (live_through_bits t p) (Numbering.index t.num n.vreg)
           && (match seg t n.vreg (p + 1) with
              | Some other -> other <> n.id
              | None -> false)

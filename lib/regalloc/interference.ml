@@ -29,9 +29,26 @@ type t = {
   nodes : node list;
   gig_edges : (Reg.t * Reg.t) list;
   big_edges : (Reg.t * Reg.t) list;
+  num : Numbering.t;
+  gig_adj : Bitset.t array;  (* adjacency rows, indexed by vreg number *)
+  big_adj : Bitset.t array;
 }
 
 let canonical a b = if Reg.compare a b <= 0 then (a, b) else (b, a)
+
+let adjacency num edges =
+  (* Bit-matrix fast path: row [i] holds the neighbours of register
+     [Numbering.reg num i], so membership queries and degrees are O(1)
+     and O(words) instead of a scan of the edge list. *)
+  let w = Numbering.size num in
+  let adj = Array.init w (fun _ -> Bitset.create w) in
+  List.iter
+    (fun (a, b) ->
+      let ia = Numbering.index num a and ib = Numbering.index num b in
+      Bitset.add adj.(ia) ib;
+      Bitset.add adj.(ib) ia)
+    edges;
+  adj
 
 let build prog =
   let ctx = Context.create prog in
@@ -57,11 +74,17 @@ let build prog =
       [] (Context.nodes ctx)
     |> List.map fst |> List.sort_uniq compare
   in
+  let gig_edges = edge_set (fun n -> Context.neighbors ctx n) in
+  let big_edges = edge_set (fun n -> Context.boundary_neighbors ctx n) in
+  let num = Points.numbering (Context.points ctx) in
   {
     ctx;
     nodes;
-    gig_edges = edge_set (fun n -> Context.neighbors ctx n);
-    big_edges = edge_set (fun n -> Context.boundary_neighbors ctx n);
+    gig_edges;
+    big_edges;
+    num;
+    gig_adj = adjacency num gig_edges;
+    big_adj = adjacency num big_edges;
   }
 
 let nodes t = t.nodes
@@ -74,12 +97,18 @@ let iig t region =
 let gig_edges t = t.gig_edges
 let big_edges t = t.big_edges
 
-let gig_degree t v =
-  List.length
-    (List.filter (fun (a, b) -> Reg.equal a v || Reg.equal b v) t.gig_edges)
+let adj_mem t adj a b =
+  match Numbering.index_opt t.num a, Numbering.index_opt t.num b with
+  | Some ia, Some ib -> Bitset.mem adj.(ia) ib
+  | _ -> false
 
-let interferes t a b = List.mem (canonical a b) t.gig_edges
-let boundary_interferes t a b = List.mem (canonical a b) t.big_edges
+let gig_degree t v =
+  match Numbering.index_opt t.num v with
+  | Some i -> Bitset.cardinal t.gig_adj.(i)
+  | None -> 0
+
+let interferes t a b = adj_mem t t.gig_adj a b
+let boundary_interferes t a b = adj_mem t t.big_adj a b
 
 let stats t =
   ( List.length t.nodes,

@@ -26,8 +26,14 @@ val gig_edges : t -> (Reg.t * Reg.t) list
 val big_edges : t -> (Reg.t * Reg.t) list
 
 val gig_degree : t -> Reg.t -> int
+(** Degree in the GIG, answered from the adjacency bit-matrix. *)
+
 val interferes : t -> Reg.t -> Reg.t -> bool
+(** O(1) bit-matrix membership query on the GIG; [false] for registers
+    that do not occur in the program. *)
+
 val boundary_interferes : t -> Reg.t -> Reg.t -> bool
+(** O(1) bit-matrix membership query on the BIG. *)
 
 val stats : t -> int * int * int * int
 (** (nodes, boundary nodes, GIG edges, BIG edges). *)

@@ -137,9 +137,40 @@ let roundtrip_tests =
           Npra_workloads.Registry.all);
   ]
 
+(* Golden fixpoint: print -> parse -> print must reproduce the text
+   byte-for-byte, a stronger property than structural round-tripping —
+   it also pins the printer's surface syntax itself. *)
+let golden_tests =
+  let fixpoint what p =
+    let s = Printer.to_string p in
+    let s' = Printer.to_string (parse_one s) in
+    check Alcotest.string (what ^ " print/parse/print fixpoint") s s'
+  in
+  List.map
+    (fun spec ->
+      let id = spec.Npra_workloads.Workload.id in
+      test (Fmt.str "kernel %s prints to a fixpoint" id) (fun () ->
+          let w = Npra_workloads.Registry.instantiate spec ~slot:0 in
+          fixpoint id w.Npra_workloads.Workload.prog))
+    Npra_workloads.Registry.all
+  @ [
+      test "renamed kernels print to a fixpoint" (fun () ->
+          List.iter
+            (fun spec ->
+              let w = Npra_workloads.Registry.instantiate spec ~slot:0 in
+              fixpoint
+                (spec.Npra_workloads.Workload.id ^ " (renamed)")
+                (Npra_cfg.Webs.rename w.Npra_workloads.Workload.prog))
+            Npra_workloads.Registry.all);
+      test "synthetic program prints to a fixpoint" (fun () ->
+          fixpoint "synthetic"
+            (Npra_workloads.Synthetic.large ~size:500 ()));
+    ]
+
 let suite =
   [
     ("asm.lexer", lexer_tests);
     ("asm.parser", parser_tests);
     ("asm.roundtrip", roundtrip_tests);
+    ("asm.golden", golden_tests);
   ]

@@ -1,0 +1,171 @@
+(* Unit tests for the allocation safety verifier.
+
+   One test per {!Npra_regalloc.Verify.error} constructor: each builds
+   the smallest physical program (or layout) that violates exactly one
+   rule of the safety discipline, checks the verifier reports it, and
+   pins down the rendered diagnostic. *)
+
+open Npra_ir
+open Npra_regalloc
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* 16-register file: thread 0 owns r0-r3, thread 1 owns r4-r7, the
+   shared block is r12-r15. *)
+let layout = Assign.layout ~nreg:16 ~prs:[ 4; 4 ] ~sgr:4
+
+let prog name code = Prog.make ~name ~code ~labels:[]
+
+let pp_err e = Fmt.str "%a" Verify.pp_error e
+
+let check_errors what expected actual =
+  Alcotest.(check (list string)) what expected (List.map pp_err actual)
+
+let virtual_register =
+  test "Virtual_register: a virtual register survived allocation" (fun () ->
+      let p =
+        prog "vreg"
+          [ Instr.Movi { dst = Reg.V 3; imm = 1 }; Instr.Halt ]
+      in
+      let errs = Verify.check_thread layout ~thread:0 p in
+      (match errs with
+      | [ Verify.Virtual_register { thread = 0; instr = 0; reg = Reg.V 3 } ] ->
+        ()
+      | _ -> Alcotest.fail "expected exactly one Virtual_register error");
+      check_errors "diagnostic"
+        [ "thread 0 instr 0: virtual register v3 survived allocation" ]
+        errs)
+
+let register_out_of_file =
+  test "Register_out_of_file: register index beyond the file" (fun () ->
+      let p =
+        prog "oof"
+          [ Instr.Movi { dst = Reg.P 99; imm = 1 }; Instr.Halt ]
+      in
+      let errs = Verify.check_thread layout ~thread:1 p in
+      (match errs with
+      | [ Verify.Register_out_of_file { thread = 1; instr = 0; reg = Reg.P 99 } ]
+        ->
+        ()
+      | _ -> Alcotest.fail "expected exactly one Register_out_of_file error");
+      check_errors "diagnostic"
+        [ "thread 1 instr 0: r99 outside the register file" ]
+        errs)
+
+let foreign_register =
+  test "Foreign_register: thread 0 touches thread 1's block" (fun () ->
+      (* r5 lies in thread 1's private block [4, 8). *)
+      let p =
+        prog "foreign"
+          [ Instr.Movi { dst = Reg.P 5; imm = 1 }; Instr.Halt ]
+      in
+      let errs = Verify.check_thread layout ~thread:0 p in
+      (match errs with
+      | [ Verify.Foreign_register { thread = 0; instr = 0; reg = Reg.P 5 } ] ->
+        ()
+      | _ -> Alcotest.fail "expected exactly one Foreign_register error");
+      check_errors "diagnostic"
+        [ "thread 0 instr 0: r5 lies in another thread's private block" ]
+        errs)
+
+let shared_live_across_csb =
+  test "Shared_live_across_csb: shared value held across a switch" (fun () ->
+      (* r12 is shared; keeping it live across the ctx_switch at instr 2
+         is exactly what the private-block discipline forbids. r0 is
+         also live across but private to thread 0, so only r12 errors. *)
+      let p =
+        prog "shared-across"
+          [
+            Instr.Movi { dst = Reg.P 0; imm = 0 };
+            Instr.Movi { dst = Reg.P 12; imm = 7 };
+            Instr.Ctx_switch;
+            Instr.Store { src = Reg.P 12; addr = Reg.P 0; off = 0 };
+            Instr.Halt;
+          ]
+      in
+      let errs = Verify.check_thread layout ~thread:0 p in
+      (match errs with
+      | [ Verify.Shared_live_across_csb { thread = 0; instr = 2; reg = Reg.P 12 } ]
+        ->
+        ()
+      | _ -> Alcotest.fail "expected exactly one Shared_live_across_csb error");
+      check_errors "diagnostic"
+        [
+          "thread 0: r12 is live across the context switch at instr 2 but is \
+           not private to the thread";
+        ]
+        errs)
+
+let blocks_overlap =
+  test "Blocks_overlap: private blocks collide" (fun () ->
+      (* Assemble a broken layout by hand — Assign.layout itself packs
+         blocks disjointly, which is precisely what check_layout guards
+         against regressing. *)
+      let broken =
+        {
+          Assign.nreg = 8;
+          private_base = [| 0; 2 |];
+          private_size = [| 4; 4 |];
+          shared_base = 8;
+          sgr = 0;
+        }
+      in
+      let errs = Verify.check_layout broken in
+      (match errs with
+      | [ Verify.Blocks_overlap { thread_a = 0; thread_b = 1 } ] -> ()
+      | _ -> Alcotest.fail "expected exactly one Blocks_overlap error");
+      check_errors "diagnostic"
+        [ "private blocks of threads 0 and 1 overlap" ]
+        errs)
+
+let clean_system =
+  test "check_system accepts a disciplined two-thread system" (fun () ->
+      let mk thread =
+        let base, _ = Assign.private_range layout ~thread in
+        prog
+          (Fmt.str "t%d" thread)
+          [
+            Instr.Movi { dst = Reg.P base; imm = thread };
+            Instr.Ctx_switch;
+            Instr.Movi { dst = Reg.P (base + 1); imm = 0 };
+            Instr.Store
+              { src = Reg.P base; addr = Reg.P (base + 1); off = thread };
+            Instr.Halt;
+          ]
+      in
+      check_errors "no errors" []
+        (Verify.check_system layout [ mk 0; mk 1 ]))
+
+let check_system_collects =
+  test "check_system collects layout and per-thread errors" (fun () ->
+      let broken =
+        {
+          Assign.nreg = 8;
+          private_base = [| 0; 2 |];
+          private_size = [| 4; 4 |];
+          shared_base = 8;
+          sgr = 0;
+        }
+      in
+      let p = prog "bad" [ Instr.Movi { dst = Reg.V 0; imm = 0 }; Instr.Halt ] in
+      let errs = Verify.check_system broken [ p ] in
+      Alcotest.(check bool)
+        "has Blocks_overlap" true
+        (List.exists
+           (function Verify.Blocks_overlap _ -> true | _ -> false)
+           errs);
+      Alcotest.(check bool)
+        "has Virtual_register" true
+        (List.exists
+           (function Verify.Virtual_register _ -> true | _ -> false)
+           errs))
+
+let suite =
+  [
+    ( "verify.errors",
+      [
+        virtual_register; register_out_of_file; foreign_register;
+        shared_live_across_csb; blocks_overlap; clean_system;
+        check_system_collects;
+      ] );
+  ]
