@@ -72,7 +72,8 @@ let ablation_sharing () =
       let prog = Webs.rename w.Workload.prog in
       let chaitin = Chaitin.color_count prog in
       match Inter.tighten_zero_cost ~nreg:128 [ prog ] with
-      | Error (`Infeasible m) -> failwith m
+      | Error (`Infeasible m) ->
+        Fmt.pr "%-12s  %9d  (infeasible: %s)@." spec.Workload.id (4 * chaitin) m
       | Ok inter ->
         let th = inter.Inter.threads.(0) in
         (* no-shared: every register a thread touches must be private *)
@@ -144,7 +145,7 @@ let ablation_latency () =
   let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
   let spill_bases = List.map Workload.spill_base ws in
   let base = Pipeline.baseline ~nreg:128 ~spill_bases progs in
-  let bal = Pipeline.balanced ~nreg:128 progs in
+  let bal = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
   Fmt.pr "%8s  %12s  %12s  %9s@." "latency" "md5(spill)" "md5(share)"
     "speedup";
   List.iter
@@ -371,6 +372,37 @@ let run_dataflow () =
   Fmt.pr "wrote %s@." !json_path
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection detection matrix: every (kernel x fault) cell        *)
+(* through static Verify and the sentinel-armed simulator. Writes       *)
+(* BENCH_faults.json and fails the process if any injected fault goes   *)
+(* undetected — the robustness gate CI leans on.                        *)
+
+let faults_json = "BENCH_faults.json"
+
+let run_faults () =
+  let specs =
+    if !quick then
+      (* a light smoke subset; wraps_rx exercises the Chaitin fallback *)
+      List.filter
+        (fun s -> List.mem s.Workload.id [ "crc32"; "url"; "wraps_rx" ])
+        Registry.all
+    else Registry.all
+  in
+  Fmt.pr "@.== Fault injection: static verify + runtime sentinel ==@.";
+  let m = Npra_fault.Driver.run ~specs () in
+  Fmt.pr "%a" Npra_fault.Driver.pp m;
+  let oc = open_out faults_json in
+  output_string oc (Npra_fault.Driver.to_json m);
+  close_out oc;
+  Fmt.pr "wrote %s@." faults_json;
+  if not (Npra_fault.Driver.all_detected m) then begin
+    Fmt.epr
+      "FAULT HARNESS FAILURE: an injected fault went undetected, or the \
+       sentinel trapped on a clean system@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let known =
@@ -378,6 +410,7 @@ let () =
       ("table1", run_table1); ("fig14", run_fig14); ("table2", run_table2);
       ("table3", run_table3); ("ablation", run_ablation);
       ("timing", run_timing); ("dataflow", run_dataflow);
+      ("faults", run_faults);
     ]
   in
   let print_subcommands ppf =

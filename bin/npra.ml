@@ -88,8 +88,28 @@ let analyze_cmd =
 
 (* ---- allocate ---- *)
 
+(* Run the graceful-degradation chain; report provenance and the
+   diagnostic trail rather than dying, and exit only if every stage of
+   the chain failed. *)
+let balanced_or_die ?spill_bases ~nreg progs =
+  match Pipeline.balanced ~nreg ?spill_bases progs with
+  | Ok bal -> bal
+  | Error trail ->
+    Fmt.epr "allocation failed at every stage:@.";
+    List.iter (fun d -> Fmt.epr "  %a@." Pipeline.pp_diagnostic d) trail;
+    exit 1
+
 let print_balanced (bal : Pipeline.balanced) =
-  Fmt.pr "%a" Inter.pp bal.Pipeline.inter;
+  List.iter
+    (fun d -> Fmt.pr "degraded: %a@." Pipeline.pp_diagnostic d)
+    bal.Pipeline.trail;
+  Fmt.pr "allocation served by: %a@." Pipeline.pp_stage bal.Pipeline.provenance;
+  (match bal.Pipeline.inter with
+  | Some inter -> Fmt.pr "%a" Inter.pp inter
+  | None ->
+    Fmt.pr "spilled ranges per thread: %a@."
+      Fmt.(list ~sep:sp int)
+      bal.Pipeline.spilled_ranges);
   Fmt.pr "%a" Assign.pp bal.Pipeline.layout;
   Fmt.pr "moves inserted: %d@." bal.Pipeline.moves;
   match bal.Pipeline.verify_errors with
@@ -102,7 +122,10 @@ let print_balanced (bal : Pipeline.balanced) =
 let allocate_cmd =
   let run nreg iters ids =
     let ws = instantiate_all ?iters ids in
-    let bal = Pipeline.balanced ~nreg (List.map (fun w -> w.Workload.prog) ws) in
+    let spill_bases = List.map Workload.spill_base ws in
+    let bal =
+      balanced_or_die ~spill_bases ~nreg (List.map (fun w -> w.Workload.prog) ws)
+    in
     print_balanced bal
   in
   Cmd.v
@@ -117,7 +140,11 @@ let simulate_cmd =
     let progs = List.map (fun w -> w.Workload.prog) ws in
     let iters_l = List.map (fun w -> w.Workload.iters) ws in
     let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
-    let bal = Pipeline.balanced ~nreg progs in
+    let spill_bases = List.map Workload.spill_base ws in
+    let bal = balanced_or_die ~spill_bases ~nreg progs in
+    List.iter
+      (fun d -> Fmt.pr "degraded: %a@." Pipeline.pp_diagnostic d)
+      bal.Pipeline.trail;
     (match bal.Pipeline.verify_errors with
     | [] -> ()
     | errs ->
@@ -174,7 +201,7 @@ let asm_cmd =
   let run nreg file =
     let src = In_channel.with_open_text file In_channel.input_all in
     let progs = Npra_asm.Parser.parse src in
-    let bal = Pipeline.balanced ~nreg progs in
+    let bal = balanced_or_die ~nreg progs in
     print_balanced bal;
     List.iter
       (fun p -> Fmt.pr "%s@." (Npra_asm.Printer.to_string p))
@@ -209,7 +236,7 @@ let cc_cmd =
             progs
         else progs
       in
-      let bal = Pipeline.balanced ~nreg progs in
+      let bal = balanced_or_die ~nreg progs in
       print_balanced bal;
       List.iter
         (fun p -> Fmt.pr "%s@." (Npra_asm.Printer.to_string p))

@@ -40,10 +40,11 @@ let () =
   let base_cycles = Pipeline.cycles_per_iteration base_report iters in
 
   (* Balanced allocation: registers follow the pressure. *)
-  let bal = Pipeline.balanced ~nreg:128 progs in
+  let bal = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
   assert (bal.Pipeline.verify_errors = []);
+  let inter = Option.get bal.Pipeline.inter in
   Fmt.pr "@.balanced allocation:@.";
-  Fmt.pr "%a" Npra_regalloc.Inter.pp bal.Pipeline.inter;
+  Fmt.pr "%a" Npra_regalloc.Inter.pp inter;
   let bal_report =
     Npra_sim.Machine.report (Pipeline.simulate ~mem_image bal.Pipeline.programs)
   in
@@ -57,7 +58,7 @@ let () =
       Fmt.pr "%-12s  %12.1f  %12.1f  %+7.1f%%@." w.Workload.name a b
         (100. *. ((b /. a) -. 1.)))
     ws;
-  let md5 = bal.Pipeline.inter.Npra_regalloc.Inter.threads.(2) in
+  let md5 = inter.Npra_regalloc.Inter.threads.(2) in
   Fmt.pr
     "@.The digest threads now reach %d registers (%d private + %d shared) \
      instead of 32 and stopped spilling;@."

@@ -73,8 +73,8 @@ let () =
          packets)
   in
 
-  let bal = Pipeline.balanced ~nreg:16 progs in
-  Fmt.pr "%a" Npra_regalloc.Inter.pp bal.Pipeline.inter;
+  let bal = Pipeline.balanced_exn ~nreg:16 progs in
+  Option.iter (Fmt.pr "%a" Npra_regalloc.Inter.pp) bal.Pipeline.inter;
   assert (bal.Pipeline.verify_errors = []);
 
   let machine = Pipeline.simulate ~mem_image bal.Pipeline.programs in

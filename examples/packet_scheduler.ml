@@ -32,9 +32,10 @@ let () =
       Fmt.pr "  %-10s %a@." w.Workload.name Estimate.pp_bounds b)
     ws;
 
-  let bal = Pipeline.balanced ~nreg:128 progs in
+  let bal = Pipeline.balanced_exn ~nreg:128 progs in
   assert (bal.Pipeline.verify_errors = []);
-  Fmt.pr "@.balanced allocation over 128 GPRs:@.%a" Inter.pp bal.Pipeline.inter;
+  let inter = Option.get bal.Pipeline.inter in
+  Fmt.pr "@.balanced allocation over 128 GPRs:@.%a" Inter.pp inter;
   Fmt.pr "%a@." Assign.pp bal.Pipeline.layout;
 
   (* The scheduler threads now own private blocks larger than the 32
@@ -45,7 +46,7 @@ let () =
         Fmt.pr "thread %d (%s) owns %d private registers — impossible under \
                 a fixed partition@."
           i th.Inter.name th.Inter.pr)
-    bal.Pipeline.inter.Inter.threads;
+    inter.Inter.threads;
 
   (* Measure both systems. *)
   let spill_bases = List.map Workload.spill_base ws in

@@ -47,9 +47,10 @@ let () =
 
   (* Balance the two threads over a tiny register file of 3 GPRs —
      separate allocation would need 4 (3 + 1). *)
-  let bal = Pipeline.balanced ~nreg:3 progs in
+  let bal = Pipeline.balanced_exn ~nreg:3 progs in
   Fmt.pr "@[<v>== allocation ==@]@.";
-  Fmt.pr "%a" Inter.pp bal.Pipeline.inter;
+  Fmt.pr "served by: %a@." Pipeline.pp_stage bal.Pipeline.provenance;
+  Option.iter (Fmt.pr "%a" Inter.pp) bal.Pipeline.inter;
   Fmt.pr "%a" Assign.pp bal.Pipeline.layout;
   Fmt.pr "moves inserted: %d@." bal.Pipeline.moves;
   (match bal.Pipeline.verify_errors with

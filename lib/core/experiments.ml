@@ -97,8 +97,7 @@ let table1_report rows =
 (* Figure 14: SRA register demand at zero move cost vs the single-     *)
 (* thread Chaitin allocation, four identical threads.                  *)
 
-type fig14_row = {
-  f14_name : string;
+type fig14_data = {
   chaitin_colors : int;  (* single-thread allocator register count *)
   pr : int;
   sr : int;
@@ -107,12 +106,20 @@ type fig14_row = {
   saving_pct : float;
 }
 
+(* An infeasible kernel annotates its row instead of killing the run. *)
+type fig14_row = {
+  f14_name : string;
+  f14_data : fig14_data option;
+  f14_note : string option;
+}
+
 let fig14_row spec =
   let w = Registry.instantiate spec ~slot:0 in
   let prog = Webs.rename w.Workload.prog in
   let chaitin_colors = Chaitin.color_count prog in
   match Inter.tighten_zero_cost ~nreg [ prog ] with
-  | Error (`Infeasible m) -> failwith m
+  | Error (`Infeasible m) ->
+    { f14_name = spec.Workload.id; f14_data = None; f14_note = Some m }
   | Ok inter ->
     let th = inter.Inter.threads.(0) in
     let pr = th.Inter.pr and sr = th.Inter.sr in
@@ -120,20 +127,26 @@ let fig14_row spec =
     let shared = (nthd * pr) + sr in
     {
       f14_name = spec.Workload.id;
-      chaitin_colors;
-      pr;
-      sr;
-      partitioned_demand = partitioned;
-      shared_demand = shared;
-      saving_pct =
-        100. *. (1. -. (float_of_int shared /. float_of_int partitioned));
+      f14_data =
+        Some
+          {
+            chaitin_colors;
+            pr;
+            sr;
+            partitioned_demand = partitioned;
+            shared_demand = shared;
+            saving_pct =
+              100. *. (1. -. (float_of_int shared /. float_of_int partitioned));
+          };
+      f14_note = None;
     }
 
 let fig14 ?(specs = Registry.all) () = List.map fig14_row specs
 
 let fig14_average rows =
-  let sum = List.fold_left (fun a r -> a +. r.saving_pct) 0. rows in
-  sum /. float_of_int (List.length rows)
+  let savings = List.filter_map (fun r -> r.f14_data) rows in
+  let sum = List.fold_left (fun a d -> a +. d.saving_pct) 0. savings in
+  sum /. float_of_int (List.length savings)
 
 let fig14_report rows =
   Report.make
@@ -145,23 +158,29 @@ let fig14_report rows =
     ~aligns:[ Report.L; R; R; R; R; R; R ]
     (List.map
        (fun r ->
-         [
-           r.f14_name;
-           string_of_int r.chaitin_colors;
-           string_of_int r.pr;
-           string_of_int r.sr;
-           string_of_int r.partitioned_demand;
-           string_of_int r.shared_demand;
-           Fmt.str "%.1f%%" r.saving_pct;
-         ])
+         match r.f14_data with
+         | Some d ->
+           [
+             r.f14_name;
+             string_of_int d.chaitin_colors;
+             string_of_int d.pr;
+             string_of_int d.sr;
+             string_of_int d.partitioned_demand;
+             string_of_int d.shared_demand;
+             Fmt.str "%.1f%%" d.saving_pct;
+           ]
+         | None ->
+           let note =
+             match r.f14_note with Some n -> n | None -> "infeasible"
+           in
+           [ r.f14_name; "(" ^ note ^ ")"; "-"; "-"; "-"; "-"; "-" ])
        rows)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: move insertions in the extreme case — the thread driven    *)
 (* all the way down to its minimal register numbers.                   *)
 
-type table2_row = {
-  t2_name : string;
+type table2_data = {
   t2_code_size : int;
   min_pr : int;
   min_r : int;
@@ -170,6 +189,14 @@ type table2_row = {
   reached_r : int;
   moves_inserted : int;
   overhead_pct : float;
+}
+
+(* A kernel that cannot reduce annotates its row instead of killing the
+   whole experiment run. *)
+type table2_row = {
+  t2_name : string;
+  t2_data : table2_data option;
+  t2_note : string option;
 }
 
 let table2_row spec =
@@ -184,18 +211,28 @@ let table2_row spec =
       ~target_pr ~target_sr
   with
   | None ->
-    Fmt.failwith "table2: %s cannot reduce at all" spec.Workload.id
+    {
+      t2_name = spec.Workload.id;
+      t2_data = None;
+      t2_note = Some "cannot reduce at all";
+    }
   | Some (red, pr, sr) ->
     {
       t2_name = spec.Workload.id;
-      t2_code_size = Prog.length prog;
-      min_pr = target_pr;
-      min_r = b.Estimate.min_r;
-      reached_pr = pr;
-      reached_r = pr + sr;
-      moves_inserted = red.Intra.cost;
-      overhead_pct =
-        100. *. float_of_int red.Intra.cost /. float_of_int (Prog.length prog);
+      t2_data =
+        Some
+          {
+            t2_code_size = Prog.length prog;
+            min_pr = target_pr;
+            min_r = b.Estimate.min_r;
+            reached_pr = pr;
+            reached_r = pr + sr;
+            moves_inserted = red.Intra.cost;
+            overhead_pct =
+              100. *. float_of_int red.Intra.cost
+              /. float_of_int (Prog.length prog);
+          };
+      t2_note = None;
     }
 
 let table2 ?(specs = Registry.all) () = List.map table2_row specs
@@ -208,16 +245,23 @@ let table2_report rows =
     ~aligns:[ Report.L; R; R; R; R; R; R; R ]
     (List.map
        (fun r ->
-         [
-           r.t2_name;
-           string_of_int r.t2_code_size;
-           string_of_int r.min_pr;
-           string_of_int r.min_r;
-           string_of_int r.reached_pr;
-           string_of_int r.reached_r;
-           string_of_int r.moves_inserted;
-           Fmt.str "%.1f%%" r.overhead_pct;
-         ])
+         match r.t2_data with
+         | Some d ->
+           [
+             r.t2_name;
+             string_of_int d.t2_code_size;
+             string_of_int d.min_pr;
+             string_of_int d.min_r;
+             string_of_int d.reached_pr;
+             string_of_int d.reached_r;
+             string_of_int d.moves_inserted;
+             Fmt.str "%.1f%%" d.overhead_pct;
+           ]
+         | None ->
+           let note =
+             match r.t2_note with Some n -> n | None -> "no reduction"
+           in
+           [ r.t2_name; "(" ^ note ^ ")"; "-"; "-"; "-"; "-"; "-"; "-" ])
        rows)
 
 (* ------------------------------------------------------------------ *)
@@ -258,6 +302,9 @@ type table3_row = {
   scenario : string;
   threads : table3_thread list;
   t3_verify_errors : int;
+  t3_provenance : Pipeline.stage;
+      (* which pipeline stage served the sharing allocation *)
+  t3_note : string option;  (* diagnostic trail, when the chain degraded *)
 }
 
 let table3_scenario sc =
@@ -276,50 +323,86 @@ let table3_scenario sc =
     Machine.report (Machine.run ~mem_image base.Pipeline.base_programs)
   in
   let base_cycles = Pipeline.cycles_per_iteration base_report iters in
-  (* Balanced: the paper's allocator. *)
-  let bal = Pipeline.balanced ~nreg progs in
-  let bal_report =
-    Machine.report (Machine.run ~mem_image bal.Pipeline.programs)
-  in
-  let bal_cycles = Pipeline.cycles_per_iteration bal_report iters in
-  let solo prog w =
-    let report = Machine.report (Machine.run ~mem_image:w.Workload.mem_image [ prog ]) in
-    match (List.hd report.Machine.thread_reports).Machine.completion with
-    | Some c -> float_of_int c /. float_of_int w.Workload.iters
-    | None -> Float.nan
-  in
-  let threads =
-    List.mapi
-      (fun i w ->
-        let th = bal.Pipeline.inter.Inter.threads.(i) in
-        let base_prog = List.nth base.Pipeline.base_programs i in
-        let bal_prog = List.nth bal.Pipeline.programs i in
-        let cyc_spill = List.nth base_cycles i in
-        let cyc_sharing = List.nth bal_cycles i in
-        let solo_spill = solo base_prog w in
-        let solo_sharing = solo bal_prog w in
-        {
-          t3_name = w.Workload.name;
-          t3_pr = th.Inter.pr;
-          t3_sr = th.Inter.sr;
-          t3_ranges = Context.num_nodes th.Inter.ctx;
-          ctx_spill = Prog.count_ctx_switches base_prog;
-          ctx_sharing = Prog.count_ctx_switches bal_prog;
-          cyc_spill;
-          cyc_sharing;
-          change_pct = 100. *. ((cyc_sharing /. cyc_spill) -. 1.);
-          solo_spill;
-          solo_sharing;
-          solo_change_pct = 100. *. ((solo_sharing /. solo_spill) -. 1.);
-          spilled = List.nth base.Pipeline.spilled_ranges i;
-        })
-      workloads
-  in
-  {
-    scenario = sc.scenario_name;
-    threads;
-    t3_verify_errors = List.length bal.Pipeline.verify_errors;
-  }
+  (* Balanced: the paper's allocator (degrading gracefully if it must). *)
+  match Pipeline.balanced ~nreg ~spill_bases progs with
+  | Error trail ->
+    {
+      scenario = sc.scenario_name;
+      threads = [];
+      t3_verify_errors = 0;
+      t3_provenance = Pipeline.Chaitin_fallback;
+      t3_note =
+        Some (Fmt.str "%a" Fmt.(list ~sep:semi Pipeline.pp_diagnostic) trail);
+    }
+  | Ok bal ->
+    let bal_report =
+      Machine.report (Machine.run ~mem_image bal.Pipeline.programs)
+    in
+    let bal_cycles = Pipeline.cycles_per_iteration bal_report iters in
+    let solo prog w =
+      let report =
+        Machine.report (Machine.run ~mem_image:w.Workload.mem_image [ prog ])
+      in
+      match (List.hd report.Machine.thread_reports).Machine.completion with
+      | Some c -> float_of_int c /. float_of_int w.Workload.iters
+      | None -> Float.nan
+    in
+    (* Per-thread register numbers, whichever stage produced them: the
+       balancer records PR/SR directly; the Chaitin fallback's layout
+       carries the fixed partition. *)
+    let pr_sr_ranges i =
+      match bal.Pipeline.inter with
+      | Some inter ->
+        let th = inter.Inter.threads.(i) in
+        (th.Inter.pr, th.Inter.sr, Context.num_nodes th.Inter.ctx)
+      | None ->
+        let ranges =
+          match bal.Pipeline.chaitin with
+          | Some results ->
+            Reg.Map.cardinal (List.nth results i).Chaitin.coloring
+          | None -> 0
+        in
+        (bal.Pipeline.layout.Assign.private_size.(i), 0, ranges)
+    in
+    let threads =
+      List.mapi
+        (fun i w ->
+          let t3_pr, t3_sr, t3_ranges = pr_sr_ranges i in
+          let base_prog = List.nth base.Pipeline.base_programs i in
+          let bal_prog = List.nth bal.Pipeline.programs i in
+          let cyc_spill = List.nth base_cycles i in
+          let cyc_sharing = List.nth bal_cycles i in
+          let solo_spill = solo base_prog w in
+          let solo_sharing = solo bal_prog w in
+          {
+            t3_name = w.Workload.name;
+            t3_pr;
+            t3_sr;
+            t3_ranges;
+            ctx_spill = Prog.count_ctx_switches base_prog;
+            ctx_sharing = Prog.count_ctx_switches bal_prog;
+            cyc_spill;
+            cyc_sharing;
+            change_pct = 100. *. ((cyc_sharing /. cyc_spill) -. 1.);
+            solo_spill;
+            solo_sharing;
+            solo_change_pct = 100. *. ((solo_sharing /. solo_spill) -. 1.);
+            spilled = List.nth base.Pipeline.spilled_ranges i;
+          })
+        workloads
+    in
+    {
+      scenario = sc.scenario_name;
+      threads;
+      t3_verify_errors = List.length bal.Pipeline.verify_errors;
+      t3_provenance = bal.Pipeline.provenance;
+      t3_note =
+        (match bal.Pipeline.trail with
+        | [] -> None
+        | trail ->
+          Some
+            (Fmt.str "%a" Fmt.(list ~sep:semi Pipeline.pp_diagnostic) trail));
+    }
 
 let table3 ?(scenarios = scenarios) () = List.map table3_scenario scenarios
 
@@ -327,7 +410,12 @@ let table3_report rows =
   let body =
     List.concat_map
       (fun row ->
-        [ row.scenario; ""; ""; ""; ""; ""; ""; ""; ""; ""; "" ]
+        let title =
+          match row.t3_provenance with
+          | Pipeline.Balanced -> row.scenario
+          | p -> Fmt.str "%s [served by %a]" row.scenario Pipeline.pp_stage p
+        in
+        [ title; ""; ""; ""; ""; ""; ""; ""; ""; ""; "" ]
         :: List.map
              (fun t ->
                [

@@ -5,6 +5,13 @@
    top shared block), move materialisation, and a from-scratch safety
    verification.
 
+   Rather than dying on hard inputs it degrades through a fallback
+   chain — balanced allocation, balanced with the move budget waived,
+   per-thread Chaitin colouring into a fixed partition — and records
+   which stage served the allocation plus a diagnostic trail of every
+   stage it had to reject, so experiments and the CLI can report
+   provenance instead of crashing.
+
    [baseline] is the conventional system the paper compares against:
    per-thread Chaitin colouring into a fixed [Nreg/Nthd] partition with
    spill code.
@@ -17,21 +24,67 @@ open Npra_cfg
 open Npra_regalloc
 open Npra_sim
 
+type stage = Balanced | Balanced_relaxed | Chaitin_fallback
+
+let pp_stage ppf = function
+  | Balanced -> Fmt.string ppf "balanced"
+  | Balanced_relaxed -> Fmt.string ppf "balanced (relaxed move budget)"
+  | Chaitin_fallback -> Fmt.string ppf "fixed-partition chaitin"
+
+type diagnostic = { stage : stage; reason : string }
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%a rejected: %s" pp_stage d.stage d.reason
+
 type balanced = {
-  inter : Inter.t;
+  provenance : stage;  (* which stage of the chain served the result *)
+  inter : Inter.t option;  (* present unless Chaitin served it *)
+  chaitin : Chaitin.result list option;  (* present when Chaitin did *)
   layout : Assign.t;
   programs : Prog.t list;
   moves : int;
+  spilled_ranges : int list;  (* per thread; all zero off the fallback *)
   verify_errors : Verify.error list;
+  trail : diagnostic list;  (* stages rejected before the one that served *)
 }
 
-exception Allocation_failure of string
+(* The fixed-partition Chaitin allocation shared by the [baseline]
+   pipeline and the last stage of the [balanced] fallback chain.
+   Programs must already be in web form. *)
+let chaitin_partition ~nreg ~spill_bases progs =
+  let nthd = List.length progs in
+  let k = nreg / nthd in
+  let layout = Assign.fixed_partition ~nreg ~nthd in
+  let results =
+    List.map2
+      (fun prog spill_base -> Chaitin.allocate ~k ~spill_base prog)
+      progs spill_bases
+  in
+  let programs =
+    List.mapi
+      (fun i r ->
+        Rewrite.apply_map r.Chaitin.prog r.Chaitin.coloring
+          ~reg_of_color:(Assign.reg_of_color layout ~thread:i))
+      results
+  in
+  (layout, results, programs)
 
-let balanced ?(nreg = 128) progs =
+(* Spill areas for threads the caller told us nothing about: the
+   registry's memory map gives each slot a 1 KiB instance with the spill
+   area at its tail (see {!Npra_workloads.Workload}). *)
+let default_spill_bases progs =
+  List.mapi (fun i _ -> (i * 1024) + 768) progs
+
+let default_move_budget progs =
+  let code = List.fold_left (fun a p -> a + Prog.length p) 0 progs in
+  max 32 (code / 4)
+
+let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
   let progs = List.map Webs.rename progs in
-  match Inter.allocate ~nreg progs with
-  | Error (`Infeasible msg) -> raise (Allocation_failure msg)
-  | Ok inter ->
+  let budget =
+    match move_budget with Some b -> b | None -> default_move_budget progs
+  in
+  let finish ~provenance ~inter ~trail =
     let prs =
       Array.to_list inter.Inter.threads |> List.map (fun t -> t.Inter.pr)
     in
@@ -43,14 +96,102 @@ let balanced ?(nreg = 128) progs =
             ~reg_of_color:(Assign.reg_of_color layout ~thread:i))
         (Array.to_list inter.Inter.threads)
     in
-    let verify_errors = Verify.check_system layout programs in
     {
-      inter;
+      provenance;
+      inter = Some inter;
+      chaitin = None;
       layout;
       programs;
       moves = Inter.total_moves inter;
-      verify_errors;
+      spilled_ranges = List.map (fun _ -> 0) programs;
+      verify_errors = Verify.check_system layout programs;
+      trail;
     }
+  in
+  let fallback trail =
+    let spill_bases =
+      match spill_bases with
+      | Some bs -> bs
+      | None -> default_spill_bases progs
+    in
+    match chaitin_partition ~nreg ~spill_bases progs with
+    | layout, results, programs ->
+      Ok
+        {
+          provenance = Chaitin_fallback;
+          inter = None;
+          chaitin = Some results;
+          layout;
+          programs;
+          moves = 0;
+          spilled_ranges =
+            List.map (fun r -> Reg.Set.cardinal r.Chaitin.spilled) results;
+          verify_errors = Verify.check_system layout programs;
+          trail;
+        }
+    | exception Chaitin.Did_not_converge { k; iterations; pending; _ } ->
+      Error
+        (trail
+        @ [
+            {
+              stage = Chaitin_fallback;
+              reason =
+                Fmt.str
+                  "spill loop did not converge after %d iterations (k=%d, %d \
+                   registers still uncolourable)"
+                  iterations k
+                  (Reg.Set.cardinal pending);
+            };
+          ])
+    | exception Assign.Overflow msg ->
+      Error (trail @ [ { stage = Chaitin_fallback; reason = msg } ])
+  in
+  match Inter.allocate ~nreg progs with
+  | Ok inter -> (
+    let moves = Inter.total_moves inter in
+    let provenance, trail =
+      if moves <= budget then (Balanced, [])
+      else
+        ( Balanced_relaxed,
+          [
+            {
+              stage = Balanced;
+              reason = Fmt.str "%d moves exceed the budget of %d" moves budget;
+            };
+          ] )
+    in
+    match finish ~provenance ~inter ~trail with
+    | b -> Ok b
+    | exception Rewrite.Incomplete_coloring { reg; gap } ->
+      (* An allocator invariant broke during materialisation; both
+         balanced stages share the rewrite, so degrade to Chaitin. *)
+      let reason =
+        match gap with
+        | Some g -> Fmt.str "%a has no segment at gap %d" Reg.pp reg g
+        | None -> Fmt.str "%a has no colour" Reg.pp reg
+      in
+      fallback
+        [
+          { stage = Balanced; reason };
+          { stage = Balanced_relaxed; reason };
+        ])
+  | Error (`Infeasible msg) ->
+    fallback
+      [
+        { stage = Balanced; reason = msg };
+        {
+          stage = Balanced_relaxed;
+          reason = "infeasible regardless of move budget: " ^ msg;
+        };
+      ]
+
+let balanced_exn ?nreg ?move_budget ?spill_bases progs =
+  match balanced ?nreg ?move_budget ?spill_bases progs with
+  | Ok b -> b
+  | Error trail ->
+    Fmt.failwith "Pipeline.balanced: every stage failed:@ %a"
+      (Fmt.list ~sep:Fmt.sp pp_diagnostic)
+      trail
 
 type baseline = {
   results : Chaitin.result list;
@@ -60,22 +201,8 @@ type baseline = {
 }
 
 let baseline ?(nreg = 128) ~spill_bases progs =
-  let nthd = List.length progs in
-  let k = nreg / nthd in
-  let layout = Assign.fixed_partition ~nreg ~nthd in
-  let results =
-    List.map2
-      (fun prog spill_base ->
-        Chaitin.allocate ~k ~spill_base (Webs.rename prog))
-      progs spill_bases
-  in
-  let programs =
-    List.mapi
-      (fun i r ->
-        Rewrite.apply_map r.Chaitin.prog r.Chaitin.coloring
-          ~reg_of_color:(Assign.reg_of_color layout ~thread:i))
-      results
-  in
+  let progs = List.map Webs.rename progs in
+  let layout, results, programs = chaitin_partition ~nreg ~spill_bases progs in
   {
     results;
     base_layout = layout;

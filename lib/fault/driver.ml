@@ -1,0 +1,233 @@
+(* Fault-injection detection matrix.
+
+   For each workload kernel: build a four-thread system, allocate it
+   through the graceful-degradation pipeline, confirm the corruption
+   sentinel stays silent on the clean system (a false-positive check
+   that also calibrates the cycle budget), then run every fault mutator
+   and push the corrupted system through both detection layers — the
+   static verifier and the sentinel-armed simulator. Any injected fault
+   that neither layer catches fails the harness. *)
+
+open Npra_regalloc
+open Npra_sim
+open Npra_workloads
+open Npra_core
+
+type runtime_outcome =
+  | Trapped of Machine.corruption  (* the sentinel caught it *)
+  | Stuck of string  (* the machine trapped for another reason *)
+  | Silent  (* ran to completion unnoticed *)
+
+let runtime_name = function
+  | Trapped _ -> "corruption"
+  | Stuck _ -> "stuck"
+  | Silent -> "silent"
+
+type status =
+  | Not_applicable of string
+  | Injected of {
+      thread : int;
+      detail : string;
+      static_errors : int;  (* Verify errors on the corrupted system *)
+      runtime : runtime_outcome;
+      detected : bool;  (* static_errors > 0 or the sentinel trapped *)
+    }
+
+type cell = { fault : Mutate.kind; status : status }
+
+type kernel_report = {
+  k_name : string;
+  provenance : Pipeline.stage;  (* which pipeline stage allocated it *)
+  clean_fault : string option;
+      (* sentinel or machine trap on the *clean* system: a false
+         positive, and an immediate harness failure *)
+  clean_cycles : int;
+  cells : cell list;
+}
+
+type matrix = { kernels : kernel_report list; nthd : int; nreg : int }
+
+let nthd = 4
+let nreg = 128
+
+let kernel_report spec =
+  let ws = List.init nthd (fun slot -> Registry.instantiate spec ~slot) in
+  let progs = List.map (fun w -> w.Workload.prog) ws in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  let spill_bases = List.map Workload.spill_base ws in
+  let bal = Pipeline.balanced_exn ~nreg ~spill_bases progs in
+  let layout = bal.Pipeline.layout in
+  (* Clean run, sentinel armed: must complete without any trap. *)
+  let clean_fault, clean_cycles =
+    match Machine.run ~sentinel:`Trap ~mem_image bal.Pipeline.programs with
+    | m -> (None, (Machine.report m).Machine.total_cycles)
+    | exception Machine.Corruption c ->
+      (Some (Fmt.str "sentinel false positive: %a" Machine.pp_corruption c), 0)
+    | exception Machine.Stuck s ->
+      (Some (Fmt.str "clean run stuck: %a" Machine.pp_stuck s), 0)
+  in
+  (* Corrupted code can diverge (a dropped move may derail a loop
+     counter), so fault runs get a budget derived from the clean run
+     rather than the default hundred-million-cycle ceiling. *)
+  let config =
+    {
+      Machine.default_config with
+      Machine.max_cycles = (4 * clean_cycles) + 20_000;
+    }
+  in
+  let run_fault kind =
+    match Mutate.inject layout bal.Pipeline.programs kind with
+    | Mutate.Not_applicable reason ->
+      { fault = kind; status = Not_applicable reason }
+    | Mutate.Applied inj ->
+      let static_errors =
+        List.length (Verify.check_system layout inj.Mutate.programs)
+      in
+      let runtime =
+        match
+          Machine.run ~config ~sentinel:`Trap ~mem_image inj.Mutate.programs
+        with
+        | _ -> Silent
+        | exception Machine.Corruption c -> Trapped c
+        | exception Machine.Stuck s -> Stuck (Fmt.str "%a" Machine.pp_stuck s)
+      in
+      let detected =
+        static_errors > 0
+        || match runtime with Trapped _ -> true | Stuck _ | Silent -> false
+      in
+      {
+        fault = kind;
+        status =
+          Injected
+            {
+              thread = inj.Mutate.thread;
+              detail = inj.Mutate.detail;
+              static_errors;
+              runtime;
+              detected;
+            };
+      }
+  in
+  {
+    k_name = spec.Workload.id;
+    provenance = bal.Pipeline.provenance;
+    clean_fault;
+    clean_cycles;
+    cells = List.map run_fault Mutate.all_kinds;
+  }
+
+let run ?(specs = Registry.all) () =
+  { kernels = List.map kernel_report specs; nthd; nreg }
+
+let all_detected m =
+  List.for_all
+    (fun k ->
+      k.clean_fault = None
+      && List.for_all
+           (fun c ->
+             match c.status with
+             | Not_applicable _ -> true
+             | Injected i -> i.detected)
+           k.cells)
+    m.kernels
+
+(* (injected, detected, not applicable) across the whole matrix. *)
+let totals m =
+  List.fold_left
+    (fun acc k ->
+      List.fold_left
+        (fun (inj, det, na) c ->
+          match c.status with
+          | Not_applicable _ -> (inj, det, na + 1)
+          | Injected i -> (inj + 1, (det + if i.detected then 1 else 0), na))
+        acc k.cells)
+    (0, 0, 0) m.kernels
+
+let pp ppf m =
+  Fmt.pf ppf "%-12s %-18s %-9s %-9s %-10s %s@." "kernel" "fault" "static"
+    "sentinel" "detected" "note";
+  List.iter
+    (fun k ->
+      (match k.clean_fault with
+      | None ->
+        Fmt.pf ppf "%-12s %-18s %-9s %-9s %-10s clean, %d cycles [%a]@."
+          k.k_name "(none)" "-" "silent" "n/a" k.clean_cycles Pipeline.pp_stage
+          k.provenance
+      | Some f ->
+        Fmt.pf ppf "%-12s %-18s %-9s %-9s %-10s %s@." k.k_name "(none)" "-" "-"
+          "FALSE+" f);
+      List.iter
+        (fun c ->
+          match c.status with
+          | Not_applicable reason ->
+            Fmt.pf ppf "%-12s %-18s %-9s %-9s %-10s %s@." k.k_name
+              (Mutate.kind_name c.fault) "-" "-" "n/a" reason
+          | Injected i ->
+            Fmt.pf ppf "%-12s %-18s %-9d %-9s %-10s %s@." k.k_name
+              (Mutate.kind_name c.fault) i.static_errors
+              (runtime_name i.runtime)
+              (if i.detected then "yes" else "MISSED")
+              i.detail)
+        k.cells)
+    m.kernels;
+  let inj, det, na = totals m in
+  Fmt.pf ppf "@.injected %d, detected %d, not applicable %d@." inj det na
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json m =
+  let b = Buffer.create 4096 in
+  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"benchmark\": \"faults\",\n";
+  add "  \"threads_per_system\": %d,\n" m.nthd;
+  add "  \"nreg\": %d,\n" m.nreg;
+  add "  \"kernels\": [\n";
+  List.iteri
+    (fun ki k ->
+      add "    {\"kernel\": \"%s\", \"provenance\": \"%s\",\n"
+        (json_escape k.k_name)
+        (json_escape (Fmt.str "%a" Pipeline.pp_stage k.provenance));
+      add "     \"clean_sentinel_silent\": %b, \"clean_cycles\": %d,\n"
+        (k.clean_fault = None) k.clean_cycles;
+      add "     \"faults\": [\n";
+      List.iteri
+        (fun ci c ->
+          (match c.status with
+          | Not_applicable reason ->
+            add
+              "       {\"fault\": \"%s\", \"applied\": false, \"reason\": \
+               \"%s\"}"
+              (Mutate.kind_name c.fault) (json_escape reason)
+          | Injected i ->
+            add
+              "       {\"fault\": \"%s\", \"applied\": true, \"thread\": %d, \
+               \"static_errors\": %d, \"runtime\": \"%s\", \"detected\": %b, \
+               \"detail\": \"%s\"}"
+              (Mutate.kind_name c.fault) i.thread i.static_errors
+              (runtime_name i.runtime) i.detected (json_escape i.detail));
+          if ci < List.length k.cells - 1 then add ",";
+          add "\n")
+        k.cells;
+      add "     ]}";
+      if ki < List.length m.kernels - 1 then add ",";
+      add "\n")
+    m.kernels;
+  add "  ],\n";
+  let inj, det, na = totals m in
+  add "  \"injected\": %d,\n" inj;
+  add "  \"detected\": %d,\n" det;
+  add "  \"not_applicable\": %d,\n" na;
+  add "  \"all_detected\": %b\n" (all_detected m);
+  add "}\n";
+  Buffer.contents b

@@ -206,6 +206,15 @@ let rewrite_spills prog spills ~spill_base ~slot_of =
   in
   Prog.make ~name:prog.Prog.name ~code:(List.rev !code) ~labels
 
+exception
+  Did_not_converge of {
+    k : int;
+    iterations : int;
+    spilled : Reg.Set.t;
+    last_coloring : int Reg.Map.t;
+    pending : Reg.Set.t;
+  }
+
 let allocate ?(max_iterations = 32) ~k ~spill_base prog =
   let slots = Hashtbl.create 8 in
   let next_slot = ref 0 in
@@ -219,12 +228,23 @@ let allocate ?(max_iterations = 32) ~k ~spill_base prog =
       s
   in
   let rec go prog all_spilled iter =
-    if iter > max_iterations then
-      failwith "Chaitin.allocate: spill loop did not converge";
     let regs, adj = build_graph prog in
     let costs = spill_costs prog in
     let stack = simplify regs adj ~k costs in
     let coloring, spills = select adj ~k stack in
+    if (not (Reg.Set.is_empty spills)) && iter >= max_iterations then
+      (* Spill rewriting itself consumes registers, so a too-small [k]
+         can chase its own tail forever; surface the last attempt
+         instead of looping. *)
+      raise
+        (Did_not_converge
+           {
+             k;
+             iterations = iter;
+             spilled = all_spilled;
+             last_coloring = coloring;
+             pending = spills;
+           });
     if Reg.Set.is_empty spills then
       {
         prog;

@@ -17,11 +17,26 @@ type result = {
   iterations : int;
 }
 
+exception
+  Did_not_converge of {
+    k : int;
+    iterations : int;
+    spilled : Reg.Set.t;  (** everything spilled across all attempts *)
+    last_coloring : int Reg.Map.t;  (** the final colouring attempt *)
+    pending : Reg.Set.t;  (** still uncolourable in that attempt *)
+  }
+(** Raised when the spill loop hits its iteration cap still uncolourable
+    — spill code consumes registers itself, so a too-small [k] can chase
+    its own tail forever. Carries the last colouring attempt so callers
+    can report how close the allocator got. *)
+
 val allocate :
   ?max_iterations:int -> k:int -> spill_base:int -> Prog.t -> result
 (** Classic simplify / optimistic-push / select loop, inserting spill
     code and retrying until colourable with [k] colours. [spill_base] is
-    the first memory word of this thread's spill area. *)
+    the first memory word of this thread's spill area.
+    @raise Did_not_converge after [max_iterations] (default 32) spill
+    rounds that still leave uncolourable registers. *)
 
 val color_count : Prog.t -> int
 (** Colours the program with an unbounded palette (no spilling) and

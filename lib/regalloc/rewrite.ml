@@ -116,6 +116,8 @@ let plan_moves ctx reg_of_node =
     by_edge;
   { before; after; trampolines = !trampolines }
 
+exception Incomplete_coloring of { reg : Reg.t; gap : int option }
+
 let apply ctx ~reg_of_color =
   let prog = Context.prog ctx in
   let pts = Context.points ctx in
@@ -126,8 +128,7 @@ let apply ctx ~reg_of_color =
     | Some id -> reg_of_node (Context.node ctx id)
     | None ->
       if Reg.is_physical v then v
-      else
-        Fmt.failwith "rewrite: %a has no segment at gap %d" Reg.pp v gap
+      else raise (Incomplete_coloring { reg = v; gap = Some gap })
   in
   ignore pts;
   let n = Prog.length prog in
@@ -185,5 +186,5 @@ let apply_map prog coloring ~reg_of_color =
       else
         match Reg.Map.find_opt v coloring with
         | Some c -> reg_of_color c
-        | None -> Fmt.failwith "rewrite: %a has no colour" Reg.pp v)
+        | None -> raise (Incomplete_coloring { reg = v; gap = None }))
     prog

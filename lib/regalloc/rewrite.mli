@@ -9,6 +9,12 @@
 
 open Npra_ir
 
+exception Incomplete_coloring of { reg : Reg.t; gap : int option }
+(** A virtual register reached rewriting with no covering segment ([gap]
+    is the offending program gap) or no colour at all ([gap = None]) —
+    an allocator invariant violation, surfaced as a structured
+    diagnostic so the pipeline's fallback chain can catch it. *)
+
 val sequentialize_copy : (Reg.t * Reg.t) list -> Instr.t list
 (** Sequentialises a parallel copy given as [(dst, src)] pairs with
     pairwise-distinct destinations and pairwise-distinct sources.

@@ -14,8 +14,29 @@
    - dispatching a different thread costs [ctx_switch_cost] cycles;
    - scheduling is round-robin over ready threads.
 
-   Programs must be fully physical; running a virtual register trips an
-   exception. *)
+   Programs must be fully physical; running a virtual register trips a
+   structured {!Stuck} trap.
+
+   Corruption sentinel
+   -------------------
+
+   The paper's safety invariant — a value live across a context switch
+   must sit in its thread's private block — is enforced statically by
+   [Npra_regalloc.Verify]. With the sentinel armed, this machine also
+   enforces it dynamically: it tracks, for every physical register, the
+   last thread that wrote it and the cycle of that write, and snapshots
+   the yielding thread's register view at every context switch. The
+   moment a thread *reads* a register that another thread overwrote
+   across its switch, the machine traps with a structured {!corruption}
+   diagnostic naming the register, both threads and the clobbering
+   cycle — instead of silently computing garbage.
+
+   The rule is sound for this machine: threads never communicate through
+   registers, and in a safe allocation every read of a shared register is
+   dominated by a write of the same thread within the same non-switch
+   region (otherwise the value would be live across a switch in the
+   shared block). Since the PU is non-preemptive, no other thread can
+   have intervened, so on a safe allocation the sentinel never fires. *)
 
 open Npra_ir
 
@@ -29,10 +50,101 @@ type config = {
 let default_config =
   { nreg = 128; mem_latency = 20; ctx_switch_cost = 1; max_cycles = 100_000_000 }
 
+(* ------------------------------------------------------------------ *)
+(* Structured traps.                                                   *)
+
+type corruption = {
+  corrupt_reg : int;  (* physical register that was clobbered *)
+  reader : int;  (* thread that observed the foreign value *)
+  reader_name : string;
+  clobberer : int;  (* thread whose write clobbered it *)
+  clobberer_name : string;
+  clobber_cycle : int;  (* cycle of the clobbering write *)
+  read_cycle : int;  (* cycle the stale read trapped *)
+  victim_value : int option;
+      (* value the reader held in the register at its last context
+         switch, if it owned the register then *)
+  observed_value : int;  (* foreign value the read would have returned *)
+}
+
+type thread_state_view =
+  | Runnable
+  | Waiting of int  (* blocked on memory until the given cycle *)
+  | Completed of int  (* halted at the given cycle *)
+  | Quarantined of int  (* faulted by the sentinel at the given cycle *)
+
+type thread_status = {
+  st_thread : int;
+  st_name : string;
+  st_pc : int;
+  st_state : thread_state_view;
+}
+
+type stuck =
+  | Not_physical of { thread : string; reg : Reg.t }
+      (* a program still contains virtual registers at [create] *)
+  | Virtual_operand of { reg : Reg.t }
+      (* defensive: a virtual register reached execution *)
+  | Out_of_file of { reg : int; nreg : int }
+      (* a register index outside the register file was accessed *)
+  | Cycle_limit of { limit : int; threads : thread_status list }
+      (* execution consumed the whole cycle budget while still runnable *)
+  | Deadlock of { limit : int; threads : thread_status list }
+      (* every thread is permanently parked: done, quarantined, or
+         blocked past the cycle budget — no thread can run again *)
+
+exception Stuck of stuck
+exception Corruption of corruption
+(* raised by the sentinel in [`Trap] mode *)
+
+exception Quarantine_fault of corruption
+(* internal: unwinds the faulting instruction in [`Quarantine] mode *)
+
+let pp_corruption ppf c =
+  Fmt.pf ppf
+    "register r%d: thread %d (%s) read a value thread %d (%s) overwrote at \
+     cycle %d across its context switch (read at cycle %d, observed %d%a)"
+    c.corrupt_reg c.reader c.reader_name c.clobberer c.clobberer_name
+    c.clobber_cycle c.read_cycle c.observed_value
+    Fmt.(option (fun ppf v -> Fmt.pf ppf ", expected %d" v))
+    c.victim_value
+
+let pp_thread_state ppf = function
+  | Runnable -> Fmt.pf ppf "runnable"
+  | Waiting c -> Fmt.pf ppf "blocked until cycle %d" c
+  | Completed c -> Fmt.pf ppf "halted at cycle %d" c
+  | Quarantined c -> Fmt.pf ppf "quarantined at cycle %d" c
+
+let pp_thread_status ppf s =
+  Fmt.pf ppf "thread %d (%s) pc=%d: %a" s.st_thread s.st_name s.st_pc
+    pp_thread_state s.st_state
+
+let pp_stuck ppf = function
+  | Not_physical { thread; reg } ->
+    Fmt.pf ppf "program %s has virtual registers (%a)" thread Reg.pp reg
+  | Virtual_operand { reg } ->
+    Fmt.pf ppf "virtual register %a executed" Reg.pp reg
+  | Out_of_file { reg; nreg } ->
+    Fmt.pf ppf "register r%d outside the %d-register file" reg nreg
+  | Cycle_limit { limit; threads } ->
+    Fmt.pf ppf "exceeded %d cycles while runnable:@.%a" limit
+      Fmt.(list ~sep:(any "@.") (fun ppf s -> Fmt.pf ppf "  %a" pp_thread_status s))
+      threads
+  | Deadlock { limit; threads } ->
+    Fmt.pf ppf
+      "deadlock: every thread is permanently blocked within the %d-cycle \
+       budget:@.%a"
+      limit
+      Fmt.(list ~sep:(any "@.") (fun ppf s -> Fmt.pf ppf "  %a" pp_thread_status s))
+      threads
+
+(* ------------------------------------------------------------------ *)
+
 type status =
   | Ready
   | Blocked of { until : int }
   | Done of int  (* completion cycle *)
+  | Faulted of { at : int; fault : corruption }
 
 type thread = {
   id : int;
@@ -57,6 +169,17 @@ type timeline_event =
   | Blocked_on_memory
   | Yielded
   | Halted
+  | Trapped
+
+type sentinel_mode = [ `Off | `Trap | `Quarantine ]
+
+type sentinel = {
+  mode : [ `Trap | `Quarantine ];
+  owner : int array;  (* last writer thread per register; -1 = unwritten *)
+  owner_cycle : int array;  (* cycle of that write *)
+  snap_owned : bool array array;  (* per thread: owned at its last switch *)
+  snap_value : int array array;  (* per thread: value at its last switch *)
+}
 
 type t = {
   config : config;
@@ -70,19 +193,35 @@ type t = {
   record_timeline : bool;
   mutable timeline_rev : (int * int * timeline_event) list;
       (* (cycle, thread, event) — only when [record_timeline] *)
+  sentinel : sentinel option;
 }
 
-exception Stuck of string
+let status_view th =
+  {
+    st_thread = th.id;
+    st_name = th.prog.Prog.name;
+    st_pc = th.pc;
+    st_state =
+      (match th.status with
+      | Ready -> Runnable
+      | Blocked { until } -> Waiting until
+      | Done c -> Completed c
+      | Faulted { at; _ } -> Quarantined at);
+  }
+
+let statuses t = Array.to_list (Array.map status_view t.threads)
 
 let create ?(config = default_config) ?(mem_image = []) ?(timeline = false)
-    progs =
+    ?(sentinel = `Off) progs =
   List.iter
     (fun p ->
       if not (Prog.all_physical p) then
-        raise (Stuck (Fmt.str "program %s has virtual registers" p.Prog.name)))
+        let reg = Reg.Set.min_elt (Prog.vregs p) in
+        raise (Stuck (Not_physical { thread = p.Prog.name; reg })))
     progs;
   let mem = Memory.create () in
   Memory.load_image mem mem_image;
+  let nthd = List.length progs in
   {
     config;
     regs = Array.make config.nreg 0;
@@ -113,6 +252,18 @@ let create ?(config = default_config) ?(mem_image = []) ?(timeline = false)
     switch_cycles = 0;
     record_timeline = timeline;
     timeline_rev = [];
+    sentinel =
+      (match sentinel with
+      | `Off -> None
+      | (`Trap | `Quarantine) as mode ->
+        Some
+          {
+            mode;
+            owner = Array.make config.nreg (-1);
+            owner_cycle = Array.make config.nreg 0;
+            snap_owned = Array.init nthd (fun _ -> Array.make config.nreg false);
+            snap_value = Array.init nthd (fun _ -> Array.make config.nreg 0);
+          });
   }
 
 let memory t = t.mem
@@ -123,18 +274,65 @@ let record t thread event =
 
 let timeline t = List.rev t.timeline_rev
 
-let reg_value t r =
+let phys_index t r =
   match r with
-  | Reg.P n -> t.regs.(n)
-  | Reg.V _ -> raise (Stuck (Fmt.str "virtual register %a executed" Reg.pp r))
+  | Reg.P n ->
+    if n < 0 || n >= t.config.nreg then
+      raise (Stuck (Out_of_file { reg = n; nreg = t.config.nreg }));
+    n
+  | Reg.V _ -> raise (Stuck (Virtual_operand { reg = r }))
 
-let set_reg t r v =
-  match r with
-  | Reg.P n -> t.regs.(n) <- v
-  | Reg.V _ -> raise (Stuck (Fmt.str "virtual register %a executed" Reg.pp r))
+let read_reg t th r =
+  let n = phys_index t r in
+  (match t.sentinel with
+  | Some s when s.owner.(n) >= 0 && s.owner.(n) <> th.id ->
+    let clobberer = s.owner.(n) in
+    let c =
+      {
+        corrupt_reg = n;
+        reader = th.id;
+        reader_name = th.prog.Prog.name;
+        clobberer;
+        clobberer_name = t.threads.(clobberer).prog.Prog.name;
+        clobber_cycle = s.owner_cycle.(n);
+        read_cycle = t.cycle;
+        victim_value =
+          (if s.snap_owned.(th.id).(n) then Some s.snap_value.(th.id).(n)
+           else None);
+        observed_value = t.regs.(n);
+      }
+    in
+    (match s.mode with
+    | `Trap -> raise (Corruption c)
+    | `Quarantine -> raise (Quarantine_fault c))
+  | Some _ | None -> ());
+  t.regs.(n)
 
-let operand_value t = function
-  | Instr.Reg r -> reg_value t r
+let write_reg t th r v =
+  let n = phys_index t r in
+  (match t.sentinel with
+  | Some s ->
+    s.owner.(n) <- th.id;
+    s.owner_cycle.(n) <- t.cycle
+  | None -> ());
+  t.regs.(n) <- v
+
+(* Snapshot the yielding thread's register view: which registers it owns
+   (it wrote them last) and their values. A later read that finds a
+   foreign owner proves another thread clobbered the register across
+   this switch. *)
+let snapshot_on_switch t th =
+  match t.sentinel with
+  | None -> ()
+  | Some s ->
+    let owned = s.snap_owned.(th.id) and value = s.snap_value.(th.id) in
+    for n = 0 to t.config.nreg - 1 do
+      owned.(n) <- s.owner.(n) = th.id;
+      value.(n) <- t.regs.(n)
+    done
+
+let operand_value t th = function
+  | Instr.Reg r -> read_reg t th r
   | Instr.Imm n -> n
 
 (* Executes one instruction of [th]; returns [`Continue] to keep running
@@ -147,20 +345,22 @@ let step t th =
   let next = th.pc + 1 in
   match ins with
   | Instr.Alu { op; dst; src1; src2 } ->
-    set_reg t dst (Instr.eval_alu op (reg_value t src1) (operand_value t src2));
+    let v = Instr.eval_alu op (read_reg t th src1) (operand_value t th src2) in
+    write_reg t th dst v;
     th.pc <- next;
     `Continue
   | Instr.Mov { dst; src } ->
     th.moves <- th.moves + 1;
-    set_reg t dst (reg_value t src);
+    let v = read_reg t th src in
+    write_reg t th dst v;
     th.pc <- next;
     `Continue
   | Instr.Movi { dst; imm } ->
-    set_reg t dst imm;
+    write_reg t th dst imm;
     th.pc <- next;
     `Continue
   | Instr.Load { dst; addr; off } ->
-    let a = reg_value t addr + off in
+    let a = read_reg t th addr + off in
     let v = Memory.read t.mem a in
     th.loads <- th.loads + 1;
     th.ctx_events <- th.ctx_events + 1;
@@ -170,8 +370,8 @@ let step t th =
     record t th.id Blocked_on_memory;
     `Yield
   | Instr.Store { src; addr; off } ->
-    let a = reg_value t addr + off in
-    let v = reg_value t src in
+    let a = read_reg t th addr + off in
+    let v = read_reg t th src in
     Memory.write t.mem a v;
     th.store_trace_rev <- (a, v) :: th.store_trace_rev;
     th.stores <- th.stores + 1;
@@ -184,8 +384,8 @@ let step t th =
     th.pc <- Prog.label_index th.prog target;
     `Continue
   | Instr.Brc { cond; src1; src2; target } ->
-    if Instr.eval_cond cond (reg_value t src1) (operand_value t src2) then
-      th.pc <- Prog.label_index th.prog target
+    if Instr.eval_cond cond (read_reg t th src1) (operand_value t th src2)
+    then th.pc <- Prog.label_index th.prog target
     else th.pc <- next;
     `Continue
   | Instr.Ctx_switch ->
@@ -202,7 +402,11 @@ let step t th =
     `Yield
 
 (* Round-robin dispatch: the next ready thread after [from]; if none is
-   ready but some are blocked, time advances to the earliest wake-up. *)
+   ready but some are blocked, time advances to the earliest wake-up.
+   When the earliest wake-up lies beyond the cycle budget, every thread
+   is permanently parked within that budget: that is a deadlock, reported
+   with per-thread status, as opposed to plain [Cycle_limit] exhaustion
+   where a runnable thread consumed the budget. *)
 let rec pick_next t from =
   let n = Array.length t.threads in
   let wake th =
@@ -210,7 +414,7 @@ let rec pick_next t from =
     | Blocked { until } when until <= t.cycle ->
       th.status <- Ready;
       th.ready_since <- max until t.cycle
-    | Blocked _ | Ready | Done _ -> ()
+    | Blocked _ | Ready | Done _ | Faulted _ -> ()
   in
   Array.iter wake t.threads;
   let candidate = ref None in
@@ -228,10 +432,13 @@ let rec pick_next t from =
           match th.status with
           | Blocked { until } -> (
             match acc with Some e -> Some (min e until) | None -> Some until)
-          | Ready | Done _ -> acc)
+          | Ready | Done _ | Faulted _ -> acc)
         None t.threads
     in
     (match earliest with
+    | Some e when e > t.config.max_cycles ->
+      raise
+        (Stuck (Deadlock { limit = t.config.max_cycles; threads = statuses t }))
     | Some e ->
       t.cycle <- max t.cycle e;
       pick_next t from
@@ -241,7 +448,7 @@ let dispatch t i =
   let th = t.threads.(i) in
   (match th.pending_writeback with
   | Some (dst, v) ->
-    set_reg t dst v;
+    write_reg t th dst v;
     th.pending_writeback <- None
   | None -> ());
   th.wait_cycles <- th.wait_cycles + max 0 (t.cycle - th.ready_since);
@@ -249,8 +456,8 @@ let dispatch t i =
   t.dispatches <- t.dispatches + 1
 
 let run ?(config = default_config) ?(mem_image = []) ?(timeline = false)
-    progs =
-  let t = create ~config ~mem_image ~timeline progs in
+    ?(sentinel = `Off) progs =
+  let t = create ~config ~mem_image ~timeline ~sentinel progs in
   (match pick_next t (Array.length t.threads - 1) with
   | None -> ()
   | Some first ->
@@ -259,11 +466,24 @@ let run ?(config = default_config) ?(mem_image = []) ?(timeline = false)
     let running = ref true in
     while !running do
       if t.cycle > t.config.max_cycles then
-        raise (Stuck (Fmt.str "exceeded %d cycles" t.config.max_cycles));
+        raise
+          (Stuck
+             (Cycle_limit { limit = t.config.max_cycles; threads = statuses t }));
       let th = t.threads.(!current) in
-      match step t th with
+      let outcome =
+        match step t th with
+        | verdict -> verdict
+        | exception Quarantine_fault c ->
+          (* the sentinel caught a corrupted read: quarantine the thread
+             (it is permanently parked) and reschedule the rest *)
+          th.status <- Faulted { at = t.cycle; fault = c };
+          record t th.id Trapped;
+          `Yield
+      in
+      match outcome with
       | `Continue -> ()
       | `Yield -> (
+        snapshot_on_switch t th;
         match pick_next t !current with
         | Some next ->
           if next <> !current || th.status <> Ready then begin
@@ -288,6 +508,7 @@ type thread_report = {
   move_count : int;
   wait_cycles : int;  (* runnable but queued behind other threads *)
   store_trace : (int * int) list;
+  fault : corruption option;  (* set when the sentinel quarantined it *)
 }
 
 type report = {
@@ -313,7 +534,10 @@ let report t =
       |> List.map (fun th ->
              {
                name = th.prog.Prog.name;
-               completion = (match th.status with Done c -> Some c | Ready | Blocked _ -> None);
+               completion =
+                 (match th.status with
+                 | Done c -> Some c
+                 | Ready | Blocked _ | Faulted _ -> None);
                instructions = th.instrs;
                context_switches = th.ctx_events;
                load_count = th.loads;
@@ -321,6 +545,10 @@ let report t =
                move_count = th.moves;
                wait_cycles = th.wait_cycles;
                store_trace = List.rev th.store_trace_rev;
+               fault =
+                 (match th.status with
+                 | Faulted { fault; _ } -> Some fault
+                 | Ready | Blocked _ | Done _ -> None);
              })
       |> fun l -> l;
   }
@@ -349,6 +577,7 @@ let pp_timeline ppf t =
           | Blocked_on_memory -> "memory"
           | Yielded -> "yield"
           | Halted -> "halt"
+          | Trapped -> "fault"
           | Dispatched -> "switch"
         in
         Fmt.pf ppf "%8d..%-8d %-16s %s@." c0 c1 (name th) why;
@@ -370,5 +599,8 @@ let pp_report ppf r =
         tr.name
         Fmt.(option ~none:(any "-") int)
         tr.completion tr.instructions tr.context_switches tr.load_count
-        tr.store_count tr.move_count tr.wait_cycles)
+        tr.store_count tr.move_count tr.wait_cycles;
+      match tr.fault with
+      | Some c -> Fmt.pf ppf "    FAULT %a@." pp_corruption c
+      | None -> ())
     r.thread_reports

@@ -4,7 +4,16 @@
     shared register file, 1-cycle ALU/branch, long-latency memory
     operations that yield the PU (switch-on-issue, write-back at next
     dispatch — the transfer-register rule), voluntary [ctx_switch], and
-    round-robin scheduling with a configurable switch cost. *)
+    round-robin scheduling with a configurable switch cost.
+
+    The optional {e corruption sentinel} enforces the paper's safety
+    invariant dynamically: it tracks per-register ownership (last writer
+    thread and write cycle), snapshots the yielding thread's register
+    view at every context switch, and traps — with a structured
+    {!corruption} diagnostic — the moment a thread reads a register
+    another thread overwrote across its switch. On a safe allocation the
+    sentinel never fires; on an unsafe one it replaces silent value
+    corruption with a precise report. *)
 
 open Npra_ir
 
@@ -20,17 +29,73 @@ val default_config : config
 
 type t
 
-exception Stuck of string
+(** A dynamically detected violation of the register-sharing
+    discipline: thread [reader] read register [corrupt_reg], whose value
+    it relied on across a context switch, after thread [clobberer]
+    overwrote it at [clobber_cycle]. *)
+type corruption = {
+  corrupt_reg : int;
+  reader : int;
+  reader_name : string;
+  clobberer : int;
+  clobberer_name : string;
+  clobber_cycle : int;
+  read_cycle : int;
+  victim_value : int option;
+      (** the value the reader held there at its last switch, if it
+          owned the register then *)
+  observed_value : int;
+}
+
+type thread_state_view =
+  | Runnable
+  | Waiting of int  (** blocked on memory until the given cycle *)
+  | Completed of int
+  | Quarantined of int  (** faulted by the sentinel at the given cycle *)
+
+type thread_status = {
+  st_thread : int;
+  st_name : string;
+  st_pc : int;
+  st_state : thread_state_view;
+}
+
+(** Why the machine could not make progress. [Deadlock] — every thread
+    permanently parked (done, quarantined, or blocked past the cycle
+    budget) — is distinguished from [Cycle_limit], where a runnable
+    thread consumed the whole budget. *)
+type stuck =
+  | Not_physical of { thread : string; reg : Reg.t }
+  | Virtual_operand of { reg : Reg.t }
+  | Out_of_file of { reg : int; nreg : int }
+  | Cycle_limit of { limit : int; threads : thread_status list }
+  | Deadlock of { limit : int; threads : thread_status list }
+
+exception Stuck of stuck
+
+exception Corruption of corruption
+(** Raised by the sentinel in [`Trap] mode at the corrupted read. *)
+
+val pp_corruption : corruption Fmt.t
+val pp_thread_status : thread_status Fmt.t
+val pp_stuck : stuck Fmt.t
+
+type sentinel_mode = [ `Off | `Trap | `Quarantine ]
+(** [`Trap] raises {!Corruption} at the first corrupted read;
+    [`Quarantine] permanently parks the faulting thread (recorded in its
+    {!thread_report}) and keeps the other threads running. *)
 
 val create :
   ?config:config ->
   ?mem_image:(int * int) list ->
   ?timeline:bool ->
+  ?sentinel:sentinel_mode ->
   Prog.t list ->
   t
 (** One thread per program; programs must be fully physical. [mem_image]
     preloads memory words (packet buffers, tables); [timeline] records
-    scheduling events for {!pp_timeline}. *)
+    scheduling events for {!pp_timeline}.
+    @raise Stuck ([Not_physical]) on a program with virtual registers. *)
 
 val memory : t -> Memory.t
 
@@ -39,6 +104,7 @@ type timeline_event =
   | Blocked_on_memory
   | Yielded
   | Halted
+  | Trapped  (** the sentinel quarantined the thread *)
 
 val timeline : t -> (int * int * timeline_event) list
 (** (cycle, thread index, event), in time order; empty unless the
@@ -51,10 +117,14 @@ val run :
   ?config:config ->
   ?mem_image:(int * int) list ->
   ?timeline:bool ->
+  ?sentinel:sentinel_mode ->
   Prog.t list ->
   t
 (** Runs all threads to completion and returns the final machine.
-    @raise Stuck on runaway execution or virtual registers. *)
+    @raise Stuck on runaway execution, deadlock, virtual registers or
+    out-of-file register indices.
+    @raise Corruption when the sentinel (in [`Trap] mode) catches a read
+    of a register another thread overwrote across a context switch. *)
 
 type thread_report = {
   name : string;
@@ -69,6 +139,8 @@ type thread_report = {
   store_trace : (int * int) list;
       (** per-thread [(address, value)] store sequence, in program order —
           the observable behaviour used by differential tests *)
+  fault : corruption option;
+      (** the corruption that quarantined this thread, if any *)
 }
 
 type report = {

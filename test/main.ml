@@ -6,5 +6,5 @@ let () =
          Test_rewrite.suite; Test_sim.suite; Test_asm.suite;
          Test_workloads.suite; Test_pipeline.suite; Test_props.suite;
          Test_npc.suite; Test_opt.suite; Test_paper_examples.suite; Test_more.suite; Test_kernel_semantics.suite;
-         Test_dataflow.suite; Test_verify.suite;
+         Test_dataflow.suite; Test_verify.suite; Test_fault.suite;
        ])

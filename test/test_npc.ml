@@ -327,7 +327,7 @@ let function_tests =
         let mem_image =
           [ (100, 1); (101, 2); (102, 3); (104, 10); (105, 20) ]
         in
-        let bal = Npra_core.Pipeline.balanced ~nreg:12 progs in
+        let bal = Npra_core.Pipeline.balanced_exn ~nreg:12 progs in
         check Alcotest.int "verified" 0
           (List.length bal.Npra_core.Pipeline.verify_errors);
         check Alcotest.bool "differential" true
@@ -345,7 +345,7 @@ let pipeline_tests =
         in
         let progs = Npc.compile_exn src in
         let mem_image = [ (100, 1); (101, 2); (102, 3) ] in
-        let bal = Npra_core.Pipeline.balanced ~nreg:8 progs in
+        let bal = Npra_core.Pipeline.balanced_exn ~nreg:8 progs in
         check Alcotest.int "verified" 0 (List.length bal.Npra_core.Pipeline.verify_errors);
         check Alcotest.bool "differential" true
           (Npra_core.Pipeline.differential ~mem_image progs

@@ -102,7 +102,7 @@ let fig3_tests =
       (fun () ->
         let t1 = Webs.rename (Fixtures.fig3_thread1 ())
         and t2 = Webs.rename (Fixtures.fig3_thread2 ()) in
-        let bal = Npra_core.Pipeline.balanced ~nreg:3 [ t1; t2 ] in
+        let bal = Npra_core.Pipeline.balanced_exn ~nreg:3 [ t1; t2 ] in
         check Alcotest.int "verified" 0
           (List.length bal.Npra_core.Pipeline.verify_errors);
         check Alcotest.bool "differential" true
@@ -110,7 +110,7 @@ let fig3_tests =
              bal.Npra_core.Pipeline.programs));
     test "fig3: thread1 alone reaches the paper's two registers" (fun () ->
         let t1 = Webs.rename (Fixtures.fig3_thread1 ()) in
-        let bal = Npra_core.Pipeline.balanced ~nreg:2 [ t1 ] in
+        let bal = Npra_core.Pipeline.balanced_exn ~nreg:2 [ t1 ] in
         check Alcotest.int "verified" 0
           (List.length bal.Npra_core.Pipeline.verify_errors);
         check Alcotest.bool "differential" true
@@ -120,7 +120,7 @@ let fig3_tests =
       (fun () ->
         let t1 = Webs.rename (Fixtures.fig3_thread1 ())
         and t2 = Webs.rename (Fixtures.fig3_thread2 ()) in
-        let bal = Npra_core.Pipeline.balanced ~nreg:3 [ t1; t2 ] in
+        let bal = Npra_core.Pipeline.balanced_exn ~nreg:3 [ t1; t2 ] in
         (* collect the physical registers each rewritten thread touches *)
         let regs p =
           Prog.regs p |> Reg.Set.elements

@@ -26,7 +26,7 @@ let balanced_tests =
       let run () =
         let ws = mix ids in
         let progs = List.map (fun w -> w.Workload.prog) ws in
-        let bal = Pipeline.balanced ~nreg:128 progs in
+        let bal = Pipeline.balanced_exn ~nreg:128 progs in
         (ws, bal)
       in
       [
@@ -34,9 +34,14 @@ let balanced_tests =
             let _, bal = run () in
             check Alcotest.int "verify" 0
               (List.length bal.Pipeline.verify_errors);
-            check Alcotest.bool "fits" true
-              (Npra_regalloc.Inter.demand bal.Pipeline.inter.Npra_regalloc.Inter.threads
-              <= 128));
+            check Alcotest.bool "served by the balancer" true
+              (bal.Pipeline.provenance = Pipeline.Balanced);
+            match bal.Pipeline.inter with
+            | None -> Alcotest.fail "balancer result carries no Inter.t"
+            | Some inter ->
+              check Alcotest.bool "fits" true
+                (Npra_regalloc.Inter.demand inter.Npra_regalloc.Inter.threads
+                <= 128));
         test (name ^ ": differential execution matches") (fun () ->
             let ws, bal = run () in
             let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
@@ -67,6 +72,76 @@ let baseline_tests =
       ])
     mixes
 
+let degradation_tests =
+  [
+    test "infeasible mix falls back to fixed-partition chaitin" (fun () ->
+        (* four wraps_rx threads demand 4 x 33 = 132 > 128 registers: the
+           balancer cannot serve this, and must degrade instead of raising *)
+        let ws = mix [ "wraps_rx"; "wraps_rx"; "wraps_rx"; "wraps_rx" ] in
+        let progs = List.map (fun w -> w.Workload.prog) ws in
+        let spill_bases = List.map Workload.spill_base ws in
+        match Pipeline.balanced ~nreg:128 ~spill_bases progs with
+        | Error trail ->
+          Alcotest.failf "no fallback served the mix: %a"
+            (Fmt.list Pipeline.pp_diagnostic) trail
+        | Ok bal ->
+          check Alcotest.bool "provenance is the chaitin fallback" true
+            (bal.Pipeline.provenance = Pipeline.Chaitin_fallback);
+          check Alcotest.bool "trail records the degradation" true
+            (List.exists
+               (fun d -> d.Pipeline.stage = Pipeline.Balanced)
+               bal.Pipeline.trail);
+          check Alcotest.bool "no inter result on the fallback path" true
+            (bal.Pipeline.inter = None);
+          check Alcotest.int "fallback still verifies" 0
+            (List.length bal.Pipeline.verify_errors);
+          (* and the degraded allocation actually runs, sentinel armed *)
+          let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+          let r =
+            Npra_sim.Machine.report
+              (Npra_sim.Machine.run ~sentinel:`Trap ~mem_image
+                 bal.Pipeline.programs)
+          in
+          List.iter
+            (fun tr ->
+              check Alcotest.bool "thread completed" true
+                (tr.Npra_sim.Machine.completion <> None))
+            r.Npra_sim.Machine.thread_reports);
+    test "zero move budget degrades to balanced-relaxed" (fun () ->
+        (* drr squeezed into 24 registers needs paid reductions — split
+           moves get inserted; with the budget at zero the result is
+           kept but flagged as over budget *)
+        let ws = mix [ "drr" ] in
+        let progs = List.map (fun w -> w.Workload.prog) ws in
+        match Pipeline.balanced ~nreg:24 ~move_budget:0 progs with
+        | Error trail ->
+          Alcotest.failf "unexpected error: %a"
+            (Fmt.list Pipeline.pp_diagnostic) trail
+        | Ok bal ->
+          check Alcotest.bool "moves were inserted" true (bal.Pipeline.moves > 0);
+          check Alcotest.bool "provenance is balanced-relaxed" true
+            (bal.Pipeline.provenance = Pipeline.Balanced_relaxed);
+          check Alcotest.int "one diagnostic in the trail" 1
+            (List.length bal.Pipeline.trail);
+          check Alcotest.int "still verifies" 0
+            (List.length bal.Pipeline.verify_errors);
+          (* the same system under the default budget is plain Balanced *)
+          match Pipeline.balanced ~nreg:24 progs with
+          | Error _ -> Alcotest.fail "default budget should succeed"
+          | Ok bal' ->
+            check Alcotest.bool "default budget accepts the moves" true
+              (bal'.Pipeline.provenance = Pipeline.Balanced));
+    test "balanced_exn raises only on a total failure" (fun () ->
+        (* the fallback chain serves the infeasible mix, so even _exn
+           returns *)
+        let ws = mix [ "wraps_rx"; "wraps_tx"; "wraps_rx"; "wraps_tx" ] in
+        let progs = List.map (fun w -> w.Workload.prog) ws in
+        let spill_bases = List.map Workload.spill_base ws in
+        let bal = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+        check Alcotest.bool "served" true
+          (bal.Pipeline.provenance <> Pipeline.Balanced));
+  ]
+
 let experiment_tests =
   [
     test "table1 computes a row per benchmark" (fun () ->
@@ -85,10 +160,14 @@ let experiment_tests =
         let rows = Experiments.fig14 () in
         List.iter
           (fun r ->
-            check Alcotest.bool
-              (r.Experiments.f14_name ^ " saving >= 0")
-              true
-              (r.Experiments.saving_pct >= -0.001))
+            match r.Experiments.f14_data with
+            | None ->
+              Alcotest.fail (r.Experiments.f14_name ^ " row is annotated")
+            | Some d ->
+              check Alcotest.bool
+                (r.Experiments.f14_name ^ " saving >= 0")
+                true
+                (d.Experiments.saving_pct >= -0.001))
           rows;
         check Alcotest.bool "average in a sane band" true
           (Experiments.fig14_average rows > 5.));
@@ -97,8 +176,12 @@ let experiment_tests =
         check Alcotest.int "rows" 11 (List.length rows);
         List.iter
           (fun r ->
-            check Alcotest.bool "overhead bounded" true
-              (r.Experiments.overhead_pct < 50.))
+            match r.Experiments.t2_data with
+            | None ->
+              Alcotest.fail (r.Experiments.t2_name ^ " row is annotated")
+            | Some d ->
+              check Alcotest.bool "overhead bounded" true
+                (d.Experiments.overhead_pct < 50.))
           rows);
     test "table3 scenarios: critical up, others mildly down" (fun () ->
         let rows = Experiments.table3 () in
@@ -145,5 +228,6 @@ let suite =
   [
     ("pipeline.balanced", balanced_tests);
     ("pipeline.baseline", baseline_tests);
+    ("pipeline.degradation", degradation_tests);
     ("pipeline.experiments", experiment_tests);
   ]

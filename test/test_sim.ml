@@ -158,6 +158,150 @@ let machine_tests =
         check Alcotest.int "value" 123 (Memory.peek (Machine.memory m) 60));
   ]
 
+(* both threads keep a value in r0 across a ctx_switch — the canonical
+   clobber the sentinel exists to catch *)
+let clobber_pair () =
+  let clobber name v addr =
+    prog name
+      [
+        Instr.Movi { dst = Reg.P 0; imm = v };
+        Instr.Ctx_switch;
+        Instr.Movi { dst = Reg.P 1; imm = addr };
+        Instr.Store { src = Reg.P 0; addr = Reg.P 1; off = 0 };
+        Instr.Halt;
+      ]
+      []
+  in
+  [ clobber "c1" 11 300; clobber "c2" 22 301 ]
+
+let sentinel_tests =
+  [
+    test "trap mode reports the full corruption diagnostic" (fun () ->
+        match Machine.run ~sentinel:`Trap (clobber_pair ()) with
+        | (_ : Machine.t) -> Alcotest.fail "expected Corruption"
+        | exception Machine.Corruption c ->
+          check Alcotest.int "register" 0 c.Machine.corrupt_reg;
+          check Alcotest.int "reader" 0 c.Machine.reader;
+          check Alcotest.string "reader name" "c1" c.Machine.reader_name;
+          check Alcotest.int "clobberer" 1 c.Machine.clobberer;
+          check Alcotest.string "clobberer name" "c2" c.Machine.clobberer_name;
+          check (Alcotest.option Alcotest.int) "victim value" (Some 11)
+            c.Machine.victim_value;
+          check Alcotest.int "observed value" 22 c.Machine.observed_value;
+          check Alcotest.bool "clobber precedes read" true
+            (c.Machine.clobber_cycle < c.Machine.read_cycle));
+    test "quarantine mode parks the victim and finishes the rest" (fun () ->
+        let m = Machine.run ~sentinel:`Quarantine (clobber_pair ()) in
+        let r = Machine.report m in
+        let t0 = List.nth r.Machine.thread_reports 0
+        and t1 = List.nth r.Machine.thread_reports 1 in
+        check Alcotest.bool "victim did not complete" true
+          (t0.Machine.completion = None);
+        (match t0.Machine.fault with
+        | None -> Alcotest.fail "victim carries no fault record"
+        | Some c -> check Alcotest.int "faulted on r0" 0 c.Machine.corrupt_reg);
+        check Alcotest.bool "other thread completed" true
+          (t1.Machine.completion <> None);
+        check (Alcotest.option (Alcotest.of_pp Machine.pp_corruption))
+          "other thread clean" None t1.Machine.fault);
+    test "quarantine is visible on the timeline" (fun () ->
+        let m =
+          Machine.run ~sentinel:`Quarantine ~timeline:true (clobber_pair ())
+        in
+        check Alcotest.bool "a Trapped event was recorded" true
+          (List.exists
+             (fun (_, _, e) -> e = Machine.Trapped)
+             (Machine.timeline m)));
+    test "sentinel stays silent on a safe interleaving" (fun () ->
+        (* same shape, but each thread keeps its switch-crossing value in
+           its own register *)
+        let safe name r v addr =
+          prog name
+            [
+              Instr.Movi { dst = Reg.P r; imm = v };
+              Instr.Ctx_switch;
+              Instr.Movi { dst = Reg.P (r + 1); imm = addr };
+              Instr.Store { src = Reg.P r; addr = Reg.P (r + 1); off = 0 };
+              Instr.Halt;
+            ]
+            []
+        in
+        let m =
+          Machine.run ~sentinel:`Trap [ safe "s1" 0 11 300; safe "s2" 4 22 301 ]
+        in
+        let r = Machine.report m in
+        List.iter
+          (fun tr ->
+            check Alcotest.bool "completed" true (tr.Machine.completion <> None))
+          r.Machine.thread_reports);
+    test "off mode reproduces the silent corruption" (fun () ->
+        let m = Machine.run ~sentinel:`Off (clobber_pair ()) in
+        let r = Machine.report m in
+        let t1 = List.hd r.Machine.thread_reports in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "corrupted store went through" [ (300, 22) ] t1.Machine.store_trace);
+  ]
+
+let stuck_tests =
+  [
+    test "runaway execution is Cycle_limit, with thread status" (fun () ->
+        let p = prog "spin" [ Instr.Br { target = "top" } ] [ ("top", 0) ] in
+        let config = { Machine.default_config with max_cycles = 1000 } in
+        match Machine.run ~config [ p ] with
+        | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
+        | exception Machine.Stuck (Machine.Cycle_limit { limit; threads }) ->
+          check Alcotest.int "limit" 1000 limit;
+          check Alcotest.int "one thread" 1 (List.length threads);
+          check Alcotest.bool "runnable" true
+            ((List.hd threads).Machine.st_state = Machine.Runnable)
+        | exception Machine.Stuck s ->
+          Alcotest.failf "wrong stuck: %a" Machine.pp_stuck s);
+    test "blocked past the budget is Deadlock, not Cycle_limit" (fun () ->
+        let p =
+          prog "sleeper"
+            [
+              Instr.Movi { dst = Reg.P 1; imm = 100 };
+              Instr.Load { dst = Reg.P 0; addr = Reg.P 1; off = 0 };
+              Instr.Halt;
+            ]
+            []
+        in
+        let config =
+          { Machine.default_config with mem_latency = 5000; max_cycles = 10 }
+        in
+        match Machine.run ~config [ p ] with
+        | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
+        | exception Machine.Stuck (Machine.Deadlock { threads; _ }) ->
+          check Alcotest.bool "waiting on memory" true
+            (match (List.hd threads).Machine.st_state with
+            | Machine.Waiting _ -> true
+            | _ -> false)
+        | exception Machine.Stuck s ->
+          Alcotest.failf "wrong stuck: %a" Machine.pp_stuck s);
+    test "out-of-file register index is reported" (fun () ->
+        let p =
+          prog "oof" [ Instr.Movi { dst = Reg.P 200; imm = 1 }; Instr.Halt ] []
+        in
+        match Machine.run [ p ] with
+        | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
+        | exception Machine.Stuck (Machine.Out_of_file { reg; nreg }) ->
+          check Alcotest.int "reg" 200 reg;
+          check Alcotest.int "nreg" 128 nreg
+        | exception Machine.Stuck s ->
+          Alcotest.failf "wrong stuck: %a" Machine.pp_stuck s);
+    test "virtual registers are Not_physical, naming the thread" (fun () ->
+        let p =
+          prog "virt" [ Instr.Movi { dst = Reg.V 0; imm = 1 }; Instr.Halt ] []
+        in
+        match Machine.run [ p ] with
+        | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
+        | exception Machine.Stuck (Machine.Not_physical { thread; _ }) ->
+          check Alcotest.string "thread" "virt" thread
+        | exception Machine.Stuck s ->
+          Alcotest.failf "wrong stuck: %a" Machine.pp_stuck s);
+  ]
+
 let refexec_tests =
   [
     test "refexec matches machine on a single thread" (fun () ->
@@ -214,6 +358,8 @@ let memory_tests =
 let suite =
   [
     ("sim.machine", machine_tests);
+    ("sim.sentinel", sentinel_tests);
+    ("sim.stuck", stuck_tests);
     ("sim.refexec", refexec_tests);
     ("sim.memory", memory_tests);
   ]
