@@ -403,6 +403,54 @@ let run_faults () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Never-crash fuzzing: random bytes, mutated kernels and round-trips   *)
+(* through the total frontends and the full pipeline. Writes            *)
+(* BENCH_fuzz.json and fails the process on any uncaught exception,     *)
+(* any wall-clock hang, or any seeded crasher that is not rejected      *)
+(* with structured diagnostics.                                         *)
+
+let fuzz_json = "BENCH_fuzz.json"
+
+let run_fuzz () =
+  let open Npra_fuzz in
+  let count = if !quick then 1_500 else 12_000 in
+  Fmt.pr "@.== Fuzz: never-crash contract over both frontends (%d inputs) ==@."
+    count;
+  let stats = Fuzz.run ~seed:42 ~count () in
+  Fmt.pr "inputs          %8d@." stats.Fuzz.inputs;
+  Fmt.pr "  rejected      %8d  (structured diagnostics)@." stats.Fuzz.rejected;
+  Fmt.pr "  accepted      %8d  (allocated, verified, simulated)@."
+    stats.Fuzz.accepted;
+  Fmt.pr "  alloc failed  %8d  (degradation chain exhausted)@."
+    stats.Fuzz.alloc_failed;
+  Fmt.pr "  verify failed %8d@." stats.Fuzz.verify_failed;
+  Fmt.pr "  budget stops  %8d  (cycle limit / deadlock, structured)@."
+    stats.Fuzz.budget_stopped;
+  Fmt.pr "crashes         %8d@." stats.Fuzz.crashes;
+  Fmt.pr "hangs           %8d  (slowest input %.3fs)@." stats.Fuzz.hangs
+    stats.Fuzz.slowest_s;
+  List.iter
+    (fun (lang, src, exn) ->
+      Fmt.epr "CRASH [%s]: %s@.  input: %s@." (Fuzz.lang_name lang) exn src)
+    stats.Fuzz.crash_reports;
+  let unrejected = Fuzz.crashers_rejected () in
+  List.iter
+    (fun (lang, src, why) ->
+      Fmt.epr "CRASHER NOT REJECTED [%s]: %s@.  input: %S@."
+        (Fuzz.lang_name lang) why src)
+    unrejected;
+  let oc = open_out fuzz_json in
+  output_string oc (Fuzz.to_json stats);
+  close_out oc;
+  Fmt.pr "wrote %s@." fuzz_json;
+  if not (Fuzz.ok stats && unrejected = []) then begin
+    Fmt.epr
+      "FUZZ HARNESS FAILURE: the never-crash contract was violated (see \
+       reports above)@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let known =
@@ -410,7 +458,7 @@ let () =
       ("table1", run_table1); ("fig14", run_fig14); ("table2", run_table2);
       ("table3", run_table3); ("ablation", run_ablation);
       ("timing", run_timing); ("dataflow", run_dataflow);
-      ("faults", run_faults);
+      ("faults", run_faults); ("fuzz", run_fuzz);
     ]
   in
   let print_subcommands ppf =

@@ -197,10 +197,22 @@ let simulate_cmd =
 
 (* ---- asm ---- *)
 
+(* Frontend failures (exit 3) are distinct from allocation failures
+   (exit 1): scripts can tell "your source is malformed" from "your
+   source is fine but does not fit the register file". *)
+let frontend_or_die ~what ~src = function
+  | Ok progs -> progs
+  | Error diags ->
+    Fmt.epr "%s: %d error(s)@.%s@." what (List.length diags)
+      (Npra_diag.Diag.to_string ~src diags);
+    exit 3
+
 let asm_cmd =
   let run nreg file =
     let src = In_channel.with_open_text file In_channel.input_all in
-    let progs = Npra_asm.Parser.parse src in
+    let progs =
+      frontend_or_die ~what:"parse failed" ~src (Npra_asm.Parser.parse src)
+    in
     let bal = balanced_or_die ~nreg progs in
     print_balanced bal;
     List.iter
@@ -219,11 +231,11 @@ let asm_cmd =
 let cc_cmd =
   let run nreg optimize simulate file =
     let src = In_channel.with_open_text file In_channel.input_all in
-    match Npra_npc.Npc.compile src with
-    | Error e ->
-      Fmt.epr "%a@." Npra_npc.Npc.pp_error e;
-      exit 1
-    | Ok progs ->
+    match
+      frontend_or_die ~what:"compilation failed" ~src
+        (Npra_npc.Npc.compile src)
+    with
+    | progs ->
       Fmt.pr "compiled %d thread(s): %s@." (List.length progs)
         (String.concat ", " (List.map (fun p -> p.Prog.name) progs));
       let progs =

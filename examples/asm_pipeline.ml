@@ -36,7 +36,7 @@ loop:
 |}
 
 let () =
-  let progs = Npra_asm.Parser.parse source in
+  let progs = Npra_asm.Parser.parse_exn source in
   Fmt.pr "parsed %d threads: %s@.@." (List.length progs)
     (String.concat ", " (List.map (fun p -> p.Npra_ir.Prog.name) progs));
 

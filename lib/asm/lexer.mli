@@ -1,5 +1,8 @@
 (** Lexer for the NPRA assembly language. Comments run from [';'] or
-    ['#'] to end of line; tokens carry their source line. *)
+    ['#'] to end of line; tokens carry a full line/column span.
+
+    Tokenization is total: malformed input produces placeholder tokens
+    plus structured diagnostics, never an exception. *)
 
 type token =
   | IDENT of string
@@ -14,8 +17,19 @@ type token =
   | NEWLINE
   | EOF
 
-type lexeme = { token : token; line : int }
+type lexeme = { token : token; span : Npra_diag.Diag.span }
 
-exception Error of { line : int; message : string }
+val line : lexeme -> int
+(** Start line of the lexeme, for quick assertions. *)
 
-val tokenize : string -> lexeme list
+val max_virtual_index : int
+val max_physical_index : int
+(** Register indices are bound-checked against these at lex time: no
+    register file is anywhere near this large, and an unchecked
+    [v99999999999999999999] used to crash [int_of_string]. *)
+
+val tokenize : string -> lexeme list * Npra_diag.Diag.t list
+(** The token stream always ends with [EOF]. Unlexable characters and
+    out-of-range literals are reported in the diagnostic list and
+    replaced by a placeholder (or skipped), so the parser always has a
+    stream to work on. *)

@@ -4,55 +4,94 @@
    NAME] directive (a file without any directive is a single anonymous
    thread). Within a section: labels ([name:]) and instructions, one per
    line. The grammar accepts exactly what {!Printer} emits, giving a
-   round-trip property the tests rely on. *)
+   round-trip property the tests rely on.
+
+   The parser is total: errors are accumulated as {!Npra_diag.Diag.t}
+   values and recovery resynchronizes at the next line boundary, so one
+   bad line costs one diagnostic instead of the rest of the file. A
+   section that produced any diagnostic is not validated further
+   (dangling branches inside a half-parsed section would only cascade);
+   clean sections get full structural validation — duplicate labels,
+   undefined or end-of-program branch targets, control falling off the
+   end — each with a precise span. *)
 
 open Npra_ir
+open Npra_diag
 
-exception Error of { line : int; message : string }
+(* recoverable syntax error: already reported, resync at the next line *)
+exception Recover
 
-let error line fmt = Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+(* the error budget is exhausted: abandon the parse *)
+exception Overflow
 
-type state = { mutable toks : Lexer.lexeme list }
+type state = { mutable toks : Lexer.lexeme list; bag : Diag.bag }
 
+(* The lexer guarantees a terminal [EOF] lexeme; [advance] never drops
+   it, so [peek] is total even after an error path consumed EOF. *)
 let peek st =
   match st.toks with [] -> assert false | l :: _ -> l
 
 let advance st =
-  match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+  match st.toks with
+  | [] | [ _ ] -> ()
+  | _ :: rest -> st.toks <- rest
 
-let next st =
-  let l = peek st in
-  advance st;
-  l
+let report st span fmt =
+  Fmt.kstr
+    (fun message ->
+      Diag.add st.bag (Diag.error Diag.Parse span "%s" message);
+      if Diag.full st.bag then raise Overflow)
+    fmt
 
+let error st span fmt =
+  Fmt.kstr
+    (fun message ->
+      report st span "%s" message;
+      raise Recover)
+    fmt
+
+(* On a mismatch, error WITHOUT consuming the token: if it is the
+   NEWLINE the error path synchronizes on, eating it would make
+   [sync_line] overshoot and swallow the following line too. *)
 let expect st tok what =
-  let l = next st in
-  if l.Lexer.token <> tok then error l.Lexer.line "expected %s" what
+  let l = peek st in
+  if l.Lexer.token = tok then advance st
+  else error st l.Lexer.span "expected %s" what
 
 let expect_reg st =
-  let l = next st in
+  let l = peek st in
   match l.Lexer.token with
-  | Lexer.REG r -> r
-  | _ -> error l.Lexer.line "expected a register"
+  | Lexer.REG r ->
+    advance st;
+    r
+  | _ -> error st l.Lexer.span "expected a register"
 
 let expect_int st =
-  let l = next st in
+  let l = peek st in
   match l.Lexer.token with
-  | Lexer.INT n -> n
-  | _ -> error l.Lexer.line "expected an integer"
+  | Lexer.INT n ->
+    advance st;
+    n
+  | _ -> error st l.Lexer.span "expected an integer"
 
 let expect_ident st =
-  let l = next st in
+  let l = peek st in
   match l.Lexer.token with
-  | Lexer.IDENT s -> s
-  | _ -> error l.Lexer.line "expected an identifier"
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> error st l.Lexer.span "expected an identifier"
 
 let expect_operand st =
-  let l = next st in
+  let l = peek st in
   match l.Lexer.token with
-  | Lexer.REG r -> Instr.Reg r
-  | Lexer.INT n -> Instr.Imm n
-  | _ -> error l.Lexer.line "expected a register or integer"
+  | Lexer.REG r ->
+    advance st;
+    Instr.Reg r
+  | Lexer.INT n ->
+    advance st;
+    Instr.Imm n
+  | _ -> error st l.Lexer.span "expected a register or integer"
 
 let expect_comma st = expect st Lexer.COMMA "','"
 
@@ -91,7 +130,7 @@ let cond_of_name = function
   | "ble" -> Some Instr.Le
   | _ -> None
 
-let parse_instr st line mnemonic =
+let parse_instr st span mnemonic =
   match alu_of_name mnemonic, cond_of_name mnemonic, mnemonic with
   | Some op, _, _ ->
     let dst = expect_reg st in
@@ -131,33 +170,95 @@ let parse_instr st line mnemonic =
   | None, None, "ctx_switch" -> Instr.Ctx_switch
   | None, None, "nop" -> Instr.Nop
   | None, None, "halt" -> Instr.Halt
-  | None, None, other -> error line "unknown mnemonic %S" other
+  | None, None, other -> error st span "unknown mnemonic %S" other
 
 type section = {
   name : string;
-  mutable rev_code : Instr.t list;
+  opened : Diag.span;  (* the .thread directive, or the first token *)
+  mutable rev_code : (Instr.t * Diag.span) list;
   mutable count : int;
-  mutable labels : (string * int) list;
+  mutable labels : (string * int * Diag.span) list;
+  mutable dirty : bool;  (* a diagnostic was recorded inside: skip
+                            structural validation to avoid cascades *)
 }
+
+(* Skip to just past the next NEWLINE (or to EOF): the resynchronization
+   point after a malformed statement. *)
+let sync_line st =
+  let rec go () =
+    match (peek st).Lexer.token with
+    | Lexer.EOF -> ()
+    | Lexer.NEWLINE -> advance st
+    | _ ->
+      advance st;
+      go ()
+  in
+  go ()
+
+(* Structural validation of a clean section, mirroring {!Prog.validate}
+   but with source spans. *)
+let validate_section st s =
+  let n = s.count in
+  if n = 0 then
+    report st s.opened "thread section %S has no instructions" s.name;
+  let code = List.rev s.rev_code in
+  List.iteri
+    (fun i (ins, span) ->
+      (match Instr.branch_target ins with
+      | Some l -> (
+        match
+          List.find_opt (fun (name, _, _) -> name = l) s.labels
+        with
+        | None -> report st span "undefined label %S" l
+        | Some (_, j, _) when j >= n ->
+          report st span "branch to %S targets the program end" l
+        | Some _ -> ())
+      | None -> ());
+      if i = n - 1 && Instr.falls_through ins then
+        report st span "control falls off the end of thread %S" s.name)
+    code
+
+let build_section st s =
+  if s.dirty then None
+  else begin
+    let before = Diag.count st.bag in
+    validate_section st s;
+    if Diag.count st.bag > before then None
+    else
+      let code = List.rev_map fst s.rev_code in
+      let labels = List.map (fun (l, i, _) -> (l, i)) (List.rev s.labels) in
+      match Prog.make ~name:s.name ~code ~labels with
+      | p -> Some p
+      | exception Prog.Invalid m ->
+        (* validate_section should subsume Prog.validate; belt and
+           braces for any check added there later *)
+        report st s.opened "%s" m;
+        None
+  end
 
 let parse_sections st =
   let sections = ref [] in
   let current = ref None in
-  let section line =
+  let section span =
     match !current with
     | Some s -> s
     | None ->
-      let s = { name = "main"; rev_code = []; count = 0; labels = [] } in
+      let s =
+        { name = "main"; opened = span; rev_code = []; count = 0; labels = [];
+          dirty = false }
+      in
       current := Some s;
-      ignore line;
       s
   in
   let close () =
     match !current with
     | Some s ->
-      sections := s :: !sections;
+      sections := build_section st s :: !sections;
       current := None
     | None -> ()
+  in
+  let mark_dirty () =
+    match !current with Some s -> s.dirty <- true | None -> ()
   in
   let rec loop () =
     let l = peek st in
@@ -166,45 +267,97 @@ let parse_sections st =
     | Lexer.NEWLINE ->
       advance st;
       loop ()
-    | Lexer.DIRECTIVE "thread" ->
+    | Lexer.DIRECTIVE "thread" -> (
       advance st;
-      let name = expect_ident st in
-      close ();
-      current := Some { name; rev_code = []; count = 0; labels = [] };
+      match expect_ident st with
+      | name ->
+        close ();
+        current :=
+          Some
+            { name; opened = l.Lexer.span; rev_code = []; count = 0;
+              labels = []; dirty = false };
+        loop ()
+      | exception Recover ->
+        (* the malformed directive opens nothing; whatever preceded it
+           is still a complete section *)
+        close ();
+        sync_line st;
+        loop ())
+    | Lexer.DIRECTIVE d ->
+      (try error st l.Lexer.span "unknown directive .%s" d
+       with Recover ->
+         mark_dirty ();
+         sync_line st);
       loop ()
-    | Lexer.DIRECTIVE d -> error l.Lexer.line "unknown directive .%s" d
     | Lexer.IDENT id -> (
       advance st;
       match (peek st).Lexer.token with
       | Lexer.COLON ->
         advance st;
-        let s = section l.Lexer.line in
-        s.labels <- (id, s.count) :: s.labels;
+        let s = section l.Lexer.span in
+        (if List.exists (fun (name, _, _) -> name = id) s.labels then begin
+           report st l.Lexer.span "duplicate label %S" id;
+           s.dirty <- true
+         end
+         else s.labels <- (id, s.count, l.Lexer.span) :: s.labels);
         loop ()
       | _ ->
-        let s = section l.Lexer.line in
-        let ins = parse_instr st l.Lexer.line id in
-        s.rev_code <- ins :: s.rev_code;
-        s.count <- s.count + 1;
-        (match (peek st).Lexer.token with
-        | Lexer.NEWLINE | Lexer.EOF -> ()
-        | _ -> error l.Lexer.line "trailing tokens after instruction");
+        let s = section l.Lexer.span in
+        (match
+           let ins = parse_instr st l.Lexer.span id in
+           (match (peek st).Lexer.token with
+           | Lexer.NEWLINE | Lexer.EOF -> ()
+           | _ ->
+             error st (peek st).Lexer.span "trailing tokens after instruction");
+           ins
+         with
+        | ins ->
+          s.rev_code <- (ins, l.Lexer.span) :: s.rev_code;
+          s.count <- s.count + 1
+        | exception Recover ->
+          s.dirty <- true;
+          sync_line st);
         loop ())
-    | _ -> error l.Lexer.line "expected a label, mnemonic or directive"
+    | _ ->
+      (try error st l.Lexer.span "expected a label, mnemonic or directive"
+       with Recover ->
+         mark_dirty ();
+         sync_line st);
+      loop ()
   in
-  loop ();
+  (* closing a section runs validation, which can itself exhaust the
+     budget — keep both Overflow exits local *)
+  (try loop () with Overflow -> ());
+  (try close () with Overflow -> ());
   List.rev !sections
 
-let parse src =
-  let st = { toks = Lexer.tokenize src } in
-  let sections = parse_sections st in
-  List.map
-    (fun s ->
-      try Prog.make ~name:s.name ~code:(List.rev s.rev_code) ~labels:s.labels
-      with Prog.Invalid m -> error 0 "%s" m)
-    sections
+let parse ?(limit = 20) src =
+  let toks, lex_diags = Lexer.tokenize src in
+  let bag = Diag.bag ~limit () in
+  List.iter (Diag.add bag) lex_diags;
+  let st = { toks; bag } in
+  let sections =
+    if Diag.full bag then [] else parse_sections st
+  in
+  if Diag.has_errors bag then Error (Diag.diagnostics bag)
+  else Ok (List.filter_map Fun.id sections)
 
-let parse_one src =
-  match parse src with
-  | [ p ] -> p
-  | ps -> error 0 "expected exactly one thread section, found %d" (List.length ps)
+let parse_one ?limit src =
+  match parse ?limit src with
+  | Ok [ p ] -> Ok p
+  | Ok ps ->
+    Error
+      [
+        Diag.error Diag.Parse
+          (Diag.point (Diag.pos ~line:1 ~col:1))
+          "expected exactly one thread section, found %d" (List.length ps);
+      ]
+  | Error ds -> Error ds
+
+let fail_diags src ds = Fmt.failwith "%s" (Diag.to_string ~src ds)
+
+let parse_exn src =
+  match parse src with Ok ps -> ps | Error ds -> fail_diags src ds
+
+let parse_one_exn src =
+  match parse_one src with Ok p -> p | Error ds -> fail_diags src ds

@@ -2,14 +2,26 @@
 
     A file holds one or more thread sections, each opened by a
     [.thread NAME] directive (a directive-free file is one anonymous
-    thread). The grammar accepts exactly what {!Printer} emits. *)
+    thread). The grammar accepts exactly what {!Printer} emits.
+
+    Parsing is total and recovering: a malformed line yields one
+    structured diagnostic and parsing resynchronizes at the next line,
+    up to a configurable error budget. No input raises. *)
 
 open Npra_ir
 
-exception Error of { line : int; message : string }
+val parse :
+  ?limit:int -> string -> (Prog.t list, Npra_diag.Diag.t list) result
+(** All thread sections of the file, or every diagnostic found —
+    lexical, syntactic and program-structure — capped at [limit]
+    (default 20). *)
 
-val parse : string -> Prog.t list
-(** @raise Error on lexical/syntactic problems or invalid programs. *)
+val parse_one :
+  ?limit:int -> string -> (Prog.t, Npra_diag.Diag.t list) result
+(** Like {!parse} but requires exactly one thread section. *)
 
-val parse_one : string -> Prog.t
-(** @raise Error unless the source holds exactly one thread. *)
+val parse_exn : string -> Prog.t list
+(** @raise Failure with rendered diagnostics. For tests and scripts. *)
+
+val parse_one_exn : string -> Prog.t
+(** @raise Failure with rendered diagnostics. *)

@@ -235,6 +235,59 @@ let differential ?(ignore_addr = fun _ -> false) ~mem_image originals allocated
   in
   List.for_all2 ( = ) expected solo && List.for_all2 ( = ) expected interleaved
 
+(* ------------------------------------------------------------------ *)
+(* Source-level entry points: the total frontends composed with the
+   degradation chain, so a byte stream maps to an allocation, frontend
+   diagnostics, or an allocator trail — never an exception. *)
+
+type source_error =
+  | Frontend of Npra_diag.Diag.t list  (* lex/parse/sema diagnostics *)
+  | Alloc of diagnostic list  (* every allocation stage failed *)
+
+let pp_source_error ?src ppf = function
+  | Frontend ds -> (
+    match src with
+    | Some src -> Npra_diag.Diag.render_all ~src ppf ds
+    | None -> Fmt.(list ~sep:(any "@.") Npra_diag.Diag.pp) ppf ds)
+  | Alloc trail ->
+    Fmt.pf ppf "allocation failed at every stage:@.%a"
+      Fmt.(list ~sep:(any "@.") pp_diagnostic)
+      trail
+
+let frontend_guard progs =
+  if progs = [] then
+    Error
+      (Frontend
+         [
+           Npra_diag.Diag.error Npra_diag.Diag.Parse
+             (Npra_diag.Diag.point (Npra_diag.Diag.pos ~line:1 ~col:1))
+             "source contains no thread sections";
+         ])
+  else Ok progs
+
+let allocate_frontend ?nreg ?move_budget ?spill_bases ~optimize progs =
+  match frontend_guard progs with
+  | Error e -> Error e
+  | Ok progs ->
+    let progs =
+      if optimize then List.map Npra_opt.Opt.clean progs else progs
+    in
+    (match balanced ?nreg ?move_budget ?spill_bases progs with
+    | Ok bal -> Ok bal
+    | Error trail -> Error (Alloc trail))
+
+let run_asm ?nreg ?move_budget ?spill_bases ?limit ?(optimize = false) src =
+  match Npra_asm.Parser.parse ?limit src with
+  | Error ds -> Error (Frontend ds)
+  | Ok progs ->
+    allocate_frontend ?nreg ?move_budget ?spill_bases ~optimize progs
+
+let run_npc ?nreg ?move_budget ?spill_bases ?limit ?(optimize = false) src =
+  match Npra_npc.Npc.compile ?limit src with
+  | Error ds -> Error (Frontend ds)
+  | Ok progs ->
+    allocate_frontend ?nreg ?move_budget ?spill_bases ~optimize progs
+
 let simulate ?config ~mem_image progs = Machine.run ?config ~mem_image progs
 
 (* Cycles per main-loop iteration for each thread of a finished run. *)

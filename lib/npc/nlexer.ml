@@ -1,5 +1,13 @@
 (* Lexer for NPC. Comments are [// ...] and [/* ... */]; integers are
-   decimal or hex; identifiers and keywords are the usual C shape. *)
+   decimal or hex; identifiers and keywords are the usual C shape.
+
+   Tokenization is total: malformed constructs (an unterminated block
+   comment, an overflowing literal, a byte outside the language) are
+   reported as structured diagnostics and either skipped or replaced by
+   a placeholder token, so the parser always receives a stream ending
+   in [TEOF]. *)
+
+open Npra_diag
 
 type token =
   | TINT of int
@@ -46,11 +54,14 @@ type token =
   | TTILDE
   | TEOF
 
-type lexeme = { token : token; pos : Ast.pos }
+type lexeme = { token : token; pos : Ast.pos; stop : Ast.pos }
 
-exception Error of { pos : Ast.pos; message : string }
-
-let error pos fmt = Fmt.kstr (fun message -> raise (Error { pos; message })) fmt
+(* Ast positions and Diag positions are the same 1-based line/column
+   pair; these convert between the two worlds. *)
+let dpos (p : Ast.pos) = Diag.pos ~line:p.Ast.line ~col:p.Ast.col
+let span_at (p : Ast.pos) = Diag.point (dpos p)
+let span_of (a : Ast.pos) (b : Ast.pos) = Diag.span (dpos a) (dpos b)
+let span_of_lexeme l = span_of l.pos l.stop
 
 let keyword_of = function
   | "thread" -> Some TTHREAD
@@ -77,9 +88,17 @@ let tokenize src =
   let n = String.length src in
   let line = ref 1 and bol = ref 0 in
   let out = ref [] in
+  let diags = ref [] in
   let i = ref 0 in
   let pos () = { Ast.line = !line; col = !i - !bol + 1 } in
-  let push tok p = out := { token = tok; pos = p } :: !out in
+  (* inclusive end of the token that ran to the current position *)
+  let stop_pos () = { Ast.line = !line; col = max 1 (!i - !bol) } in
+  let push tok p = out := { token = tok; pos = p; stop = stop_pos () } :: !out in
+  let report span fmt =
+    Fmt.kstr
+      (fun message -> diags := Diag.error Diag.Lex span "%s" message :: !diags)
+      fmt
+  in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
   while !i < n do
     let p = pos () in
@@ -110,7 +129,8 @@ let tokenize src =
         end
         else incr i
       done;
-      if not !closed then error p "unterminated comment"
+      if not !closed then
+        report (span_of p p) "unterminated comment (missing '*/')"
     end
     else if is_digit c then begin
       let start = !i in
@@ -127,7 +147,9 @@ let tokenize src =
       let text = String.sub src start (!i - start) in
       match int_of_string_opt text with
       | Some v -> push (TINT v) p
-      | None -> error p "malformed integer %S" text
+      | None ->
+        report (span_of p (stop_pos ())) "malformed integer literal %S" text;
+        push (TINT 0) p
     end
     else if is_ident_start c then begin
       let start = !i in
@@ -140,8 +162,8 @@ let tokenize src =
       | None -> push (TIDENT text) p
     end
     else begin
-      let two tok = push tok p; i := !i + 2 in
-      let one tok = push tok p; incr i in
+      let two tok = i := !i + 2; push tok p in
+      let one tok = incr i; push tok p in
       match c, peek 1 with
       | '<', Some '<' -> two TSHL
       | '>', Some '>' -> two TSHR
@@ -170,8 +192,11 @@ let tokenize src =
       | ']', _ -> one TRBRACKET
       | ';', _ -> one TSEMI
       | ',', _ -> one TCOMMA
-      | _ -> error p "unexpected character %C" c
+      | _ ->
+        incr i;
+        report (span_at p) "unexpected character %C" c
     end
   done;
-  push TEOF (pos ());
-  List.rev !out
+  let p = pos () in
+  out := { token = TEOF; pos = p; stop = p } :: !out;
+  (List.rev !out, List.rev !diags)

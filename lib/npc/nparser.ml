@@ -1,31 +1,64 @@
 (* Recursive-descent parser for NPC with precedence climbing.
 
    Precedence (loosest to tightest):
-     ||  &&  (== !=)  (< <= > >=)  (| ^)  &  (<< >>)  (+ -)  *  unary *)
+     ||  &&  (== !=)  (< <= > >=)  (| ^)  &  (<< >>)  (+ -)  *  unary
 
-exception Error of { pos : Ast.pos; message : string }
+   The parser is total and recovering: every syntax error is recorded
+   as a structured diagnostic, then parsing resynchronizes — at the
+   next ';' or '}' inside a block, at the next 'thread'/'fun' at the
+   top level — and continues, capped by the bag's error budget. No
+   input raises. *)
 
-let error pos fmt = Fmt.kstr (fun message -> raise (Error { pos; message })) fmt
+open Npra_diag
 
-type state = { mutable toks : Nlexer.lexeme list }
+(* recoverable syntax error: already reported, resync and continue *)
+exception Recover
 
+(* the error budget is exhausted: abandon the parse *)
+exception Overflow
+
+type state = { mutable toks : Nlexer.lexeme list; bag : Diag.bag }
+
+(* The lexer guarantees a terminal [TEOF] lexeme; [advance] never drops
+   it, so [peek] is total even after an error path consumed TEOF. *)
 let peek st = match st.toks with [] -> assert false | l :: _ -> l
-let advance st = match st.toks with [] -> assert false | _ :: r -> st.toks <- r
+
+let advance st =
+  match st.toks with [] | [ _ ] -> () | _ :: r -> st.toks <- r
 
 let next st =
   let l = peek st in
   advance st;
   l
 
+let report st span fmt =
+  Fmt.kstr
+    (fun message ->
+      Diag.add st.bag (Diag.error Diag.Parse span "%s" message);
+      if Diag.full st.bag then raise Overflow)
+    fmt
+
+let error st span fmt =
+  Fmt.kstr
+    (fun message ->
+      report st span "%s" message;
+      raise Recover)
+    fmt
+
+let error_at st (l : Nlexer.lexeme) fmt = error st (Nlexer.span_of_lexeme l) fmt
+
+(* On a mismatch, error WITHOUT consuming: the offending token is often
+   the very ';' or '}' the enclosing recovery synchronizes on. *)
 let expect st tok what =
-  let l = next st in
-  if l.Nlexer.token <> tok then error l.Nlexer.pos "expected %s" what
+  let l = peek st in
+  if l.Nlexer.token = tok then advance st
+  else error_at st l "expected %s" what
 
 let expect_ident st =
   let l = next st in
   match l.Nlexer.token with
   | Nlexer.TIDENT s -> s
-  | _ -> error l.Nlexer.pos "expected an identifier"
+  | _ -> error_at st l "expected an identifier"
 
 (* binary operator of a token, with its precedence level *)
 let binop_of = function
@@ -77,6 +110,13 @@ and parse_unary st =
   | _ -> parse_primary st
 
 and parse_primary st =
+  (* On a token that cannot start an expression, error WITHOUT
+     consuming it: if it is the statement's own ';' or '}', eating it
+     would make [sync_stmt] overshoot and silently swallow the next
+     statement. *)
+  (match (peek st).Nlexer.token with
+  | Nlexer.TINT _ | Nlexer.TIDENT _ | Nlexer.TMEM | Nlexer.TLPAREN -> ()
+  | _ -> error_at st (peek st) "expected an expression");
   let l = next st in
   match l.Nlexer.token with
   | Nlexer.TINT v -> { Ast.desc = Ast.Int v; pos = l.Nlexer.pos }
@@ -89,6 +129,8 @@ and parse_primary st =
         | Nlexer.TRPAREN ->
           advance st;
           List.rev acc
+        | Nlexer.TEOF ->
+          error_at st (peek st) "unterminated argument list"
         | _ ->
           let e = parse_expr st in
           (match (peek st).Nlexer.token with
@@ -107,7 +149,7 @@ and parse_primary st =
     let e = parse_expr st in
     expect st Nlexer.TRPAREN "')'";
     e
-  | _ -> error l.Nlexer.pos "expected an expression"
+  | _ -> error_at st l "expected an expression"
 
 (* simple statements usable as for-loop init/step (no semicolon) *)
 let rec parse_simple_stmt st =
@@ -124,7 +166,7 @@ let rec parse_simple_stmt st =
     expect st Nlexer.TASSIGN "'='";
     let e = parse_expr st in
     { Ast.sdesc = Ast.Assign (x, e); spos = l.Nlexer.pos }
-  | _ -> error l.Nlexer.pos "expected a declaration or assignment"
+  | _ -> error_at st l "expected a declaration or assignment"
 
 and parse_stmt st =
   let l = peek st in
@@ -218,7 +260,20 @@ and parse_stmt st =
     let e = parse_expr st in
     expect st Nlexer.TSEMI "';'";
     { Ast.sdesc = Ast.Assign (x, e); spos = l.Nlexer.pos }
-  | _ -> error l.Nlexer.pos "expected a statement"
+  | _ -> error_at st l "expected a statement"
+
+(* After a bad statement: skip to just past the next ';', or stop short
+   of a '}' / EOF so the enclosing block can close normally. *)
+and sync_stmt st =
+  let rec go () =
+    match (peek st).Nlexer.token with
+    | Nlexer.TSEMI -> advance st
+    | Nlexer.TRBRACE | Nlexer.TEOF -> ()
+    | _ ->
+      advance st;
+      go ()
+  in
+  go ()
 
 and parse_block st =
   expect st Nlexer.TLBRACE "'{'";
@@ -227,8 +282,16 @@ and parse_block st =
     | Nlexer.TRBRACE ->
       advance st;
       List.rev acc
-    | Nlexer.TEOF -> error (peek st).Nlexer.pos "unterminated block"
-    | _ -> stmts (parse_stmt st :: acc)
+    | Nlexer.TEOF ->
+      report st (Nlexer.span_of_lexeme (peek st))
+        "unterminated block (missing '}')";
+      List.rev acc
+    | _ -> (
+      match parse_stmt st with
+      | s -> stmts (s :: acc)
+      | exception Recover ->
+        sync_stmt st;
+        stmts acc)
   in
   stmts []
 
@@ -253,21 +316,42 @@ let parse_item st =
         | Nlexer.TCOMMA -> advance st
         | _ -> ());
         params (x :: acc)
-      | _ -> error (peek st).Nlexer.pos "expected a parameter name"
+      | _ -> error_at st (peek st) "expected a parameter name"
     in
     let params = params [] in
     let fbody = parse_block st in
     Ast.Func { Ast.fname; params; fbody; fpos = l.Nlexer.pos }
-  | _ -> error l.Nlexer.pos "expected 'thread' or 'fun'"
+  | _ -> error_at st l "expected 'thread' or 'fun'"
 
-let parse src =
-  let st = { toks = Nlexer.tokenize src } in
-  let rec items acc =
+(* After a bad item: skip to the next top-level 'thread'/'fun'. *)
+let sync_item st =
+  let rec go () =
     match (peek st).Nlexer.token with
-    | Nlexer.TEOF -> List.rev acc
-    | _ -> items (parse_item st :: acc)
+    | Nlexer.TTHREAD | Nlexer.TFUN | Nlexer.TEOF -> ()
+    | _ ->
+      advance st;
+      go ()
   in
-  let prog = items [] in
-  if Ast.threads prog = [] then
-    error { Ast.line = 1; col = 1 } "a program needs at least one thread";
-  prog
+  go ()
+
+let parse ?(limit = 20) src =
+  let toks, lex_diags = Nlexer.tokenize src in
+  let bag = Diag.bag ~limit () in
+  List.iter (Diag.add bag) lex_diags;
+  let st = { toks; bag } in
+  let items = ref [] in
+  (try
+     if not (Diag.full bag) then
+       while (peek st).Nlexer.token <> Nlexer.TEOF do
+         match parse_item st with
+         | item -> items := item :: !items
+         | exception Recover -> sync_item st
+       done
+   with Overflow -> ());
+  let prog = List.rev !items in
+  if Ast.threads prog = [] && not (Diag.has_errors bag) then
+    Diag.add bag
+      (Diag.error Diag.Parse
+         (Diag.point (Diag.pos ~line:1 ~col:1))
+         "a program needs at least one thread");
+  if Diag.has_errors bag then Error (Diag.diagnostics bag) else Ok prog

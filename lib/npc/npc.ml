@@ -1,31 +1,38 @@
-(* Facade: compile NPC source to IR thread programs. *)
+(* Facade: compile NPC source to IR thread programs.
 
-type error =
-  | Lex_error of { pos : Ast.pos; message : string }
-  | Parse_error of { pos : Ast.pos; message : string }
-  | Sema_errors of Sema.error list
+   Every stage is total — lexing, parsing and scope checking accumulate
+   structured diagnostics instead of raising, and lowering failures
+   (which scope checking should rule out) are caught and reported as
+   [Ir]-phase diagnostics, so [compile] maps any byte stream to either
+   programs or a diagnostic list. *)
 
-let pp_error ppf = function
-  | Lex_error { pos; message } | Parse_error { pos; message } ->
-    Fmt.pf ppf "%d:%d: %s" pos.Ast.line pos.Ast.col message
-  | Sema_errors errs -> Fmt.(list ~sep:(any "@.") Sema.pp_error) ppf errs
+open Npra_diag
 
-let parse src =
-  match Nparser.parse src with
-  | ast -> Ok ast
-  | exception Nlexer.Error { pos; message } -> Error (Lex_error { pos; message })
-  | exception Nparser.Error { pos; message } ->
-    Error (Parse_error { pos; message })
+let parse ?limit src = Nparser.parse ?limit src
 
-let compile src =
-  match parse src with
-  | Error e -> Error e
+let cap ?(limit = 20) diags =
+  let bag = Diag.bag ~limit () in
+  List.iter (Diag.add bag) diags;
+  Diag.diagnostics bag
+
+let compile ?limit src =
+  match parse ?limit src with
+  | Error ds -> Error ds
   | Ok ast -> (
     match Sema.check ast with
-    | [] -> Ok (Lower.lower ast)
-    | errs -> Error (Sema_errors errs))
+    | [] -> (
+      match Lower.lower ast with
+      | progs -> Ok progs
+      | exception (Invalid_argument m | Npra_ir.Prog.Invalid m) ->
+        Error
+          [
+            Diag.error Diag.Ir
+              (Diag.point (Diag.pos ~line:1 ~col:1))
+              "internal lowering failure: %s" m;
+          ])
+    | errs -> Error (cap ?limit errs))
 
 let compile_exn src =
   match compile src with
   | Ok progs -> progs
-  | Error e -> Fmt.failwith "npc: %a" pp_error e
+  | Error ds -> Fmt.failwith "npc:@.%s" (Diag.to_string ~src ds)

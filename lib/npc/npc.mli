@@ -22,22 +22,23 @@
         }
       |} in
       let bal = Npra_core.Pipeline.balanced ~nreg:128 threads in ...
-    ]} *)
+    ]}
+
+    The whole frontend is total: any input maps to programs or a list
+    of {!Npra_diag.Diag.t} — with line/column spans, a phase tag
+    ([Lex]/[Parse]/[Sema]/[Ir]) and multi-error recovery — never to an
+    exception. *)
 
 open Npra_ir
 
-type error =
-  | Lex_error of { pos : Ast.pos; message : string }
-  | Parse_error of { pos : Ast.pos; message : string }
-  | Sema_errors of Sema.error list
+val parse :
+  ?limit:int -> string -> (Ast.program, Npra_diag.Diag.t list) result
+(** Syntax only. Recovers at statement and item boundaries; reports at
+    most [limit] (default 20) diagnostics. *)
 
-val pp_error : error Fmt.t
-
-val parse : string -> (Ast.program, error) result
-(** Syntax only. *)
-
-val compile : string -> (Prog.t list, error) result
+val compile :
+  ?limit:int -> string -> (Prog.t list, Npra_diag.Diag.t list) result
 (** Parse, scope-check, lower. One program per thread. *)
 
 val compile_exn : string -> Prog.t list
-(** @raise Failure with a rendered diagnostic. *)
+(** @raise Failure with rendered diagnostics. For tests and scripts. *)

@@ -5,17 +5,24 @@
    names must be distinct. All diagnostics are collected, not just the
    first. *)
 
-type error = { pos : Ast.pos; message : string }
+type error = Npra_diag.Diag.t
 
-let pp_error ppf e =
-  Fmt.pf ppf "%d:%d: %s" e.pos.Ast.line e.pos.Ast.col e.message
+let pp_error = Npra_diag.Diag.pp
+
+let sema_error pos fmt =
+  Fmt.kstr
+    (fun message ->
+      Npra_diag.Diag.error Npra_diag.Diag.Sema (Nlexer.span_at pos) "%s"
+        message)
+    fmt
 
 type fenv = (string * Ast.func) list
 
 let check_body errors (fenv : fenv) ~name:_ ~params ~in_function body tpos =
   (* scopes: a stack of name lists; the whole stack is the environment *)
   let err pos fmt =
-    Fmt.kstr (fun message -> errors := { pos; message } :: !errors) fmt
+    Fmt.kstr (fun message -> errors := sema_error pos "%s" message :: !errors)
+      fmt
   in
   let in_scope scopes x = List.exists (List.mem x) scopes in
   let rec expr scopes (e : Ast.expr) =
@@ -151,15 +158,12 @@ let recursion_errors errors (fenv : fenv) =
   let rec visit name =
     if Hashtbl.mem done_ name then ()
     else if Hashtbl.mem visiting name then
-      errors :=
-        {
-          pos =
-            (match List.assoc_opt name fenv with
-            | Some f -> f.Ast.fpos
-            | None -> { Ast.line = 0; col = 0 });
-          message = Fmt.str "recursive call chain through %s" name;
-        }
-        :: !errors
+      let pos =
+        match List.assoc_opt name fenv with
+        | Some f -> f.Ast.fpos
+        | None -> { Ast.line = 1; col = 1 }
+      in
+      errors := sema_error pos "recursive call chain through %s" name :: !errors
     else begin
       Hashtbl.replace visiting name ();
       (match List.assoc_opt name fenv with
@@ -182,10 +186,7 @@ let check (prog : Ast.program) =
     (fun (t : Ast.thread) ->
       if Hashtbl.mem seen t.Ast.name then
         errors :=
-          {
-            pos = t.Ast.tpos;
-            message = Fmt.str "duplicate thread name %s" t.Ast.name;
-          }
+          sema_error t.Ast.tpos "duplicate thread name %s" t.Ast.name
           :: !errors;
       Hashtbl.replace seen t.Ast.name ())
     (Ast.threads prog);
@@ -194,10 +195,7 @@ let check (prog : Ast.program) =
     (fun (f : Ast.func) ->
       if Hashtbl.mem fseen f.Ast.fname then
         errors :=
-          {
-            pos = f.Ast.fpos;
-            message = Fmt.str "duplicate function name %s" f.Ast.fname;
-          }
+          sema_error f.Ast.fpos "duplicate function name %s" f.Ast.fname
           :: !errors;
       Hashtbl.replace fseen f.Ast.fname ();
       let pseen = Hashtbl.create 4 in
@@ -205,10 +203,8 @@ let check (prog : Ast.program) =
         (fun p ->
           if Hashtbl.mem pseen p then
             errors :=
-              {
-                pos = f.Ast.fpos;
-                message = Fmt.str "duplicate parameter %s in %s" p f.Ast.fname;
-              }
+              sema_error f.Ast.fpos "duplicate parameter %s in %s" p
+                f.Ast.fname
               :: !errors;
           Hashtbl.replace pseen p ())
         f.Ast.params)

@@ -9,14 +9,15 @@ let test name f = Alcotest.test_case name `Quick f
 let lexer_tests =
   [
     test "registers classify by prefix" (fun () ->
-        let toks = Lexer.tokenize "v3 r12 foo" in
+        let toks, diags = Lexer.tokenize "v3 r12 foo" in
+        check Alcotest.int "clean" 0 (List.length diags);
         match List.map (fun l -> l.Lexer.token) toks with
         | [ Lexer.REG (Reg.V 3); Lexer.REG (Reg.P 12); Lexer.IDENT "foo";
             Lexer.EOF ] ->
           ()
         | _ -> Alcotest.fail "unexpected token stream");
     test "comments are skipped" (fun () ->
-        let toks = Lexer.tokenize "nop ; a comment\n# whole line\nhalt" in
+        let toks, _ = Lexer.tokenize "nop ; a comment\n# whole line\nhalt" in
         let idents =
           List.filter_map
             (fun l -> match l.Lexer.token with Lexer.IDENT s -> Some s | _ -> None)
@@ -24,7 +25,7 @@ let lexer_tests =
         in
         check (Alcotest.list Alcotest.string) "mnemonics" [ "nop"; "halt" ] idents);
     test "negative and hex integers" (fun () ->
-        let toks = Lexer.tokenize "-42 0x1F" in
+        let toks, _ = Lexer.tokenize "-42 0x1F" in
         let ints =
           List.filter_map
             (fun l -> match l.Lexer.token with Lexer.INT n -> Some n | _ -> None)
@@ -32,17 +33,53 @@ let lexer_tests =
         in
         check (Alcotest.list Alcotest.int) "ints" [ -42; 31 ] ints);
     test "line numbers advance" (fun () ->
-        let toks = Lexer.tokenize "nop\nnop\nnop" in
+        let toks, _ = Lexer.tokenize "nop\nnop\nnop" in
         let last = List.nth toks (List.length toks - 2) in
-        check Alcotest.int "line" 3 last.Lexer.line);
-    test "bad character raises" (fun () ->
-        try
-          ignore (Lexer.tokenize "nop @ nop");
-          Alcotest.fail "expected Error"
-        with Lexer.Error _ -> ());
+        check Alcotest.int "line" 3 (Lexer.line last));
+    test "columns are 1-based and advance" (fun () ->
+        let toks, _ = Lexer.tokenize "movi v0, 5" in
+        let cols =
+          List.map (fun l -> l.Lexer.span.Npra_diag.Diag.start_pos.col) toks
+        in
+        check (Alcotest.list Alcotest.int) "cols" [ 1; 6; 8; 10; 11 ] cols);
+    test "bad character yields a diagnostic, not an exception" (fun () ->
+        let toks, diags = Lexer.tokenize "nop @ nop" in
+        check Alcotest.bool "has diagnostic" true (diags <> []);
+        let idents =
+          List.filter_map
+            (fun l -> match l.Lexer.token with Lexer.IDENT s -> Some s | _ -> None)
+            toks
+        in
+        check (Alcotest.list Alcotest.string) "lexing continued"
+          [ "nop"; "nop" ] idents);
+    test "oversized register literal is rejected in bounds" (fun () ->
+        let _, diags = Lexer.tokenize "movi v99999999999999999999, 1" in
+        check Alcotest.bool "has diagnostic" true (diags <> []));
   ]
 
-let parse_one src = Parser.parse_one src
+let parse_one src = Parser.parse_one_exn src
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Asserts that parsing fails and every expected needle appears in some
+   diagnostic message. *)
+let expect_errors src needles =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.fail "expected parse errors"
+  | Error diags ->
+    let messages =
+      String.concat "\n"
+        (List.map (fun d -> d.Npra_diag.Diag.message) diags)
+    in
+    List.iter
+      (fun needle ->
+        if not (contains messages needle) then
+          Alcotest.fail
+            (Fmt.str "diagnostic %S not found in:\n%s" needle messages))
+      needles
 
 let parser_tests =
   [
@@ -65,7 +102,7 @@ let parser_tests =
         | Instr.Store { off = 0; _ } -> ()
         | _ -> Alcotest.fail "store offset");
     test "multiple threads in one file" (fun () ->
-        let ps = Parser.parse ".thread a\nhalt\n.thread b\nnop\nhalt\n" in
+        let ps = Parser.parse_exn ".thread a\nhalt\n.thread b\nnop\nhalt\n" in
         check
           (Alcotest.list Alcotest.string)
           "names" [ "a"; "b" ]
@@ -90,20 +127,18 @@ let parser_tests =
         in
         check Alcotest.int "count" 7 (Prog.length (parse_one src)));
     test "unknown mnemonic rejected" (fun () ->
-        try
-          ignore (parse_one "frobnicate v0\nhalt\n");
-          Alcotest.fail "expected Error"
-        with Parser.Error _ -> ());
+        expect_errors "frobnicate v0\nhalt\n" [ "unknown mnemonic" ]);
     test "trailing tokens rejected" (fun () ->
-        try
-          ignore (parse_one "nop nop\nhalt\n");
-          Alcotest.fail "expected Error"
-        with Parser.Error _ -> ());
+        expect_errors "nop nop\nhalt\n" [ "trailing tokens" ]);
     test "undefined branch target rejected" (fun () ->
-        try
-          ignore (parse_one "br nowhere\nhalt\n");
-          Alcotest.fail "expected Error"
-        with Parser.Error _ -> ());
+        expect_errors "br nowhere\nhalt\n" [ "undefined label" ]);
+    test "duplicate label rejected" (fun () ->
+        expect_errors "x:\nnop\nx:\nhalt\n" [ "duplicate label" ]);
+    test "control falling off the end rejected" (fun () ->
+        expect_errors "movi v0, 5" [ "falls off the end" ]);
+    test "recovery: one bad line costs one diagnostic each" (fun () ->
+        expect_errors "frobnicate v0\nnop nop\nmovi q9, 1\nhalt\n"
+          [ "unknown mnemonic"; "trailing tokens" ]);
   ]
 
 let same_program a b =

@@ -1,0 +1,221 @@
+(* Tests for the diagnostics subsystem and the totality of both
+   frontends: golden caret renderings, multi-error recovery, error
+   budgets, structured rejection of the historical crasher corpus, and
+   qcheck properties that no byte stream ever raises. *)
+
+open Npra_diag
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+(* ---- bag mechanics ---- *)
+
+let d line col msg =
+  Diag.error Diag.Parse (Diag.point (Diag.pos ~line ~col)) "%s" msg
+
+let bag_tests =
+  [
+    test "bag keeps order and counts errors" (fun () ->
+        let b = Diag.bag () in
+        Diag.add b (d 1 1 "first");
+        Diag.add b (d 2 1 "second");
+        check Alcotest.int "count" 2 (Diag.count b);
+        check Alcotest.bool "has errors" true (Diag.has_errors b);
+        check
+          (Alcotest.list Alcotest.string)
+          "order" [ "first"; "second" ]
+          (List.map (fun x -> x.Diag.message) (Diag.diagnostics b)));
+    test "bag reports suppressed overflow" (fun () ->
+        let b = Diag.bag ~limit:3 () in
+        List.iter (fun i -> Diag.add b (d i 1 "e")) [ 1; 2; 3; 4; 5 ];
+        let ds = Diag.diagnostics b in
+        (* 3 kept + the suppression note *)
+        check Alcotest.int "kept plus note" 4 (List.length ds);
+        let last = List.nth ds 3 in
+        check Alcotest.bool "notes suppression" true
+          (String.length last.Diag.message > 0
+          && String.sub last.Diag.message 0 15 = "too many errors"));
+    test "sorting is by position" (fun () ->
+        let ds = [ d 3 1 "c"; d 1 2 "a"; d 2 9 "b" ] in
+        check
+          (Alcotest.list Alcotest.string)
+          "sorted" [ "a"; "b"; "c" ]
+          (List.map
+             (fun x -> x.Diag.message)
+             (List.sort Diag.compare ds)));
+  ]
+
+(* ---- golden renderings ---- *)
+
+let asm_diags src =
+  match Npra_asm.Parser.parse src with
+  | Ok _ -> Alcotest.fail "expected diagnostics"
+  | Error ds -> ds
+
+let npc_diags src =
+  match Npra_npc.Npc.compile src with
+  | Ok _ -> Alcotest.fail "expected diagnostics"
+  | Error ds -> ds
+
+let golden what src diags expected =
+  check Alcotest.string what expected (Diag.to_string ~src diags)
+
+let golden_tests =
+  [
+    test "asm: unknown mnemonic, with caret under the word" (fun () ->
+        let src = "frobnicate v0\nhalt\n" in
+        golden "rendering" src (asm_diags src)
+          "1:1: parse error: unknown mnemonic \"frobnicate\"\n\
+          \  |   frobnicate v0\n\
+          \  |   ^^^^^^^^^^");
+    test "asm: giant register literal points at the register" (fun () ->
+        let src = "movi v99999999999999999999, 1\nhalt\n" in
+        golden "rendering" src (asm_diags src)
+          "1:6: lex error: virtual register index \"99999999999999999999\" \
+           is out of range\n\
+          \  |   movi v99999999999999999999, 1\n\
+          \  |        ^^^^^^^^^^^^^^^^^^^^^");
+    test "asm: one diagnostic per bad line" (fun () ->
+        let src = "frobnicate v0\nnop nop\nbr nowhere\nmovi v0, 5\n" in
+        golden "rendering" src (asm_diags src)
+          "1:1: parse error: unknown mnemonic \"frobnicate\"\n\
+          \  |   frobnicate v0\n\
+          \  |   ^^^^^^^^^^\n\
+           2:5: parse error: trailing tokens after instruction\n\
+          \  |   nop nop\n\
+          \  |       ^^^");
+    test "npc: unterminated comment names the missing terminator" (fun () ->
+        let src = "thread t {\n  mem[0] = 1;\n} /* oops" in
+        golden "rendering" src (npc_diags src)
+          "3:3: lex error: unterminated comment (missing '*/')\n\
+          \  |   } /* oops\n\
+          \  |     ^");
+    test "npc: missing semicolon points past the expression" (fun () ->
+        let src = "thread t { var x = 1 }" in
+        golden "rendering" src (npc_diags src)
+          "1:22: parse error: expected ';'\n\
+          \  |   thread t { var x = 1 }\n\
+          \  |                        ^");
+    test "npc: recovery reports each bad statement once" (fun () ->
+        let src = "thread t { var x = ; x = * 2; mem[0] = x; }" in
+        check Alcotest.int "two diagnostics" 2 (List.length (npc_diags src));
+        golden "rendering" src (npc_diags src)
+          "1:20: parse error: expected an expression\n\
+          \  |   thread t { var x = ; x = * 2; mem[0] = x; }\n\
+          \  |                      ^\n\
+           1:26: parse error: expected an expression\n\
+          \  |   thread t { var x = ; x = * 2; mem[0] = x; }\n\
+          \  |                            ^");
+  ]
+
+(* ---- recovery and budgets ---- *)
+
+let recovery_tests =
+  [
+    test "asm: clean sections survive a dirty neighbour" (fun () ->
+        (* section a is malformed, section b is fine; the parse still
+           fails overall but reports only a's problem *)
+        let src = ".thread a\nfrobnicate v0\nhalt\n.thread b\nhalt\n" in
+        let ds = asm_diags src in
+        check Alcotest.int "one diagnostic" 1 (List.length ds));
+    test "asm: error budget caps the flood" (fun () ->
+        let src =
+          String.concat ""
+            (List.init 100 (fun i -> Fmt.str "junk%d v0\n" i))
+        in
+        check Alcotest.int "default budget" 20
+          (List.length (asm_diags src));
+        check Alcotest.int "custom budget" 5
+          (List.length
+             (match Npra_asm.Parser.parse ~limit:5 src with
+             | Ok _ -> Alcotest.fail "expected diagnostics"
+             | Error ds -> ds)));
+    test "npc: error budget caps the flood" (fun () ->
+        let src =
+          "thread t {\n"
+          ^ String.concat ""
+              (List.init 100 (fun _ -> "var = ;\n"))
+          ^ "}\n"
+        in
+        check Alcotest.bool "capped at default budget" true
+          (List.length (npc_diags src) <= 20));
+    test "asm: diagnostics carry the right phases" (fun () ->
+        let ds = asm_diags "movi v99999999999999999999, 1\n@\nnop nop\n" in
+        check Alcotest.bool "lex and parse phases present" true
+          (List.exists (fun x -> x.Diag.phase = Diag.Lex) ds
+          && List.exists (fun x -> x.Diag.phase = Diag.Parse) ds));
+    test "npc: sema diagnostics carry spans" (fun () ->
+        let ds = npc_diags "thread t {\n  x = 1;\n}" in
+        match ds with
+        | [ e ] ->
+          check Alcotest.int "line" 2 e.Diag.span.Diag.start_pos.Diag.line;
+          check Alcotest.bool "sema phase" true (e.Diag.phase = Diag.Sema)
+        | _ -> Alcotest.fail "expected exactly one diagnostic");
+  ]
+
+(* ---- the crasher corpus is structurally rejected ---- *)
+
+let crasher_tests =
+  [
+    test "every seeded crasher yields structured diagnostics" (fun () ->
+        match Npra_fuzz.Fuzz.crashers_rejected () with
+        | [] -> ()
+        | bad ->
+          Alcotest.failf "%d crasher(s) escaped: %s" (List.length bad)
+            (String.concat "; "
+               (List.map
+                  (fun (lang, src, why) ->
+                    Fmt.str "[%s] %S: %s"
+                      (Npra_fuzz.Fuzz.lang_name lang)
+                      src why)
+                  bad)));
+  ]
+
+(* ---- totality: no input raises ---- *)
+
+let never_raises name f =
+  QCheck.Test.make ~count:2000 ~name
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s ->
+      match f s with _ -> true)
+
+(* Printable-ish strings reach deeper into the grammar than raw bytes. *)
+let never_raises_printable name f =
+  let char_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          char_range 'a' 'z'; char_range '0' '9';
+          oneofl
+            [ ' '; '\n'; ','; ':'; '['; ']'; '+'; '-'; '.'; ';'; '#';
+              '{'; '}'; '('; ')'; '='; '<'; '>'; '&'; '|'; '!'; '~';
+              '*'; '/'; 'v'; 'r' ];
+        ])
+  in
+  QCheck.Test.make ~count:2000 ~name
+    (QCheck.string_gen_of_size QCheck.Gen.(0 -- 300) char_gen)
+    (fun s ->
+      match f s with _ -> true)
+
+let qcheck_tests =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [
+      never_raises "asm parse is total on arbitrary bytes"
+        Npra_asm.Parser.parse;
+      never_raises "npc compile is total on arbitrary bytes"
+        Npra_npc.Npc.compile;
+      never_raises_printable "asm parse is total on printable soup"
+        Npra_asm.Parser.parse;
+      never_raises_printable "npc compile is total on printable soup"
+        Npra_npc.Npc.compile;
+    ]
+
+let suite =
+  [
+    ("diag.bag", bag_tests);
+    ("diag.golden", golden_tests);
+    ("diag.recovery", recovery_tests);
+    ("diag.crashers", crasher_tests);
+    ("diag.totality", qcheck_tests);
+  ]

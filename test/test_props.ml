@@ -367,7 +367,7 @@ let asm_props =
     prop "assembly round-trips on random programs" arb_recipe (fun r ->
         let prog = build_recipe ~name:"rt" ~mem_base:0 r in
         let printed = Npra_asm.Printer.to_string prog in
-        let reparsed = Npra_asm.Parser.parse_one printed in
+        let reparsed = Npra_asm.Parser.parse_one_exn printed in
         Prog.length prog = Prog.length reparsed
         && Array.for_all2 ( = ) prog.Prog.code reparsed.Prog.code
         && List.for_all
@@ -388,7 +388,7 @@ let asm_props =
               ~reg_of_color:(Assign.reg_of_color layout ~thread:0)
           in
           let reparsed =
-            Npra_asm.Parser.parse_one (Npra_asm.Printer.to_string phys)
+            Npra_asm.Parser.parse_one_exn (Npra_asm.Printer.to_string phys)
           in
           Prog.all_physical reparsed);
   ]
