@@ -9,7 +9,10 @@
    Flags:
      --json PATH   where [dataflow] writes its JSON report
                    (default BENCH_dataflow.json)
-     --quick       tiny Bechamel quota, for CI smoke runs
+     --quick       tiny Bechamel quota and short traffic runs, for CI
+     --seed N      replayable seed for the randomised harnesses
+                   ([throughput], [fuzz], [faults]); each keeps its
+                   historical default when absent
 
    Absolute cycle numbers come from our machine model, not the IXP1200
    Developer Workbench, so EXPERIMENTS.md compares shapes and ratios
@@ -261,6 +264,10 @@ let run_timing () =
 let json_path = ref "BENCH_dataflow.json"
 let quick = ref false
 
+(* --seed: one replayable seed for every randomised harness; each keeps
+   its historical default when the flag is absent. *)
+let seed_flag : int option ref = ref None
+
 type df_case = { df_name : string; median_ns : float; samples : int }
 
 let median_ns_per_run test =
@@ -389,7 +396,7 @@ let run_faults () =
     else Registry.all
   in
   Fmt.pr "@.== Fault injection: static verify + runtime sentinel ==@.";
-  let m = Npra_fault.Driver.run ~specs () in
+  let m = Npra_fault.Driver.run ?seed:!seed_flag ~specs () in
   Fmt.pr "%a" Npra_fault.Driver.pp m;
   let oc = open_out faults_json in
   output_string oc (Npra_fault.Driver.to_json m);
@@ -416,7 +423,7 @@ let run_fuzz () =
   let count = if !quick then 1_500 else 12_000 in
   Fmt.pr "@.== Fuzz: never-crash contract over both frontends (%d inputs) ==@."
     count;
-  let stats = Fuzz.run ~seed:42 ~count () in
+  let stats = Fuzz.run ~seed:(Option.value !seed_flag ~default:42) ~count () in
   Fmt.pr "inputs          %8d@." stats.Fuzz.inputs;
   Fmt.pr "  rejected      %8d  (structured diagnostics)@." stats.Fuzz.rejected;
   Fmt.pr "  accepted      %8d  (allocated, verified, simulated)@."
@@ -451,6 +458,261 @@ let run_fuzz () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Packet-traffic throughput: the paper's headline claim, measured as   *)
+(* sustained packets/cycle instead of cycles/iteration. Each Table-3    *)
+(* mix runs twice — fixed-partition Chaitin vs the balanced allocator,  *)
+(* from the same Pipeline entry points — under byte-identical traffic   *)
+(* on a bank of micro-engines. Writes BENCH_throughput.json and fails   *)
+(* the process if any engine faults (sentinel trap or drained           *)
+(* deadlock), or if the balanced allocation serves fewer critical-      *)
+(* thread packets than the spilling baseline under saturation.          *)
+
+let throughput_json = "BENCH_throughput.json"
+
+type mix = { mix_name : string; mix_ids : string list; critical : int }
+
+(* The Table-3 scenarios; [critical] is the register-starved thread the
+   paper speeds up (md5, md5, wraps_tx). *)
+let throughput_mixes =
+  [
+    { mix_name = "S1"; critical = 0;
+      mix_ids = [ "md5"; "md5"; "fir2dim"; "fir2dim" ] };
+    { mix_name = "S2"; critical = 2;
+      mix_ids = [ "l2l3fwd_rx"; "l2l3fwd_tx"; "md5"; "md5" ] };
+    { mix_name = "S3"; critical = 1;
+      mix_ids = [ "wraps_rx"; "wraps_tx"; "fir2dim"; "frag" ] };
+  ]
+
+type mix_result = {
+  r_mix : mix;
+  r_provenance : Npra_core.Pipeline.stage;
+  r_duration : int;
+  r_pressure_fixed : Npra_traffic.Metrics.run_metrics;
+  r_pressure_bal : Npra_traffic.Metrics.run_metrics;
+  r_offered_fixed : Npra_traffic.Metrics.run_metrics;
+  r_offered_bal : Npra_traffic.Metrics.run_metrics;
+}
+
+let ts_of r i = List.nth (Npra_traffic.Metrics.thread_summaries r) i
+let served_of r i = (ts_of r i).Npra_traffic.Metrics.ts_served
+let service_of r i = (ts_of r i).Npra_traffic.Metrics.ts_mean_service
+
+(* Throughput change of thread [i], balanced over fixed, in percent
+   (positive = balanced serves more packets). *)
+let change_pct fixed bal i =
+  let b = served_of fixed i and s = served_of bal i in
+  if b = 0 then 0. else 100. *. ((float_of_int s /. float_of_int b) -. 1.)
+
+let service_speedup_pct fixed bal i =
+  let b = service_of fixed i and s = service_of bal i in
+  if s = 0. then 0. else 100. *. ((b /. s) -. 1.)
+
+let run_throughput_mix ~seed ~engines mix =
+  let open Npra_traffic in
+  let ws =
+    List.mapi
+      (fun i id ->
+        let tspec =
+          match Registry.default_traffic id with
+          | Some t -> t
+          | None -> Fmt.failwith "no traffic model for workload %S" id
+        in
+        ( Registry.instantiate (Registry.find_exn id) ~slot:i
+            ~iters:tspec.Workload.per_packet_iters,
+          tspec ))
+      mix.mix_ids
+  in
+  let progs = List.map (fun (w, _) -> w.Workload.prog) ws in
+  let mem_image = List.concat_map (fun (w, _) -> w.Workload.mem_image) ws in
+  let spill_bases = List.map (fun (w, _) -> Workload.spill_base w) ws in
+  let base, bal = Pipeline.contenders ~nreg:128 ~spill_bases progs in
+  let bal =
+    match bal with
+    | Ok b -> b
+    | Error trail ->
+      Fmt.epr "THROUGHPUT FAILURE: %s: every allocation stage failed:@.%a@."
+        mix.mix_name
+        Fmt.(list ~sep:(any "@.") Pipeline.pp_diagnostic)
+        trail;
+      exit 1
+  in
+  (* Solo per-packet service time of each baseline program calibrates
+     the saturation regime and the run length — both therefore
+     deterministic. *)
+  let solo =
+    List.map2
+      (fun prog (w, _) ->
+        let m = Npra_sim.Machine.run ~mem_image:w.Workload.mem_image [ prog ] in
+        match
+          (List.hd (Npra_sim.Machine.report m).Npra_sim.Machine.thread_reports)
+            .Npra_sim.Machine.completion
+        with
+        | Some c -> max 1 c
+        | None -> 1)
+      base.Pipeline.base_programs ws
+  in
+  let max_solo = List.fold_left max 1 solo in
+  let duration = (if !quick then 25 else 120) * max_solo in
+  (* Fresh packet words poked into the thread's input buffer at every
+     service start: a pure function of (seed, engine, thread, seq). *)
+  let refresh ~engine ~thread ~seq =
+    let w, _ = List.nth ws thread in
+    List.mapi
+      (fun j v -> (Workload.input_base w + j, v))
+      (Workload.random_words
+         ~seed:(seed + (engine * 65537) + (thread * 257) + (seq * 13) + 1)
+         8)
+  in
+  let run progs specs =
+    Dispatch.run ~engines ~sentinel:`Trap ~refresh ~seed ~duration ~specs
+      ~mem_image progs
+  in
+  (* Saturation: uniform arrivals at twice each thread's solo service
+     rate, so queues never run dry and served packets measure service
+     speed. Offered: the registry's per-kernel models (uniform, Poisson,
+     bursty), the realistic regime for drops and latency tails. *)
+  let pressure_specs =
+    List.map2
+      (fun s (_, t) ->
+        { t with Workload.arrival = Workload.Uniform { period = max 1 (s / 2) } })
+      solo ws
+  in
+  let offered_specs = List.map snd ws in
+  {
+    r_mix = mix;
+    r_provenance = bal.Pipeline.provenance;
+    r_duration = duration;
+    r_pressure_fixed = run base.Pipeline.base_programs pressure_specs;
+    r_pressure_bal = run bal.Pipeline.programs pressure_specs;
+    r_offered_fixed = run base.Pipeline.base_programs offered_specs;
+    r_offered_bal = run bal.Pipeline.programs offered_specs;
+  }
+
+let throughput_mix_json r =
+  let open Npra_traffic in
+  let b = Buffer.create 4096 in
+  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  let crit = r.r_mix.critical in
+  add "    {\n";
+  add "      \"mix\": \"%s\",\n" r.r_mix.mix_name;
+  add "      \"kernels\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun id -> Fmt.str "\"%s\"" id) r.r_mix.mix_ids));
+  add "      \"critical\": %d,\n" crit;
+  add "      \"critical_kernel\": \"%s\",\n" (List.nth r.r_mix.mix_ids crit);
+  add "      \"provenance\": \"%s\",\n"
+    (Fmt.str "%a" Npra_core.Pipeline.pp_stage r.r_provenance);
+  add "      \"duration\": %d,\n" r.r_duration;
+  add "      \"critical_speedup_pct\": %.2f,\n"
+    (change_pct r.r_pressure_fixed r.r_pressure_bal crit);
+  add "      \"critical_service_speedup_pct\": %.2f,\n"
+    (service_speedup_pct r.r_pressure_fixed r.r_pressure_bal crit);
+  add "      \"coresident_change_pct\": [%s],\n"
+    (String.concat ", "
+       (List.concat_map
+          (fun i ->
+            if i = crit then []
+            else
+              [
+                Fmt.str "%.2f"
+                  (change_pct r.r_pressure_fixed r.r_pressure_bal i);
+              ])
+          (List.init (List.length r.r_mix.mix_ids) Fun.id)));
+  add "      \"pressure\": {\"fixed\": %s, \"balanced\": %s},\n"
+    (Metrics.to_json r.r_pressure_fixed)
+    (Metrics.to_json r.r_pressure_bal);
+  add "      \"offered\": {\"fixed\": %s, \"balanced\": %s}\n"
+    (Metrics.to_json r.r_offered_fixed)
+    (Metrics.to_json r.r_offered_bal);
+  add "    }";
+  Buffer.contents b
+
+let run_throughput () =
+  let open Npra_traffic in
+  let seed = Option.value !seed_flag ~default:1 in
+  let engines = if !quick then 2 else 3 in
+  Fmt.pr
+    "@.== Throughput: balanced vs fixed-partition under packet traffic \
+     (%d engines, seed %d) ==@."
+    engines seed;
+  let results =
+    List.map (run_throughput_mix ~seed ~engines) throughput_mixes
+  in
+  let ok = ref true in
+  List.iter
+    (fun r ->
+      let crit = r.r_mix.critical in
+      Fmt.pr "@.-- %s (%s), critical %s, %d cycles [%a] --@." r.r_mix.mix_name
+        (String.concat "+" r.r_mix.mix_ids)
+        (List.nth r.r_mix.mix_ids crit)
+        r.r_duration Npra_core.Pipeline.pp_stage r.r_provenance;
+      Fmt.pr "saturation, fixed partition:@.%a" Metrics.pp r.r_pressure_fixed;
+      Fmt.pr "saturation, balanced:@.%a" Metrics.pp r.r_pressure_bal;
+      Fmt.pr "offered traffic, fixed partition:@.%a" Metrics.pp
+        r.r_offered_fixed;
+      Fmt.pr "offered traffic, balanced:@.%a" Metrics.pp r.r_offered_bal;
+      Fmt.pr
+        "critical thread %s: throughput %+.1f%%, service time speedup \
+         %+.1f%% (paper: 18-24%% speedup)@."
+        (List.nth r.r_mix.mix_ids crit)
+        (change_pct r.r_pressure_fixed r.r_pressure_bal crit)
+        (service_speedup_pct r.r_pressure_fixed r.r_pressure_bal crit);
+      List.iteri
+        (fun i id ->
+          if i <> crit then
+            Fmt.pr "  co-resident %-12s throughput %+.1f%% (paper: -1..-4%%)@."
+              id
+              (change_pct r.r_pressure_fixed r.r_pressure_bal i))
+        r.r_mix.mix_ids;
+      let all_runs =
+        [
+          ("pressure/fixed", r.r_pressure_fixed);
+          ("pressure/balanced", r.r_pressure_bal);
+          ("offered/fixed", r.r_offered_fixed);
+          ("offered/balanced", r.r_offered_bal);
+        ]
+      in
+      List.iter
+        (fun (label, m) ->
+          List.iter
+            (fun (e, f) ->
+              ok := false;
+              Fmt.epr "THROUGHPUT FAILURE: %s %s engine %d: %s@."
+                r.r_mix.mix_name label e f)
+            (Metrics.faults m))
+        all_runs;
+      if served_of r.r_pressure_bal crit < served_of r.r_pressure_fixed crit
+      then begin
+        ok := false;
+        Fmt.epr
+          "THROUGHPUT FAILURE: %s: balanced served fewer critical-thread \
+           packets (%d) than the fixed partition (%d) under saturation@."
+          r.r_mix.mix_name
+          (served_of r.r_pressure_bal crit)
+          (served_of r.r_pressure_fixed crit)
+      end)
+    results;
+  let oc = open_out throughput_json in
+  let add fmt = Fmt.kstr (output_string oc) fmt in
+  add "{\n";
+  add "  \"benchmark\": \"throughput\",\n";
+  add "  \"seed\": %d,\n" seed;
+  add "  \"engines\": %d,\n" engines;
+  add "  \"quick\": %b,\n" !quick;
+  add "  \"mixes\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map throughput_mix_json results));
+  add "  \"ok\": %b\n" !ok;
+  add "}\n";
+  close_out oc;
+  Fmt.pr "@.wrote %s@." throughput_json;
+  if not !ok then begin
+    Fmt.epr
+      "THROUGHPUT HARNESS FAILURE: an engine faulted or the balanced \
+       allocator lost critical-thread throughput (see above)@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let known =
@@ -459,6 +721,7 @@ let () =
       ("table3", run_table3); ("ablation", run_ablation);
       ("timing", run_timing); ("dataflow", run_dataflow);
       ("faults", run_faults); ("fuzz", run_fuzz);
+      ("throughput", run_throughput);
     ]
   in
   let print_subcommands ppf =
@@ -476,6 +739,17 @@ let () =
     | "--quick" :: rest ->
       quick := true;
       parse names rest
+    | "--seed" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some s ->
+        seed_flag := Some s;
+        parse names rest
+      | None ->
+        Fmt.epr "--seed needs an integer argument, got %S@." n;
+        exit 2)
+    | [ "--seed" ] ->
+      Fmt.epr "--seed needs an integer argument@.";
+      exit 2
     | name :: rest -> parse (name :: names) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in

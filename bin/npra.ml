@@ -7,6 +7,8 @@
      allocate <k...>    balance registers across up to 4 kernels and
                         print the allocation, verifying safety
      simulate <k...>    allocate, then run on the cycle-level machine
+     throughput <k...>  allocate, then measure packet throughput on a
+                        bank of micro-engines under seeded traffic
      asm <file>         allocate threads from an assembly file
      table1|fig14|table2|table3   reproduce the paper's experiments *)
 
@@ -49,13 +51,28 @@ let instantiate_all ?iters ids =
 (* ---- list ---- *)
 
 let list_cmd =
-  let run () =
+  let run traffic =
     List.iter
-      (fun s -> Fmt.pr "%-12s %s@." s.Workload.id s.Workload.summary)
+      (fun s ->
+        if traffic then
+          match Registry.default_traffic s.Workload.id with
+          | Some t ->
+            Fmt.pr "%-12s %-48s %a@." s.Workload.id s.Workload.summary
+              Workload.pp_traffic_spec t
+          | None ->
+            Fmt.pr "%-12s %-48s (no traffic model)@." s.Workload.id
+              s.Workload.summary
+        else Fmt.pr "%-12s %s@." s.Workload.id s.Workload.summary)
       Registry.all
   in
+  let traffic_flag =
+    Arg.(
+      value & flag
+      & info [ "traffic" ]
+          ~doc:"Also show each kernel's default packet-arrival model.")
+  in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels")
-    Term.(const run $ const ())
+    Term.(const run $ traffic_flag)
 
 (* ---- dump ---- *)
 
@@ -194,6 +211,91 @@ let simulate_cmd =
     Term.(
       const run $ nreg_arg $ iters_arg $ baseline_flag $ timeline_flag
       $ kernels_arg)
+
+(* ---- throughput ---- *)
+
+let throughput_cmd =
+  let run nreg engines duration seed use_baseline ids =
+    let ws =
+      List.mapi
+        (fun i id ->
+          let spec = lookup id in
+          match Registry.default_traffic id with
+          | Some t ->
+            ( Registry.instantiate spec ~slot:i
+                ~iters:t.Workload.per_packet_iters,
+              t )
+          | None ->
+            Fmt.epr "kernel %S has no default traffic model@." id;
+            exit 2)
+        ids
+    in
+    let progs = List.map (fun (w, _) -> w.Workload.prog) ws in
+    let specs = List.map snd ws in
+    let mem_image = List.concat_map (fun (w, _) -> w.Workload.mem_image) ws in
+    let spill_bases = List.map (fun (w, _) -> Workload.spill_base w) ws in
+    let progs =
+      if use_baseline then begin
+        Fmt.pr "allocation: spilling baseline (fixed partition)@.";
+        (Pipeline.baseline ~nreg ~spill_bases progs).Pipeline.base_programs
+      end
+      else begin
+        let bal = balanced_or_die ~spill_bases ~nreg progs in
+        List.iter
+          (fun d -> Fmt.pr "degraded: %a@." Pipeline.pp_diagnostic d)
+          bal.Pipeline.trail;
+        Fmt.pr "allocation served by: %a@." Pipeline.pp_stage
+          bal.Pipeline.provenance;
+        bal.Pipeline.programs
+      end
+    in
+    List.iter2
+      (fun (w, _) s ->
+        Fmt.pr "  %-12s %a@." w.Workload.name Workload.pp_traffic_spec s)
+      ws specs;
+    let m =
+      Npra_traffic.Dispatch.run ~engines ~sentinel:`Trap ~seed ~duration
+        ~specs ~mem_image progs
+    in
+    Fmt.pr "%a" Npra_traffic.Metrics.pp m;
+    match Npra_traffic.Metrics.faults m with
+    | [] -> ()
+    | fs ->
+      List.iter (fun (e, f) -> Fmt.epr "engine %d FAULT: %s@." e f) fs;
+      exit 1
+  in
+  let engines_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "engines" ] ~docv:"N" ~doc:"Micro-engines running the mix.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "duration" ] ~docv:"CYCLES"
+          ~doc:"Cycles of traffic generation per engine.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the arrival streams and packet payloads.")
+  in
+  let baseline_flag =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:"Run the spilling fixed-partition baseline instead of the \
+                balanced allocator.")
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:
+         "Allocate kernels (up to 4) and measure packet throughput under \
+          their default traffic models")
+    Term.(
+      const run $ nreg_arg $ engines_arg $ duration_arg $ seed_arg
+      $ baseline_flag $ kernels_arg)
 
 (* ---- asm ---- *)
 
@@ -354,5 +456,6 @@ let () =
                 processor (PLDI 2004 reproduction)")
           [
             list_cmd; dump_cmd; analyze_cmd; allocate_cmd; simulate_cmd;
-            asm_cmd; cc_cmd; sra_cmd; dot_cmd; table1_cmd; fig14_cmd; table2_cmd; table3_cmd;
+            throughput_cmd; asm_cmd; cc_cmd; sra_cmd; dot_cmd; table1_cmd;
+            fig14_cmd; table2_cmd; table3_cmd;
           ]))

@@ -290,6 +290,15 @@ let run_npc ?nreg ?move_budget ?spill_bases ?limit ?(optimize = false) src =
 
 let simulate ?config ~mem_image progs = Machine.run ?config ~mem_image progs
 
+(* The throughput experiment's two contenders from one entry point: the
+   spilling fixed-partition baseline and the balanced degradation chain,
+   built from the same programs and the same spill areas, so a traffic
+   run compares allocation policy and nothing else. *)
+let contenders ?(nreg = 128) ?move_budget ~spill_bases progs =
+  let base = baseline ~nreg ~spill_bases progs in
+  let bal = balanced ~nreg ?move_budget ~spill_bases progs in
+  (base, bal)
+
 (* Cycles per main-loop iteration for each thread of a finished run. *)
 let cycles_per_iteration report iters =
   List.map2

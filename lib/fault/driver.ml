@@ -50,10 +50,27 @@ type matrix = { kernels : kernel_report list; nthd : int; nreg : int }
 let nthd = 4
 let nreg = 128
 
-let kernel_report spec =
+let kernel_report ?seed spec =
   let ws = List.init nthd (fun slot -> Registry.instantiate spec ~slot) in
   let progs = List.map (fun w -> w.Workload.prog) ws in
   let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  (* An explicit seed overlays fresh packet words on every thread's
+     input buffer (later image entries win), so the matrix can be
+     replayed over different packet contents; without one the committed
+     baseline images stay byte-identical. *)
+  let mem_image =
+    match seed with
+    | None -> mem_image
+    | Some seed ->
+      mem_image
+      @ List.concat
+          (List.mapi
+             (fun slot w ->
+               List.mapi
+                 (fun j v -> (Workload.input_base w + j, v))
+                 (Workload.random_words ~seed:(seed + (slot * 7919)) 16))
+             ws)
+  in
   let spill_bases = List.map Workload.spill_base ws in
   let bal = Pipeline.balanced_exn ~nreg ~spill_bases progs in
   let layout = bal.Pipeline.layout in
@@ -116,8 +133,8 @@ let kernel_report spec =
     cells = List.map run_fault Mutate.all_kinds;
   }
 
-let run ?(specs = Registry.all) () =
-  { kernels = List.map kernel_report specs; nthd; nreg }
+let run ?seed ?(specs = Registry.all) () =
+  { kernels = List.map (kernel_report ?seed) specs; nthd; nreg }
 
 let all_detected m =
   List.for_all

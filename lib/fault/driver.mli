@@ -41,10 +41,13 @@ type kernel_report = {
 
 type matrix = { kernels : kernel_report list; nthd : int; nreg : int }
 
-val run : ?specs:Workload.spec list -> unit -> matrix
+val run : ?seed:int -> ?specs:Workload.spec list -> unit -> matrix
 (** Builds, allocates, corrupts and measures each kernel as a
     four-thread system over the full 128-register file. Defaults to the
-    whole registry. *)
+    whole registry. [seed] overlays seeded packet words on each
+    thread's input buffer, replaying the matrix over different packet
+    contents; omitted, the registry's committed images are used
+    unchanged. *)
 
 val all_detected : matrix -> bool
 (** True iff every injected fault was caught by at least one layer and

@@ -194,6 +194,16 @@ type t = {
   mutable timeline_rev : (int * int * timeline_event) list;
       (* (cycle, thread, event) — only when [record_timeline] *)
   sentinel : sentinel option;
+  (* Scheduler state lives in [t] so execution is re-entrant: a
+     dispatcher can advance the machine in bounded slices with
+     [run_until], restart completed threads between slices, and resume
+     without losing round-robin fairness or switch-cost accounting. *)
+  mutable holder : int option;  (* thread currently holding the PU *)
+  mutable rr_from : int;  (* round-robin search origin when idle *)
+  mutable last_yielder : int option;
+      (* thread whose yield the next dispatch follows; charging the
+         context-switch cost is deferred to that dispatch so a bounded
+         run can pause at the yield point *)
 }
 
 let status_view th =
@@ -252,6 +262,9 @@ let create ?(config = default_config) ?(mem_image = []) ?(timeline = false)
     switch_cycles = 0;
     record_timeline = timeline;
     timeline_rev = [];
+    holder = None;
+    rr_from = nthd - 1;
+    last_yielder = None;
     sentinel =
       (match sentinel with
       | `Off -> None
@@ -402,12 +415,13 @@ let step t th =
     `Yield
 
 (* Round-robin dispatch: the next ready thread after [from]; if none is
-   ready but some are blocked, time advances to the earliest wake-up.
-   When the earliest wake-up lies beyond the cycle budget, every thread
-   is permanently parked within that budget: that is a deadlock, reported
-   with per-thread status, as opposed to plain [Cycle_limit] exhaustion
-   where a runnable thread consumed the budget. *)
-let rec pick_next t from =
+   ready but some are blocked, time advances to the earliest wake-up —
+   but never past [horizon] in bounded mode. In strict mode (the classic
+   [run]), an earliest wake-up beyond the cycle budget means every
+   thread is permanently parked within that budget: that is a deadlock,
+   reported with per-thread status, as opposed to plain [Cycle_limit]
+   exhaustion where a runnable thread consumed the budget. *)
+let rec pick t from ~horizon ~strict =
   let n = Array.length t.threads in
   let wake th =
     match th.status with
@@ -436,12 +450,13 @@ let rec pick_next t from =
         None t.threads
     in
     (match earliest with
-    | Some e when e > t.config.max_cycles ->
+    | Some e when strict && e > t.config.max_cycles ->
       raise
         (Stuck (Deadlock { limit = t.config.max_cycles; threads = statuses t }))
+    | Some e when (not strict) && e > horizon -> None
     | Some e ->
       t.cycle <- max t.cycle e;
-      pick_next t from
+      pick t from ~horizon ~strict
     | None -> None)
 
 let dispatch t i =
@@ -455,48 +470,112 @@ let dispatch t i =
   record t i Dispatched;
   t.dispatches <- t.dispatches + 1
 
-let run ?(config = default_config) ?(mem_image = []) ?(timeline = false)
-    ?(sentinel = `Off) progs =
-  let t = create ~config ~mem_image ~timeline ~sentinel progs in
-  (match pick_next t (Array.length t.threads - 1) with
-  | None -> ()
-  | Some first ->
-    let current = ref first in
-    dispatch t !current;
-    let running = ref true in
-    while !running do
-      if t.cycle > t.config.max_cycles then
-        raise
-          (Stuck
-             (Cycle_limit { limit = t.config.max_cycles; threads = statuses t }));
-      let th = t.threads.(!current) in
-      let outcome =
-        match step t th with
-        | verdict -> verdict
-        | exception Quarantine_fault c ->
-          (* the sentinel caught a corrupted read: quarantine the thread
-             (it is permanently parked) and reschedule the rest *)
-          th.status <- Faulted { at = t.cycle; fault = c };
-          record t th.id Trapped;
-          `Yield
-      in
-      match outcome with
-      | `Continue -> ()
-      | `Yield -> (
-        snapshot_on_switch t th;
-        match pick_next t !current with
-        | Some next ->
-          if next <> !current || th.status <> Ready then begin
+(* The execution loop, shared by the one-shot [run] (strict: the cycle
+   budget and deadlock detection are enforced with exceptions) and the
+   re-entrant [run_until] (bounded: progress stops at [horizon] and the
+   machine can always be resumed). Returns [`Done] only in strict mode,
+   when no thread can ever run again. *)
+let exec t ~horizon ~strict ~stop_on_halt =
+  let ret = ref None in
+  while !ret = None do
+    match t.holder with
+    | None -> (
+      match pick t t.rr_from ~horizon ~strict with
+      | Some next ->
+        (match t.last_yielder with
+        | None -> ()  (* very first dispatch: the PU was free *)
+        | Some y ->
+          let yth = t.threads.(y) in
+          if next <> y || yth.status <> Ready then begin
             t.cycle <- t.cycle + t.config.ctx_switch_cost;
             t.switch_cycles <- t.switch_cycles + t.config.ctx_switch_cost
           end;
           (* a voluntary yield leaves the thread runnable from now *)
-          if th.status = Ready then th.ready_since <- t.cycle;
-          current := next;
-          dispatch t next
-        | None -> running := false)
-    done);
+          if yth.status = Ready then yth.ready_since <- t.cycle);
+        t.last_yielder <- None;
+        t.holder <- Some next;
+        dispatch t next
+      | None ->
+        if strict then ret := Some `Done
+        else begin
+          (* nothing can run before the horizon: the PU idles up to it *)
+          if t.cycle < horizon then t.cycle <- horizon;
+          ret := Some `Idle
+        end)
+    | Some cur ->
+      if strict && t.cycle > t.config.max_cycles then
+        raise
+          (Stuck
+             (Cycle_limit { limit = t.config.max_cycles; threads = statuses t }))
+      else if (not strict) && t.cycle >= horizon then ret := Some `Horizon
+      else begin
+        let th = t.threads.(cur) in
+        let outcome =
+          match step t th with
+          | verdict -> verdict
+          | exception Quarantine_fault c ->
+            (* the sentinel caught a corrupted read: quarantine the
+               thread (it is permanently parked) and reschedule the
+               rest *)
+            th.status <- Faulted { at = t.cycle; fault = c };
+            record t th.id Trapped;
+            `Yield
+        in
+        match outcome with
+        | `Continue -> ()
+        | `Yield ->
+          snapshot_on_switch t th;
+          t.holder <- None;
+          t.rr_from <- cur;
+          t.last_yielder <- Some cur;
+          if
+            stop_on_halt
+            && (match th.status with Done _ -> true | _ -> false)
+          then ret := Some (`Halted cur)
+      end
+  done;
+  match !ret with Some r -> r | None -> assert false
+
+let run ?(config = default_config) ?(mem_image = []) ?(timeline = false)
+    ?(sentinel = `Off) progs =
+  let t = create ~config ~mem_image ~timeline ~sentinel progs in
+  (match exec t ~horizon:max_int ~strict:true ~stop_on_halt:false with
+  | `Done -> ()
+  | `Idle | `Horizon | `Halted _ -> assert false);
   t
+
+(* ------------------------------------------------------------------ *)
+(* Bounded stepping: the interface the traffic dispatcher drives.      *)
+
+type pause = [ `Horizon | `Idle | `Halted of int ]
+
+let run_until ?(stop_on_halt = false) t ~horizon : pause =
+  match exec t ~horizon ~strict:false ~stop_on_halt with
+  | (`Horizon | `Idle | `Halted _) as p -> p
+  | `Done -> assert false  (* strict-mode only *)
+
+let cycle t = t.cycle
+let num_threads t = Array.length t.threads
+let thread_state t i = (status_view t.threads.(i)).st_state
+
+let park_thread t i =
+  let th = t.threads.(i) in
+  if t.holder = Some i then
+    invalid_arg "Machine.park_thread: thread is holding the PU";
+  match th.status with
+  | Ready -> th.status <- Done t.cycle
+  | Blocked _ | Done _ | Faulted _ ->
+    invalid_arg "Machine.park_thread: thread is not runnable"
+
+let restart_thread t i =
+  let th = t.threads.(i) in
+  match th.status with
+  | Done _ ->
+    th.pc <- 0;
+    th.status <- Ready;
+    th.ready_since <- t.cycle
+  | Ready | Blocked _ | Faulted _ ->
+    invalid_arg "Machine.restart_thread: thread has not completed"
 
 type thread_report = {
   name : string;

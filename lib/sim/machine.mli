@@ -126,6 +126,47 @@ val run :
     @raise Corruption when the sentinel (in [`Trap] mode) catches a read
     of a register another thread overwrote across a context switch. *)
 
+(** {2 Bounded stepping}
+
+    The re-entrant interface the packet-traffic dispatcher drives: a
+    machine created with {!create} can be advanced in bounded slices,
+    interleaved with other machines on a shared virtual clock, its
+    completed threads parked and restarted between slices. Bounded runs
+    never raise [Cycle_limit] or [Deadlock] — the horizon is the only
+    budget — but register-file violations and sentinel traps still
+    raise. *)
+
+(** Why a bounded run returned: [`Horizon] — the clock reached the
+    horizon with a thread still holding the PU; [`Idle] — no thread can
+    run before the horizon (all completed, quarantined, or blocked past
+    it), and the clock was advanced {e to} the horizon; [`Halted i] —
+    thread [i] just executed [halt] (only with [~stop_on_halt:true]),
+    so a dispatcher can hand it the next packet immediately. *)
+type pause = [ `Horizon | `Idle | `Halted of int ]
+
+val run_until : ?stop_on_halt:bool -> t -> horizon:int -> pause
+(** Advances execution until the machine's clock reaches [horizon] (or
+    a stop condition above). Resumable: scheduling state, round-robin
+    fairness and switch-cost accounting carry across calls, and a full
+    sequence of [run_until] slices executes exactly like one [run]. *)
+
+val cycle : t -> int
+(** The machine's virtual clock. *)
+
+val num_threads : t -> int
+val thread_state : t -> int -> thread_state_view
+
+val park_thread : t -> int -> unit
+(** Marks a still-[Runnable] thread as completed without executing it —
+    used right after {!create} to hold threads dormant until their
+    first packet. @raise Invalid_argument if the thread already ran or
+    is blocked. *)
+
+val restart_thread : t -> int -> unit
+(** Resets a [Completed] thread to its entry point, runnable from the
+    current cycle; per-thread counters keep accumulating across
+    restarts. @raise Invalid_argument unless the thread is completed. *)
+
 type thread_report = {
   name : string;
   completion : int option;  (** cycle the thread halted, if it did *)

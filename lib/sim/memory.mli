@@ -1,0 +1,37 @@
+(** Word-addressed memory shared by all threads of a processing unit.
+
+    A flat sparse array of words; addresses are plain integers and
+    unwritten words read as 0. Memory itself is latency-free — the
+    {e machine} charges the fixed SRAM latency ([mem_latency] cycles)
+    on every [load]/[store] and parks the issuing thread, matching the
+    modelled NPU (no cache). [read]/[write] are the architectural
+    accesses and are counted; [peek]/[poke] are harness back-doors
+    (preloading packet images, inspecting results) that leave the
+    counters untouched. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> int -> int
+(** Architectural load: counted in {!reads}; missing words are 0. *)
+
+val write : t -> int -> int -> unit
+(** Architectural store: counted in {!writes}. *)
+
+val peek : t -> int -> int
+(** Uncounted read, for tests and reports. *)
+
+val poke : t -> int -> int -> unit
+(** Uncounted write, for preloading images and injecting packet data. *)
+
+val load_image : t -> (int * int) list -> unit
+(** [poke]s every (address, value) pair; later pairs win on duplicate
+    addresses. *)
+
+val reads : t -> int
+val writes : t -> int
+(** Architectural access counts since [create]. *)
+
+val dump : t -> (int * int) list
+(** Every written word as (address, value), sorted by address. *)

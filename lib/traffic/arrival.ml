@@ -1,0 +1,91 @@
+(* Deterministic, seedable packet-arrival streams.
+
+   A stream realises a {!Npra_workloads.Workload.arrival} model as a
+   monotone sequence of arrival cycles. No [Random] and no run-time
+   floating point: randomness comes from a xorshift generator seeded
+   explicitly (the same generator family the workloads use for packet
+   images), and the Poisson approximation draws inter-arrival times
+   from a fixed-point table of -ln(u) values built once at module
+   initialisation. Replays are exact: the same (seed, model) pair
+   always yields the same stream, on every platform. *)
+
+open Npra_workloads
+
+type t = {
+  model : Workload.arrival;
+  mutable state : int;  (* xorshift state *)
+  mutable next_at : int;  (* cycle of the next arrival *)
+}
+
+(* xorshift step shared with Workload.random_words: 30-bit, never 0 *)
+let rand t =
+  let x = t.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) in
+  let x = x land 0x3FFFFFFF in
+  t.state <- (if x = 0 then 1 else x);
+  x
+
+(* Fixed-point quantile table for the exponential distribution:
+   entry i is round(-ln((i + 0.5) / 256) * 1024), i.e. the inter-arrival
+   multiplier for the i-th of 256 equiprobable bins, in units of
+   mean/1024. Built once with float [log]; every draw afterwards is
+   integer-only, so streams are bit-reproducible. The bin mean is
+   ~1024, making the empirical mean track [mean_period]. *)
+let exp_table =
+  Array.init 256 (fun i ->
+      let u = (float_of_int i +. 0.5) /. 256. in
+      int_of_float (Float.round (-.log u *. 1024.)))
+
+(* Exponential inter-arrival in cycles, at least 1. *)
+let exp_gap t ~mean =
+  let q = exp_table.(rand t land 0xFF) in
+  max 1 ((mean * q) / 1024)
+
+(* The cycle at which the on/off source is next allowed to emit: inside
+   an on-phase that is [at] itself; otherwise the start of the next
+   burst. *)
+let bursty_align ~on_cycles ~off_cycles at =
+  let span = on_cycles + off_cycles in
+  let phase = at mod span in
+  if phase < on_cycles then at else at - phase + span
+
+(* First arrival: a seed-derived phase so co-resident uniform streams
+   do not arrive in lockstep. *)
+let create ~seed model =
+  let t =
+    {
+      model;
+      state = (if seed = 0 then 0x9E3779B9 else seed land 0x3FFFFFFF);
+      next_at = 0;
+    }
+  in
+  (* discard a few words so nearby seeds decorrelate *)
+  for _ = 1 to 3 do
+    ignore (rand t)
+  done;
+  (t.next_at <-
+     (match model with
+     | Workload.Uniform { period } -> rand t mod max 1 period
+     | Workload.Poisson { mean_period } -> exp_gap t ~mean:mean_period
+     | Workload.Bursty { on_cycles; off_cycles; period } ->
+       bursty_align ~on_cycles ~off_cycles (rand t mod max 1 period)));
+  t
+
+let peek t = t.next_at
+
+let advance t =
+  let at = t.next_at in
+  (t.next_at <-
+     (match t.model with
+     | Workload.Uniform { period } -> at + max 1 period
+     | Workload.Poisson { mean_period } -> at + exp_gap t ~mean:mean_period
+     | Workload.Bursty { on_cycles; off_cycles; period } ->
+       bursty_align ~on_cycles ~off_cycles (at + max 1 period)));
+  at
+
+(* The first [n] arrival cycles, for tests and tables. *)
+let take ~seed model n =
+  let t = create ~seed model in
+  List.init n (fun _ -> advance t)

@@ -1,0 +1,30 @@
+(** Deterministic, seedable packet-arrival streams.
+
+    Realises a {!Npra_workloads.Workload.arrival} model as a monotone
+    sequence of arrival cycles, driven by an explicit seed through a
+    xorshift generator and (for the Poisson approximation) a fixed-point
+    table of exponential quantiles — no [Random], no run-time floats, so
+    the same (seed, model) pair replays the identical stream on every
+    platform. *)
+
+open Npra_workloads
+
+type t
+
+val create : seed:int -> Workload.arrival -> t
+(** A fresh stream; the first arrival carries a seed-derived phase so
+    co-resident streams do not arrive in lockstep. *)
+
+val peek : t -> int
+(** The cycle of the next arrival, without consuming it. *)
+
+val advance : t -> int
+(** Consumes and returns the next arrival cycle. Arrival cycles are
+    non-decreasing and, past the first, strictly increasing. *)
+
+val take : seed:int -> Workload.arrival -> int -> int list
+(** The first [n] arrival cycles of a fresh stream. *)
+
+val exp_table : int array
+(** The 256-entry fixed-point quantile table behind the Poisson model:
+    entry [i] is [round(-ln((i+0.5)/256) * 1024)]. Exposed for tests. *)

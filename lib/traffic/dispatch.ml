@@ -1,0 +1,279 @@
+(* Multi-micro-engine packet dispatcher.
+
+   Runs N independent {!Npra_sim.Machine} instances — micro-engines —
+   each executing the same four allocated thread programs, under
+   packet traffic on a shared global virtual clock. Thread i of every
+   engine is a port with its own deterministic arrival stream (seeded
+   from the run seed, the engine index and the thread index) and its
+   own bounded input queue; an arrival to a full queue is dropped and
+   counted. A thread serves one packet per program run: it sits parked
+   ([Machine.park_thread]) until a packet is queued, is restarted at
+   service start ([Machine.restart_thread]), and its [halt] completes
+   the packet — the machine's [`Halted] pause hands control back to the
+   dispatcher at the exact completion cycle, so latency accounting is
+   cycle-accurate.
+
+   Engines never share registers or memory, but they are advanced in
+   interleaved slices of the global clock (never past the next arrival
+   of any of their ports), exactly as a shared-clock hardware shell
+   would run them; a machine that traps — the corruption sentinel, a
+   register-file violation — or fails to drain its accepted packets
+   within the drain budget marks its engine faulted, and the run's
+   metrics carry the fault. *)
+
+open Npra_ir
+open Npra_sim
+open Npra_workloads
+
+type port = {
+  spec : Workload.traffic_spec;
+  stream : Arrival.t;
+  queue : int Queue.t;  (* arrival cycles of waiting packets *)
+  mutable serving : (int * int) option;  (* (arrival, service start) *)
+  mutable seq : int;  (* packets started, drives the refresh payload *)
+  mutable offered : int;
+  mutable dropped : int;
+  mutable served : int;
+  mutable max_queue : int;
+  mutable sum_wait : int;
+  mutable sum_service : int;
+  mutable latencies_rev : int list;
+}
+
+type engine = {
+  index : int;
+  machine : Machine.t;
+  ports : port array;
+  mutable fault : string option;
+}
+
+(* Seed mixing: one xorshift pass over a combination of run seed,
+   engine and thread, so per-port streams decorrelate but remain a pure
+   function of (seed, engine, thread). *)
+let port_seed ~seed ~engine ~thread =
+  let x = (seed * 31) + (engine * 1009) + (thread * 101) + 1 in
+  let x = x land 0x3FFFFFFF in
+  let x = x lxor (x lsl 13) land 0x3FFFFFFF in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0x3FFFFFFF in
+  if x = 0 then 1 else x
+
+let make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs index =
+  let machine =
+    Machine.create ~config:machine_config ~mem_image ~sentinel progs
+  in
+  (* threads start dormant: they run only when a packet arrives *)
+  List.iteri (fun i _ -> Machine.park_thread machine i) progs;
+  {
+    index;
+    machine;
+    ports =
+      Array.of_list
+        (List.mapi
+           (fun thread spec ->
+             {
+               spec;
+               stream =
+                 Arrival.create
+                   ~seed:(port_seed ~seed ~engine:index ~thread)
+                   spec.Workload.arrival;
+               queue = Queue.create ();
+               serving = None;
+               seq = 0;
+               offered = 0;
+               dropped = 0;
+               served = 0;
+               max_queue = 0;
+               sum_wait = 0;
+               sum_service = 0;
+               latencies_rev = [];
+             })
+           specs);
+    fault = None;
+  }
+
+(* Arrivals up to the engine's current cycle (traffic stops at
+   [duration]): enqueue, or drop against a full queue. *)
+let deliver e ~duration =
+  let now = Machine.cycle e.machine in
+  Array.iter
+    (fun p ->
+      while Arrival.peek p.stream < duration && Arrival.peek p.stream <= now do
+        let at = Arrival.advance p.stream in
+        p.offered <- p.offered + 1;
+        if Queue.length p.queue >= p.spec.Workload.queue_capacity then
+          p.dropped <- p.dropped + 1
+        else begin
+          Queue.add at p.queue;
+          p.max_queue <- max p.max_queue (Queue.length p.queue)
+        end
+      done)
+    e.ports
+
+(* Hand queued packets to parked threads: restart the thread, stamp the
+   service start, and poke the packet payload into the thread's input
+   buffer. *)
+let start_service e ~refresh =
+  Array.iteri
+    (fun i p ->
+      if
+        p.serving = None
+        && (not (Queue.is_empty p.queue))
+        && (match Machine.thread_state e.machine i with
+           | Machine.Completed _ -> true
+           | Machine.Runnable | Machine.Waiting _ | Machine.Quarantined _ ->
+             false)
+      then begin
+        let at = Queue.pop p.queue in
+        let now = Machine.cycle e.machine in
+        p.serving <- Some (at, now);
+        p.sum_wait <- p.sum_wait + (now - at);
+        (match refresh with
+        | None -> ()
+        | Some f ->
+          List.iter
+            (fun (a, v) -> Memory.poke (Machine.memory e.machine) a v)
+            (f ~engine:e.index ~thread:i ~seq:p.seq));
+        p.seq <- p.seq + 1;
+        Machine.restart_thread e.machine i
+      end)
+    e.ports
+
+let finish_service e i =
+  let p = e.ports.(i) in
+  match p.serving with
+  | None -> ()  (* a halt with no packet in flight: ignore defensively *)
+  | Some (at, start) ->
+    let now = Machine.cycle e.machine in
+    p.serving <- None;
+    p.served <- p.served + 1;
+    p.sum_service <- p.sum_service + (now - start);
+    p.latencies_rev <- (now - at) :: p.latencies_rev
+
+(* The engine must pause at the next arrival of any of its ports so the
+   packet is enqueued (and a parked thread restarted) at its true
+   arrival cycle, not at the end of the slice. [deliver] has already
+   consumed arrivals <= cycle, so every peek here is strictly ahead. *)
+let horizon e ~upto ~duration =
+  Array.fold_left
+    (fun h p ->
+      let a = Arrival.peek p.stream in
+      if a < duration then min h a else h)
+    upto e.ports
+
+let guard_faults e f =
+  if e.fault = None then
+    try f () with
+    | Machine.Corruption c ->
+      e.fault <- Some (Fmt.str "sentinel: %a" Machine.pp_corruption c)
+    | Machine.Stuck s ->
+      e.fault <- Some (Fmt.str "machine stuck: %a" Machine.pp_stuck s)
+
+(* Advance one engine to global cycle [upto]. *)
+let advance e ~upto ~duration ~refresh =
+  guard_faults e (fun () ->
+      while e.fault = None && Machine.cycle e.machine < upto do
+        deliver e ~duration;
+        start_service e ~refresh;
+        let h = horizon e ~upto ~duration in
+        match Machine.run_until ~stop_on_halt:true e.machine ~horizon:h with
+        | `Halted i -> finish_service e i
+        | `Horizon | `Idle -> ()
+      done)
+
+let pending e =
+  Array.exists
+    (fun p -> p.serving <> None || not (Queue.is_empty p.queue))
+    e.ports
+
+(* After traffic stops, accepted packets must still complete; an engine
+   that cannot drain within the budget is deadlocked. *)
+let drain e ~deadline ~refresh =
+  guard_faults e (fun () ->
+      let made_progress = ref true in
+      while
+        e.fault = None && pending e
+        && Machine.cycle e.machine < deadline
+        && !made_progress
+      do
+        start_service e ~refresh;
+        match
+          Machine.run_until ~stop_on_halt:true e.machine ~horizon:deadline
+        with
+        | `Halted i -> finish_service e i
+        | `Horizon -> ()
+        | `Idle -> made_progress := false
+      done;
+      if e.fault = None && pending e then
+        e.fault <-
+          Some
+            (Fmt.str
+               "deadlock: %d packet(s) still in flight or queued at cycle %d \
+                (drain deadline %d)"
+               (Array.fold_left
+                  (fun a p ->
+                    a
+                    + (if p.serving = None then 0 else 1)
+                    + Queue.length p.queue)
+                  0 e.ports)
+               (Machine.cycle e.machine) deadline))
+
+let port_metrics i p =
+  {
+    Metrics.tm_thread = i;
+    tm_name = "";  (* filled by the caller, which knows the programs *)
+    offered = p.offered;
+    served = p.served;
+    dropped = p.dropped;
+    max_queue = p.max_queue;
+    sum_wait = p.sum_wait;
+    sum_service = p.sum_service;
+    latencies = List.rev p.latencies_rev;
+  }
+
+let run ?(engines = 1) ?(slice = 1024) ?(sentinel = `Off) ?machine_config
+    ?refresh ?drain_budget ~seed ~duration ~specs ~mem_image progs =
+  if engines < 1 then invalid_arg "Dispatch.run: engines must be >= 1";
+  if List.length specs <> List.length progs then
+    invalid_arg "Dispatch.run: one traffic spec per thread program";
+  if progs = [] then invalid_arg "Dispatch.run: no thread programs";
+  let machine_config =
+    match machine_config with
+    | Some c -> c
+    | None -> { Machine.default_config with Machine.max_cycles = max_int }
+  in
+  let drain_budget =
+    match drain_budget with Some b -> b | None -> max duration 10_000
+  in
+  let es =
+    Array.init engines
+      (make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs)
+  in
+  (* Interleave all engines on the global clock, slice by slice. *)
+  let t = ref 0 in
+  while !t < duration do
+    let upto = min duration (!t + slice) in
+    Array.iter (fun e -> advance e ~upto ~duration ~refresh) es;
+    t := upto
+  done;
+  Array.iter (fun e -> drain e ~deadline:(duration + drain_budget) ~refresh) es;
+  let names = List.map (fun p -> p.Prog.name) progs in
+  {
+    Metrics.rm_duration = duration;
+    rm_seed = seed;
+    rm_engines =
+      Array.to_list
+        (Array.map
+           (fun e ->
+             {
+               Metrics.em_engine = e.index;
+               em_threads =
+                 List.mapi
+                   (fun i name ->
+                     { (port_metrics i e.ports.(i)) with Metrics.tm_name = name })
+                   names;
+               em_report = Machine.report e.machine;
+               em_fault = e.fault;
+             })
+           es);
+  }

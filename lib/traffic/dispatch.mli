@@ -1,0 +1,48 @@
+(** Multi-micro-engine packet dispatcher.
+
+    Runs N independent {!Npra_sim.Machine} instances — micro-engines —
+    under deterministic packet traffic on a shared global virtual
+    clock. Thread [i] of every engine is a port: it has its own
+    {!Arrival} stream and bounded input queue, sits parked until a
+    packet is queued, serves exactly one packet per program run, and
+    halts back into the dispatcher at the completion cycle. Arrivals to
+    a full queue are dropped and counted. Engines are advanced in
+    interleaved slices of the global clock; a machine trap (sentinel,
+    register-file violation) or a failure to drain accepted packets
+    within the drain budget marks that engine faulted in the returned
+    metrics. *)
+
+open Npra_ir
+open Npra_sim
+open Npra_workloads
+
+val run :
+  ?engines:int ->
+  ?slice:int ->
+  ?sentinel:Machine.sentinel_mode ->
+  ?machine_config:Machine.config ->
+  ?refresh:(engine:int -> thread:int -> seq:int -> (int * int) list) ->
+  ?drain_budget:int ->
+  seed:int ->
+  duration:int ->
+  specs:Workload.traffic_spec list ->
+  mem_image:(int * int) list ->
+  Prog.t list ->
+  Metrics.run_metrics
+(** [run ~seed ~duration ~specs ~mem_image progs] simulates [engines]
+    (default 1) micro-engines, each running [progs] (one thread per
+    program, one [specs] entry per thread), under traffic generated for
+    [duration] cycles, then drains in-flight packets for up to
+    [drain_budget] more cycles (default [max duration 10_000]).
+
+    [refresh], when given, is called at each service start and returns
+    [(address, value)] words poked into the engine's memory — the
+    per-packet input payload; it must be a pure function of its
+    arguments for runs to be reproducible. [slice] (default 1024) is
+    the granularity of the global-clock interleave; it affects only
+    scheduling of the simulation loop, not results, because each engine
+    is independent and never advances past its own next arrival.
+
+    The default machine config lifts [max_cycles] to [max_int]: the
+    horizon is the budget. Results are a pure function of every
+    argument — identical calls produce identical metrics. *)

@@ -1,0 +1,239 @@
+(* Metrics for a packet-traffic run.
+
+   Collected by the dispatcher, aggregated here: sustained throughput
+   (packets per kilocycle), per-thread IPC, exact packet-latency
+   percentiles, queue depth, drop rate and the machine's busy/idle/
+   switch cycle breakdown. Everything is integer or a deterministic
+   function of integers, so two runs with the same seed serialise to
+   byte-identical JSON. *)
+
+open Npra_sim
+
+type pctls = { p50 : int; p95 : int; p99 : int; pmax : int }
+
+(* Exact percentiles by sorting: the nearest-rank method (ceil(p*n)),
+   so every reported value is an observed latency. *)
+let percentiles = function
+  | [] -> None
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank p = min (n - 1) (max 0 (((p * n) + 99) / 100 - 1)) in
+    Some
+      {
+        p50 = a.(rank 50);
+        p95 = a.(rank 95);
+        p99 = a.(rank 99);
+        pmax = a.(n - 1);
+      }
+
+type thread_metrics = {
+  tm_thread : int;
+  tm_name : string;
+  offered : int;  (* arrivals, including dropped *)
+  served : int;  (* packets whose service completed *)
+  dropped : int;  (* arrivals refused by a full queue *)
+  max_queue : int;  (* high-water mark of the input queue *)
+  sum_wait : int;  (* cycles from arrival to service start, served pkts *)
+  sum_service : int;  (* cycles from service start to completion *)
+  latencies : int list;  (* completion - arrival per served packet *)
+}
+
+type engine_metrics = {
+  em_engine : int;
+  em_threads : thread_metrics list;
+  em_report : Machine.report;  (* busy/idle/switch breakdown, IPC inputs *)
+  em_fault : string option;
+      (* a sentinel trap, machine trap, or drain timeout: any of these
+         marks the whole run failed *)
+}
+
+type run_metrics = {
+  rm_duration : int;  (* cycles of traffic generation *)
+  rm_seed : int;
+  rm_engines : engine_metrics list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation.                                                        *)
+
+let sum f xs = List.fold_left (fun a x -> a + f x) 0 xs
+
+let total_offered r = sum (fun e -> sum (fun t -> t.offered) e.em_threads) r.rm_engines
+let total_served r = sum (fun e -> sum (fun t -> t.served) e.em_threads) r.rm_engines
+let total_dropped r = sum (fun e -> sum (fun t -> t.dropped) e.em_threads) r.rm_engines
+
+let throughput_per_kcycle r =
+  if r.rm_duration = 0 then 0.
+  else float_of_int (total_served r) *. 1000. /. float_of_int r.rm_duration
+
+let faults r =
+  List.filter_map
+    (fun e -> Option.map (fun f -> (e.em_engine, f)) e.em_fault)
+    r.rm_engines
+
+(* Per-thread-index view across all engines: every engine runs the same
+   programs, so thread index i means the same kernel everywhere. *)
+type thread_summary = {
+  ts_thread : int;
+  ts_name : string;
+  ts_offered : int;
+  ts_served : int;
+  ts_dropped : int;
+  ts_max_queue : int;
+  ts_mean_wait : float;  (* cycles queued before service, per served pkt *)
+  ts_mean_service : float;  (* service cycles per served packet *)
+  ts_latency : pctls option;
+  ts_instructions : int;
+  ts_ipc : float;  (* instructions per engine-cycle, summed over engines *)
+}
+
+let thread_summaries r =
+  match r.rm_engines with
+  | [] -> []
+  | e0 :: _ ->
+    List.mapi
+      (fun i t0 ->
+        let per_engine =
+          List.map (fun e -> List.nth e.em_threads i) r.rm_engines
+        in
+        let served = sum (fun t -> t.served) per_engine in
+        let instructions =
+          sum
+            (fun e ->
+              (List.nth e.em_report.Machine.thread_reports i)
+                .Machine.instructions)
+            r.rm_engines
+        in
+        let cycles =
+          sum (fun e -> e.em_report.Machine.total_cycles) r.rm_engines
+        in
+        {
+          ts_thread = i;
+          ts_name = t0.tm_name;
+          ts_offered = sum (fun t -> t.offered) per_engine;
+          ts_served = served;
+          ts_dropped = sum (fun t -> t.dropped) per_engine;
+          ts_max_queue =
+            List.fold_left (fun a t -> max a t.max_queue) 0 per_engine;
+          ts_mean_wait =
+            (if served = 0 then 0.
+             else
+               float_of_int (sum (fun t -> t.sum_wait) per_engine)
+               /. float_of_int served);
+          ts_mean_service =
+            (if served = 0 then 0.
+             else
+               float_of_int (sum (fun t -> t.sum_service) per_engine)
+               /. float_of_int served);
+          ts_latency =
+            percentiles (List.concat_map (fun t -> t.latencies) per_engine);
+          ts_instructions = instructions;
+          ts_ipc =
+            (if cycles = 0 then 0.
+             else float_of_int instructions /. float_of_int cycles);
+        })
+      e0.em_threads
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let pp_pctls ppf = function
+  | None -> Fmt.string ppf "-"
+  | Some p -> Fmt.pf ppf "p50=%d p95=%d p99=%d max=%d" p.p50 p.p95 p.p99 p.pmax
+
+let pp ppf r =
+  Fmt.pf ppf
+    "duration %d cycles, seed %d, %d engine(s): offered %d, served %d, \
+     dropped %d (%.2f pkt/kcycle)@."
+    r.rm_duration r.rm_seed
+    (List.length r.rm_engines)
+    (total_offered r) (total_served r) (total_dropped r)
+    (throughput_per_kcycle r);
+  List.iter
+    (fun s ->
+      Fmt.pf ppf
+        "  t%d %-14s offered=%-5d served=%-5d dropped=%-4d maxq=%-2d \
+         wait=%-8.1f svc=%-8.1f ipc=%.3f@.    latency %a@."
+        s.ts_thread s.ts_name s.ts_offered s.ts_served s.ts_dropped
+        s.ts_max_queue s.ts_mean_wait s.ts_mean_service s.ts_ipc pp_pctls
+        s.ts_latency)
+    (thread_summaries r);
+  List.iter
+    (fun e ->
+      let rep = e.em_report in
+      Fmt.pf ppf
+        "  engine %d: busy %d, switch %d, idle %d of %d cycles (%.0f%% \
+         utilised)%a@."
+        e.em_engine rep.Machine.busy_cycles rep.Machine.switch_cycles
+        rep.Machine.idle_cycles rep.Machine.total_cycles
+        (100. *. rep.Machine.utilization)
+        Fmt.(option (fun ppf f -> Fmt.pf ppf " FAULT: %s" f))
+        e.em_fault)
+    r.rm_engines
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pctls_json = function
+  | None -> "null"
+  | Some p ->
+    Fmt.str {|{"p50": %d, "p95": %d, "p99": %d, "max": %d}|} p.p50 p.p95 p.p99
+      p.pmax
+
+let thread_summary_json s =
+  Fmt.str
+    {|{"thread": %d, "name": "%s", "offered": %d, "served": %d, "dropped": %d, "max_queue": %d, "mean_wait": %.2f, "mean_service": %.2f, "latency": %s, "instructions": %d, "ipc": %.4f}|}
+    s.ts_thread (json_escape s.ts_name) s.ts_offered s.ts_served s.ts_dropped
+    s.ts_max_queue s.ts_mean_wait s.ts_mean_service
+    (pctls_json s.ts_latency)
+    s.ts_instructions s.ts_ipc
+
+let engine_json e =
+  let rep = e.em_report in
+  Fmt.str
+    {|{"engine": %d, "busy": %d, "switch": %d, "idle": %d, "total": %d, "utilization": %.4f, "served": %d, "dropped": %d, "fault": %s}|}
+    e.em_engine rep.Machine.busy_cycles rep.Machine.switch_cycles
+    rep.Machine.idle_cycles rep.Machine.total_cycles rep.Machine.utilization
+    (sum (fun t -> t.served) e.em_threads)
+    (sum (fun t -> t.dropped) e.em_threads)
+    (match e.em_fault with
+    | None -> "null"
+    | Some f -> Fmt.str {|"%s"|} (json_escape f))
+
+let to_json r =
+  let b = Buffer.create 4096 in
+  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"duration\": %d,\n" r.rm_duration;
+  add "  \"seed\": %d,\n" r.rm_seed;
+  add "  \"offered\": %d,\n" (total_offered r);
+  add "  \"served\": %d,\n" (total_served r);
+  add "  \"dropped\": %d,\n" (total_dropped r);
+  add "  \"throughput_per_kcycle\": %.3f,\n" (throughput_per_kcycle r);
+  add "  \"threads\": [\n";
+  List.iteri
+    (fun i s ->
+      add "    %s%s\n" (thread_summary_json s)
+        (if i < List.length (thread_summaries r) - 1 then "," else ""))
+    (thread_summaries r);
+  add "  ],\n";
+  add "  \"engines\": [\n";
+  List.iteri
+    (fun i e ->
+      add "    %s%s\n" (engine_json e)
+        (if i < List.length r.rm_engines - 1 then "," else ""))
+    r.rm_engines;
+  add "  ]\n";
+  add "}";
+  Buffer.contents b

@@ -1,0 +1,72 @@
+(** Metrics for a packet-traffic run: sustained throughput, per-thread
+    IPC, exact latency percentiles, queue depth, drop rate and the
+    busy/idle/switch cycle breakdown. All values are deterministic
+    functions of the run, so equal seeds serialise to byte-identical
+    JSON. *)
+
+open Npra_sim
+
+type pctls = { p50 : int; p95 : int; p99 : int; pmax : int }
+
+val percentiles : int list -> pctls option
+(** Exact nearest-rank percentiles; [None] on an empty sample. *)
+
+type thread_metrics = {
+  tm_thread : int;
+  tm_name : string;
+  offered : int;  (** arrivals, including dropped *)
+  served : int;  (** packets whose service completed *)
+  dropped : int;  (** arrivals refused by a full queue *)
+  max_queue : int;  (** high-water mark of the input queue *)
+  sum_wait : int;  (** cycles from arrival to service start *)
+  sum_service : int;  (** cycles from service start to completion *)
+  latencies : int list;  (** completion − arrival, per served packet *)
+}
+
+type engine_metrics = {
+  em_engine : int;
+  em_threads : thread_metrics list;
+  em_report : Machine.report;
+  em_fault : string option;
+      (** sentinel trap, machine trap, or drain timeout *)
+}
+
+type run_metrics = {
+  rm_duration : int;
+  rm_seed : int;
+  rm_engines : engine_metrics list;
+}
+
+val total_offered : run_metrics -> int
+val total_served : run_metrics -> int
+val total_dropped : run_metrics -> int
+
+val throughput_per_kcycle : run_metrics -> float
+(** Served packets per thousand cycles of traffic time. *)
+
+val faults : run_metrics -> (int * string) list
+(** (engine, fault) for every faulted engine; empty on a clean run. *)
+
+(** Per-thread-index aggregate across all engines (thread index [i]
+    runs the same kernel on every engine). *)
+type thread_summary = {
+  ts_thread : int;
+  ts_name : string;
+  ts_offered : int;
+  ts_served : int;
+  ts_dropped : int;
+  ts_max_queue : int;
+  ts_mean_wait : float;
+  ts_mean_service : float;
+  ts_latency : pctls option;
+  ts_instructions : int;
+  ts_ipc : float;
+}
+
+val thread_summaries : run_metrics -> thread_summary list
+
+val pp : run_metrics Fmt.t
+val pp_pctls : pctls option Fmt.t
+
+val to_json : run_metrics -> string
+(** A complete JSON object (threads + engines + totals). *)

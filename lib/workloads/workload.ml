@@ -60,3 +60,38 @@ type spec = {
   build : mem_base:int -> iters:int -> t;
   default_iters : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Traffic specifications.
+
+   The arrival models live here, below the traffic subsystem, so the
+   registry can attach a default packet-arrival pattern to each kernel
+   without depending on the dispatcher that realises it
+   ({!Npra_traffic.Arrival} turns a spec + seed into a deterministic
+   arrival stream). All parameters are in machine cycles. *)
+
+type arrival =
+  | Uniform of { period : int }
+      (* one packet every [period] cycles, seed-phased *)
+  | Poisson of { mean_period : int }
+      (* exponential-ish inter-arrivals via a fixed-point table,
+         mean [mean_period] cycles *)
+  | Bursty of { on_cycles : int; off_cycles : int; period : int }
+      (* on/off source: [period]-spaced arrivals during each
+         [on_cycles] burst, silence for [off_cycles] between bursts *)
+
+type traffic_spec = {
+  arrival : arrival;
+  queue_capacity : int;  (* per-thread input queue bound; excess drops *)
+  per_packet_iters : int;  (* kernel main-loop iterations per packet *)
+}
+
+let pp_arrival ppf = function
+  | Uniform { period } -> Fmt.pf ppf "uniform(period=%d)" period
+  | Poisson { mean_period } -> Fmt.pf ppf "poisson(mean=%d)" mean_period
+  | Bursty { on_cycles; off_cycles; period } ->
+    Fmt.pf ppf "bursty(on=%d,off=%d,period=%d)" on_cycles off_cycles period
+
+let pp_traffic_spec ppf t =
+  Fmt.pf ppf "%a q=%d iters/pkt=%d" pp_arrival t.arrival t.queue_capacity
+    t.per_packet_iters

@@ -1,0 +1,99 @@
+(* Unit tests for the sealed memory model: read/write semantics, the
+   counted-vs-uncounted access split, image loading, and the latency
+   contract it forms with the machine (memory itself is latency-free;
+   the machine charges [mem_latency] per access). *)
+
+open Npra_ir
+open Npra_sim
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let semantics_tests =
+  [
+    test "unwritten words read as zero" (fun () ->
+        let m = Memory.create () in
+        check Alcotest.int "read" 0 (Memory.read m 12345);
+        check Alcotest.int "peek" 0 (Memory.peek m (-7)));
+    test "write then read round-trips" (fun () ->
+        let m = Memory.create () in
+        Memory.write m 100 42;
+        check Alcotest.int "same addr" 42 (Memory.read m 100);
+        check Alcotest.int "other addr" 0 (Memory.read m 101);
+        Memory.write m 100 7;
+        check Alcotest.int "overwritten" 7 (Memory.read m 100));
+    test "poke is visible to read, peek sees write" (fun () ->
+        let m = Memory.create () in
+        Memory.poke m 5 11;
+        Memory.write m 6 22;
+        check Alcotest.int "poked" 11 (Memory.read m 5);
+        check Alcotest.int "written" 22 (Memory.peek m 6));
+    test "load_image pokes every pair, later pairs win" (fun () ->
+        let m = Memory.create () in
+        Memory.load_image m [ (1, 10); (2, 20); (1, 30) ];
+        check Alcotest.int "dup addr: last wins" 30 (Memory.peek m 1);
+        check Alcotest.int "other" 20 (Memory.peek m 2);
+        check Alcotest.int "not counted" 0 (Memory.writes m));
+    test "dump returns sorted written words" (fun () ->
+        let m = Memory.create () in
+        Memory.write m 9 1;
+        Memory.poke m 3 2;
+        Memory.write m 5 3;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "sorted" [ (3, 2); (5, 3); (9, 1) ] (Memory.dump m));
+  ]
+
+let counter_tests =
+  [
+    test "read/write are counted, peek/poke are not" (fun () ->
+        let m = Memory.create () in
+        ignore (Memory.read m 1);
+        ignore (Memory.read m 2);
+        Memory.write m 3 4;
+        ignore (Memory.peek m 1);
+        Memory.poke m 9 9;
+        Memory.load_image m [ (4, 4) ];
+        check Alcotest.int "reads" 2 (Memory.reads m);
+        check Alcotest.int "writes" 1 (Memory.writes m));
+  ]
+
+(* one thread, one load, one store: the machine should charge exactly
+   [mem_latency] blocked cycles per access, so total cycles grow by
+   2 * (L2 - L1) when the latency goes from L1 to L2 *)
+let latency_prog =
+  Prog.make ~name:"lat"
+    ~code:
+      [
+        Instr.Movi { dst = Reg.P 1; imm = 100 };
+        Instr.Load { dst = Reg.P 0; addr = Reg.P 1; off = 0 };
+        Instr.Store { src = Reg.P 0; addr = Reg.P 1; off = 1 };
+        Instr.Halt;
+      ]
+    ~labels:[]
+
+let cycles_at latency =
+  let config = { Machine.default_config with Machine.mem_latency = latency } in
+  (Machine.report (Machine.run ~config ~mem_image:[ (100, 5) ] [ latency_prog ]))
+    .Machine.total_cycles
+
+let latency_tests =
+  [
+    test "machine charges mem_latency per access" (fun () ->
+        let c5 = cycles_at 5 and c20 = cycles_at 20 and c40 = cycles_at 40 in
+        check Alcotest.int "5 -> 20 adds 2*15" (c5 + 30) c20;
+        check Alcotest.int "20 -> 40 adds 2*20" (c20 + 40) c40);
+    test "machine counts architectural accesses only" (fun () ->
+        let m = Machine.run ~mem_image:[ (100, 5) ] [ latency_prog ] in
+        check Alcotest.int "reads" 1 (Memory.reads (Machine.memory m));
+        check Alcotest.int "writes" 1 (Memory.writes (Machine.memory m));
+        check Alcotest.int "store landed" 5
+          (Memory.peek (Machine.memory m) 101));
+  ]
+
+let suite =
+  [
+    ("sim_memory.semantics", semantics_tests);
+    ("sim_memory.counters", counter_tests);
+    ("sim_memory.latency", latency_tests);
+  ]
