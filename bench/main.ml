@@ -13,6 +13,9 @@
      --seed N      replayable seed for the randomised harnesses
                    ([throughput], [fuzz], [faults]); each keeps its
                    historical default when absent
+     --jobs N      worker domains for [throughput], [fuzz] and [faults]
+                   (default 1). Results are deterministic: only the
+                   wall_clock block of the JSON reports depends on N
 
    Absolute cycle numbers come from our machine model, not the IXP1200
    Developer Workbench, so EXPERIMENTS.md compares shapes and ratios
@@ -268,6 +271,34 @@ let quick = ref false
    its historical default when the flag is absent. *)
 let seed_flag : int option ref = ref None
 
+(* --jobs: worker domains for the pooled harnesses. The pool contract
+   (task-indexed results) keeps every report identical at any job
+   count; only wall-clock observations change. *)
+let jobs = ref 1
+let pool () = Npra_par.Pool.create ~jobs:!jobs ()
+
+(* Every BENCH_*.json carries a wall_clock block recording how long the
+   harness took and at how many jobs — appended by the harness, outside
+   the deterministic payload, so same-seed runs at different job counts
+   differ only here. [splice_wall_clock] grafts the block into a JSON
+   object serialised by a library (fuzz stats, fault matrix) without
+   the library knowing about wall clocks. *)
+let wall_clock_json ~jobs ~seconds =
+  Fmt.str {|"wall_clock": {"jobs": %d, "seconds": %.3f}|} jobs seconds
+
+let splice_wall_clock ~jobs ~seconds json =
+  match String.rindex_opt json '}' with
+  | None -> json
+  | Some i ->
+    String.sub json 0 i
+    ^ Fmt.str ",\n  %s\n" (wall_clock_json ~jobs ~seconds)
+    ^ String.sub json i (String.length json - i)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
 type df_case = { df_name : string; median_ns : float; samples : int }
 
 let median_ns_per_run test =
@@ -320,7 +351,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_dataflow_json path cases speedups =
+let write_dataflow_json path cases speedups ~seconds =
   let oc = open_out path in
   let ppf = Format.formatter_of_out_channel oc in
   let pp_case ppf c =
@@ -333,11 +364,12 @@ let write_dataflow_json path cases speedups =
   Fmt.pf ppf
     "{@\n  \"benchmark\": \"dataflow\",@\n  \"unit\": \"ns/run\",@\n  \
      \"cases\": [@\n%a@\n  ],@\n  \"speedup_dense_over_reference\": {@\n%a@\n  \
-     }@\n}@."
+     },@\n  %s@\n}@."
     Fmt.(list ~sep:(any ",@\n") pp_case)
     cases
     Fmt.(list ~sep:(any ",@\n") pp_speedup)
-    speedups;
+    speedups
+    (wall_clock_json ~jobs:!jobs ~seconds);
   close_out oc
 
 let run_dataflow () =
@@ -351,6 +383,7 @@ let run_dataflow () =
   Fmt.pr "@.== Dataflow: dense bitset engine vs Reg.Set reference ==@.";
   let open Bechamel in
   let programs = dataflow_programs () in
+  let t0 = Unix.gettimeofday () in
   Fmt.pr "%-24s %14s %14s %9s@." "program" "dense ns" "reference ns" "speedup";
   let cases, speedups =
     List.fold_left
@@ -375,7 +408,8 @@ let run_dataflow () =
         (cases @ [ dense; reference ], speedups @ [ (id, speedup) ]))
       ([], []) programs
   in
-  write_dataflow_json !json_path cases speedups;
+  write_dataflow_json !json_path cases speedups
+    ~seconds:(Unix.gettimeofday () -. t0);
   Fmt.pr "wrote %s@." !json_path
 
 (* ------------------------------------------------------------------ *)
@@ -395,11 +429,16 @@ let run_faults () =
         Registry.all
     else Registry.all
   in
-  Fmt.pr "@.== Fault injection: static verify + runtime sentinel ==@.";
-  let m = Npra_fault.Driver.run ?seed:!seed_flag ~specs () in
+  Fmt.pr "@.== Fault injection: static verify + runtime sentinel (%d jobs) ==@."
+    !jobs;
+  let m, seconds =
+    timed (fun () -> Npra_fault.Driver.run ~pool:(pool ()) ?seed:!seed_flag ~specs ())
+  in
   Fmt.pr "%a" Npra_fault.Driver.pp m;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
   let oc = open_out faults_json in
-  output_string oc (Npra_fault.Driver.to_json m);
+  output_string oc
+    (splice_wall_clock ~jobs:!jobs ~seconds (Npra_fault.Driver.to_json m));
   close_out oc;
   Fmt.pr "wrote %s@." faults_json;
   if not (Npra_fault.Driver.all_detected m) then begin
@@ -421,9 +460,16 @@ let fuzz_json = "BENCH_fuzz.json"
 let run_fuzz () =
   let open Npra_fuzz in
   let count = if !quick then 1_500 else 12_000 in
-  Fmt.pr "@.== Fuzz: never-crash contract over both frontends (%d inputs) ==@."
-    count;
-  let stats = Fuzz.run ~seed:(Option.value !seed_flag ~default:42) ~count () in
+  Fmt.pr
+    "@.== Fuzz: never-crash contract over both frontends (%d inputs, %d jobs) \
+     ==@."
+    count !jobs;
+  let stats, seconds =
+    timed (fun () ->
+        Fuzz.run ~pool:(pool ())
+          ~seed:(Option.value !seed_flag ~default:42)
+          ~count ())
+  in
   Fmt.pr "inputs          %8d@." stats.Fuzz.inputs;
   Fmt.pr "  rejected      %8d  (structured diagnostics)@." stats.Fuzz.rejected;
   Fmt.pr "  accepted      %8d  (allocated, verified, simulated)@."
@@ -446,8 +492,10 @@ let run_fuzz () =
       Fmt.epr "CRASHER NOT REJECTED [%s]: %s@.  input: %S@."
         (Fuzz.lang_name lang) why src)
     unrejected;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
   let oc = open_out fuzz_json in
-  output_string oc (Fuzz.to_json stats);
+  output_string oc
+    (splice_wall_clock ~jobs:!jobs ~seconds (Fuzz.to_json stats));
   close_out oc;
   Fmt.pr "wrote %s@." fuzz_json;
   if not (Fuzz.ok stats && unrejected = []) then begin
@@ -507,7 +555,7 @@ let service_speedup_pct fixed bal i =
   let b = service_of fixed i and s = service_of bal i in
   if s = 0. then 0. else 100. *. ((b /. s) -. 1.)
 
-let run_throughput_mix ~seed ~engines mix =
+let run_throughput_mix ~pool ~seed ~engines mix =
   let open Npra_traffic in
   let ws =
     List.mapi
@@ -525,7 +573,7 @@ let run_throughput_mix ~seed ~engines mix =
   let progs = List.map (fun (w, _) -> w.Workload.prog) ws in
   let mem_image = List.concat_map (fun (w, _) -> w.Workload.mem_image) ws in
   let spill_bases = List.map (fun (w, _) -> Workload.spill_base w) ws in
-  let base, bal = Pipeline.contenders ~nreg:128 ~spill_bases progs in
+  let base, bal = Pipeline.contenders ~pool ~nreg:128 ~spill_bases progs in
   let bal =
     match bal with
     | Ok b -> b
@@ -564,8 +612,8 @@ let run_throughput_mix ~seed ~engines mix =
          8)
   in
   let run progs specs =
-    Dispatch.run ~engines ~sentinel:`Trap ~refresh ~seed ~duration ~specs
-      ~mem_image progs
+    Dispatch.run ~pool ~engines ~sentinel:`Trap ~refresh ~seed ~duration
+      ~specs ~mem_image progs
   in
   (* Saturation: uniform arrivals at twice each thread's solo service
      rate, so queues never run dry and served packets measure service
@@ -633,11 +681,15 @@ let run_throughput () =
   let engines = if !quick then 2 else 3 in
   Fmt.pr
     "@.== Throughput: balanced vs fixed-partition under packet traffic \
-     (%d engines, seed %d) ==@."
-    engines seed;
-  let results =
-    List.map (run_throughput_mix ~seed ~engines) throughput_mixes
+     (%d engines, seed %d, %d jobs) ==@."
+    engines seed !jobs;
+  let results, seconds =
+    timed (fun () ->
+        List.map
+          (run_throughput_mix ~pool:(pool ()) ~seed ~engines)
+          throughput_mixes)
   in
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
   let ok = ref true in
   List.iter
     (fun r ->
@@ -701,7 +753,10 @@ let run_throughput () =
   add "  \"quick\": %b,\n" !quick;
   add "  \"mixes\": [\n%s\n  ],\n"
     (String.concat ",\n" (List.map throughput_mix_json results));
-  add "  \"ok\": %b\n" !ok;
+  add "  \"ok\": %b,\n" !ok;
+  (* The wall_clock block is the only jobs-dependent field; everything
+     above it is byte-identical for the same seed at any job count. *)
+  add "  %s\n" (wall_clock_json ~jobs:!jobs ~seconds);
   add "}\n";
   close_out oc;
   Fmt.pr "@.wrote %s@." throughput_json;
@@ -749,6 +804,17 @@ let () =
         exit 2)
     | [ "--seed" ] ->
       Fmt.epr "--seed needs an integer argument@.";
+      exit 2
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse names rest
+      | _ ->
+        Fmt.epr "--jobs needs a positive integer argument, got %S@." n;
+        exit 2)
+    | [ "--jobs" ] ->
+      Fmt.epr "--jobs needs a positive integer argument@.";
       exit 2
     | name :: rest -> parse (name :: names) rest
   in

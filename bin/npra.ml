@@ -215,7 +215,8 @@ let simulate_cmd =
 (* ---- throughput ---- *)
 
 let throughput_cmd =
-  let run nreg engines duration seed use_baseline ids =
+  let run nreg engines duration seed jobs use_baseline ids =
+    let pool = Npra_par.Pool.create ~jobs () in
     let ws =
       List.mapi
         (fun i id ->
@@ -254,8 +255,8 @@ let throughput_cmd =
         Fmt.pr "  %-12s %a@." w.Workload.name Workload.pp_traffic_spec s)
       ws specs;
     let m =
-      Npra_traffic.Dispatch.run ~engines ~sentinel:`Trap ~seed ~duration
-        ~specs ~mem_image progs
+      Npra_traffic.Dispatch.run ~pool ~engines ~sentinel:`Trap ~seed
+        ~duration ~specs ~mem_image progs
     in
     Fmt.pr "%a" Npra_traffic.Metrics.pp m;
     match Npra_traffic.Metrics.faults m with
@@ -281,6 +282,14 @@ let throughput_cmd =
       & info [ "seed" ] ~docv:"N"
           ~doc:"Seed for the arrival streams and packet payloads.")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains running the engines in parallel. The metrics \
+             are identical at any job count; only wall clock changes.")
+  in
   let baseline_flag =
     Arg.(
       value & flag
@@ -294,7 +303,7 @@ let throughput_cmd =
          "Allocate kernels (up to 4) and measure packet throughput under \
           their default traffic models")
     Term.(
-      const run $ nreg_arg $ engines_arg $ duration_arg $ seed_arg
+      const run $ nreg_arg $ engines_arg $ duration_arg $ seed_arg $ jobs_arg
       $ baseline_flag $ kernels_arg)
 
 (* ---- asm ---- *)

@@ -1,19 +1,25 @@
 (* Instruction-level backward liveness analysis.
 
-   Two interchangeable engines compute the same fixpoint:
+   Three engines compute the same fixpoint:
 
-   - [compute] is the production engine: a worklist fixpoint over dense
-     {!Bitset} vectors indexed by a per-program {!Numbering}. Transfer
+   - [compute_sweep] runs round-robin reverse sweeps over dense
+     {!Bitset} rows indexed by a per-program {!Numbering}. Transfer
      functions are word-parallel, so one step costs O(nregs/62) rather
-     than O(live * log live), which is what lets the analyses keep up
-     with production-scale packet-processing programs.
-   - [compute_reference] is the original balanced-tree (Reg.Set) engine,
-     kept verbatim as a differential oracle: tests assert the two agree
-     at every instruction on every generated program.
+     than O(live * log live); sweeps amortise best on large programs,
+     where convergence takes few passes relative to program size.
+   - [compute_worklist] solves the same dense rows with a queue
+     worklist, revisiting only instructions whose successors changed.
+     On small kernels the sweeps' fixed per-pass cost dominates, which
+     is exactly the regression BENCH_dataflow caught (route 0.62x);
+     the worklist pays only for rows that actually change.
+   - [compute_reference] is the original balanced-tree (Reg.Set)
+     engine, kept verbatim as a differential oracle: tests assert all
+     engines agree at every instruction on every generated program.
 
-   Both are consumed through the same accessors; the Reg.Set-returning
-   ones materialise a set view on demand, the [_bits] ones expose the
-   dense vectors (and exist only for the dense engine). *)
+   [compute] is the production entry point: it picks the dense solver
+   adaptively by program size. Both dense solvers produce the same
+   [Dense] representation, so every accessor — including the [_bits]
+   ones — behaves identically whichever solver ran. *)
 
 open Npra_ir
 
@@ -31,22 +37,23 @@ type repr =
 
 type t = { prog : Prog.t; repr : repr }
 
-(* ---------------- dense engine ---------------- *)
+(* ---------------- dense engines ---------------- *)
 
-let compute prog =
+(* Shared setup: numbering, flat rows seeded with uses, def indices.
+   Rows live flat in two big arrays — instruction [i]'s bits occupy
+   words [i*nw .. i*nw+nw-1] — so a compute allocates O(1) objects
+   instead of tens of thousands of small sets. Liveness is monotone:
+   live_in only ever grows, so it is seeded with the uses and each
+   solver folds the change test into the union (a row that did not
+   grow cannot propagate). *)
+let dense_setup prog =
   let n = Prog.length prog in
   let num = Numbering.of_prog prog in
   let bpw = Bitset.bits_per_word in
   let nw = max 1 (Bitset.words_for (Numbering.size num)) in
   let idx r = Numbering.index num r in
-  (* Rows live flat in two big arrays — instruction [i]'s bits occupy
-     words [i*nw .. i*nw+nw-1] — so a compute allocates O(1) objects
-     instead of tens of thousands of small sets. *)
   let live_in = Array.make (n * nw) 0 in
   let live_out = Array.make (n * nw) 0 in
-  (* Liveness is monotone: live_in only ever grows, so it is seeded with
-     the uses and the transfer function folds the change test into the
-     union (a row that did not grow cannot propagate). *)
   for i = 0 to n - 1 do
     List.iter
       (fun r ->
@@ -59,41 +66,93 @@ let compute prog =
     Array.init n (fun i ->
         Array.of_list (List.map idx (Instr.defs (Prog.instr prog i))))
   in
+  { num; nw; live_in; live_out; defs }
+
+(* One backward transfer of instruction [i]: recompute live_out from the
+   successors' live_in rows, union (out \ defs) into live_in. Returns
+   whether live_in.(i) grew. *)
+let transfer d ~succs ~tmp i =
+  let bpw = Bitset.bits_per_word in
+  let nw = d.nw in
+  let live_in = d.live_in and live_out = d.live_out in
+  let row = i * nw in
+  (match succs.(i) with
+  | [] -> ()  (* out stays empty *)
+  | [ s ] -> Array.blit live_in (s * nw) live_out row nw
+  | ss ->
+    Array.fill live_out row nw 0;
+    List.iter
+      (fun s ->
+        let srow = s * nw in
+        for k = 0 to nw - 1 do
+          live_out.(row + k) <- live_out.(row + k) lor live_in.(srow + k)
+        done)
+      ss);
+  Array.blit live_out row tmp 0 nw;
+  Array.iter
+    (fun b -> tmp.(b / bpw) <- tmp.(b / bpw) land lnot (1 lsl (b mod bpw)))
+    d.defs.(i);
+  let grew = ref false in
+  for k = 0 to nw - 1 do
+    let v = live_in.(row + k) lor tmp.(k) in
+    if v <> live_in.(row + k) then begin
+      live_in.(row + k) <- v;
+      grew := true
+    end
+  done;
+  !grew
+
+let compute_sweep prog =
+  let n = Prog.length prog in
+  let d = dense_setup prog in
   let succs = Prog.succs_array prog in
-  let tmp = Array.make nw 0 in
+  let tmp = Array.make d.nw 0 in
   (* Round-robin reverse sweeps converge in about (loop depth + 2)
      passes and keep the inner loop free of worklist bookkeeping. *)
   let changed = ref true in
   while !changed do
     changed := false;
     for i = n - 1 downto 0 do
-      let row = i * nw in
-      (match succs.(i) with
-      | [] -> ()  (* out stays empty *)
-      | [ s ] -> Array.blit live_in (s * nw) live_out row nw
-      | ss ->
-        Array.fill live_out row nw 0;
-        List.iter
-          (fun s ->
-            let srow = s * nw in
-            for k = 0 to nw - 1 do
-              live_out.(row + k) <- live_out.(row + k) lor live_in.(srow + k)
-            done)
-          ss);
-      Array.blit live_out row tmp 0 nw;
-      Array.iter
-        (fun d -> tmp.(d / bpw) <- tmp.(d / bpw) land lnot (1 lsl (d mod bpw)))
-        defs.(i);
-      for k = 0 to nw - 1 do
-        let v = live_in.(row + k) lor tmp.(k) in
-        if v <> live_in.(row + k) then begin
-          live_in.(row + k) <- v;
-          changed := true
-        end
-      done
+      if transfer d ~succs ~tmp i then changed := true
     done
   done;
-  { prog; repr = Dense { num; nw; live_in; live_out; defs } }
+  { prog; repr = Dense d }
+
+let compute_worklist prog =
+  let n = Prog.length prog in
+  let d = dense_setup prog in
+  let succs = Prog.succs_array prog in
+  let preds = Prog.preds prog in
+  let tmp = Array.make d.nw 0 in
+  let on_worklist = Array.make n true in
+  let worklist = Queue.create () in
+  for i = n - 1 downto 0 do
+    Queue.add i worklist
+  done;
+  while not (Queue.is_empty worklist) do
+    let i = Queue.pop worklist in
+    on_worklist.(i) <- false;
+    if transfer d ~succs ~tmp i then
+      List.iter
+        (fun p ->
+          if not on_worklist.(p) then begin
+            on_worklist.(p) <- true;
+            Queue.add p worklist
+          end)
+        preds.(i)
+  done;
+  { prog; repr = Dense d }
+
+(* Below this many instructions the sweeps' whole-program passes cost
+   more than the worklist's bookkeeping: BENCH_dataflow's small kernels
+   (route, fir2dim, url) regressed under sweeps while the worklist beat
+   the reference engine on every registry kernel. Large programs keep
+   the sweeps, whose branch-free inner loop wins once passes amortise. *)
+let small_program_cutoff = 256
+
+let compute prog =
+  if Prog.length prog < small_program_cutoff then compute_worklist prog
+  else compute_sweep prog
 
 (* ---------------- reference engine (tree sets) ---------------- *)
 

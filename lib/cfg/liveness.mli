@@ -12,7 +12,23 @@ open Npra_ir
 type t
 
 val compute : Prog.t -> t
-(** Dense bitset engine. *)
+(** Dense bitset engine. Adaptive: programs shorter than
+    {!small_program_cutoff} are solved with a queue worklist
+    ({!compute_worklist}), longer ones with round-robin reverse sweeps
+    ({!compute_sweep}). Both produce the same dense representation, so
+    every accessor behaves identically whichever solver ran. *)
+
+val compute_sweep : Prog.t -> t
+(** Dense engine, round-robin reverse-sweep solver (best on large
+    programs). Exposed for differential tests and benchmarks. *)
+
+val compute_worklist : Prog.t -> t
+(** Dense engine, queue-worklist solver (best on small kernels).
+    Exposed for differential tests and benchmarks. *)
+
+val small_program_cutoff : int
+(** Instruction count below which {!compute} picks the worklist
+    solver. *)
 
 val compute_reference : Prog.t -> t
 (** Original [Reg.Set]-based engine; the test oracle. Set-view accessors

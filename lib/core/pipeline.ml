@@ -31,10 +31,23 @@ let pp_stage ppf = function
   | Balanced_relaxed -> Fmt.string ppf "balanced (relaxed move budget)"
   | Chaitin_fallback -> Fmt.string ppf "fixed-partition chaitin"
 
-type diagnostic = { stage : stage; reason : string }
+(* A trail entry: either a stage that rejected the allocation before a
+   later stage served it, or a provenance note that the whole result was
+   served from the content-addressed cache (carrying the stage that
+   originally produced it and the cache key). *)
+type diagnostic =
+  | Rejected of { stage : stage; reason : string }
+  | Cache_hit of { stage : stage; key : string }
 
-let pp_diagnostic ppf d =
-  Fmt.pf ppf "%a rejected: %s" pp_stage d.stage d.reason
+let pp_diagnostic ppf = function
+  | Rejected { stage; reason } ->
+    Fmt.pf ppf "%a rejected: %s" pp_stage stage reason
+  | Cache_hit { stage; key } ->
+    Fmt.pf ppf "%a served from cache (key %s)" pp_stage stage
+      (String.sub key 0 (min 12 (String.length key)))
+
+let rejections trail =
+  List.filter (function Rejected _ -> true | Cache_hit _ -> false) trail
 
 type balanced = {
   provenance : stage;  (* which stage of the chain served the result *)
@@ -79,7 +92,7 @@ let default_move_budget progs =
   let code = List.fold_left (fun a p -> a + Prog.length p) 0 progs in
   max 32 (code / 4)
 
-let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
+let balanced_uncached ?(nreg = 128) ?move_budget ?spill_bases progs =
   let progs = List.map Webs.rename progs in
   let budget =
     match move_budget with Some b -> b | None -> default_move_budget progs
@@ -133,18 +146,19 @@ let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
       Error
         (trail
         @ [
-            {
-              stage = Chaitin_fallback;
-              reason =
-                Fmt.str
-                  "spill loop did not converge after %d iterations (k=%d, %d \
-                   registers still uncolourable)"
-                  iterations k
-                  (Reg.Set.cardinal pending);
-            };
+            Rejected
+              {
+                stage = Chaitin_fallback;
+                reason =
+                  Fmt.str
+                    "spill loop did not converge after %d iterations (k=%d, %d \
+                     registers still uncolourable)"
+                    iterations k
+                    (Reg.Set.cardinal pending);
+              };
           ])
     | exception Assign.Overflow msg ->
-      Error (trail @ [ { stage = Chaitin_fallback; reason = msg } ])
+      Error (trail @ [ Rejected { stage = Chaitin_fallback; reason = msg } ])
   in
   match Inter.allocate ~nreg progs with
   | Ok inter -> (
@@ -154,10 +168,11 @@ let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
       else
         ( Balanced_relaxed,
           [
-            {
-              stage = Balanced;
-              reason = Fmt.str "%d moves exceed the budget of %d" moves budget;
-            };
+            Rejected
+              {
+                stage = Balanced;
+                reason = Fmt.str "%d moves exceed the budget of %d" moves budget;
+              };
           ] )
     in
     match finish ~provenance ~inter ~trail with
@@ -172,18 +187,96 @@ let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
       in
       fallback
         [
-          { stage = Balanced; reason };
-          { stage = Balanced_relaxed; reason };
+          Rejected { stage = Balanced; reason };
+          Rejected { stage = Balanced_relaxed; reason };
         ])
   | Error (`Infeasible msg) ->
     fallback
       [
-        { stage = Balanced; reason = msg };
-        {
-          stage = Balanced_relaxed;
-          reason = "infeasible regardless of move budget: " ^ msg;
-        };
+        Rejected { stage = Balanced; reason = msg };
+        Rejected
+          {
+            stage = Balanced_relaxed;
+            reason = "infeasible regardless of move budget: " ^ msg;
+          };
       ]
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed allocation cache.
+
+   A kernel mix that repeats a kernel (the traffic bench instantiates
+   the same program on many engines) re-runs the whole
+   rename/estimate/balance/assign chain on identical input. The cache
+   keys the complete [balanced] result on an MD5 digest of the printed
+   programs plus every configuration knob that can change the answer
+   ([nreg], the move budget, the spill bases), so a hit is sound by
+   construction: same key, same inputs, same deterministic pipeline.
+
+   Domain-safety: the table is guarded by a mutex; the allocation
+   itself runs outside the lock, so concurrent workers can at worst
+   duplicate a computation (both miss, both compute the same value) —
+   never block each other for the length of an allocation or observe a
+   half-built entry. A hit is recorded in the returned trail as a
+   {!Cache_hit} carrying the original provenance, so reports can show
+   where a result really came from. *)
+
+let cache_capacity = 512
+let cache : (string, (balanced, diagnostic list) result) Hashtbl.t =
+  Hashtbl.create 64
+let cache_lock = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache_stats () =
+  Mutex.protect cache_lock (fun () ->
+      { hits = !cache_hits; misses = !cache_misses;
+        entries = Hashtbl.length cache })
+
+let cache_clear () =
+  Mutex.protect cache_lock (fun () ->
+      Hashtbl.reset cache;
+      cache_hits := 0;
+      cache_misses := 0)
+
+let cache_key ~nreg ~move_budget ~spill_bases progs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Fmt.str "nreg=%d;budget=%a;spill=%a"
+       nreg
+       Fmt.(option ~none:(any "-") int)
+       move_budget
+       Fmt.(option ~none:(any "-") (list ~sep:comma int))
+       spill_bases);
+  List.iter
+    (fun p ->
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf (Prog.to_string p))
+    progs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let note_cache_hit key = function
+  | Ok b ->
+    Ok { b with trail = b.trail @ [ Cache_hit { stage = b.provenance; key } ] }
+  | Error trail ->
+    Error (trail @ [ Cache_hit { stage = Chaitin_fallback; key } ])
+
+let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
+  let key = cache_key ~nreg ~move_budget ~spill_bases progs in
+  match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) with
+  | Some result ->
+    Mutex.protect cache_lock (fun () -> incr cache_hits);
+    note_cache_hit key result
+  | None ->
+    let result = balanced_uncached ~nreg ?move_budget ?spill_bases progs in
+    Mutex.protect cache_lock (fun () ->
+        incr cache_misses;
+        if not (Hashtbl.mem cache key) then begin
+          if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
+          Hashtbl.add cache key result
+        end);
+    result
 
 let balanced_exn ?nreg ?move_budget ?spill_bases progs =
   match balanced ?nreg ?move_budget ?spill_bases progs with
@@ -293,11 +386,19 @@ let simulate ?config ~mem_image progs = Machine.run ?config ~mem_image progs
 (* The throughput experiment's two contenders from one entry point: the
    spilling fixed-partition baseline and the balanced degradation chain,
    built from the same programs and the same spill areas, so a traffic
-   run compares allocation policy and nothing else. *)
-let contenders ?(nreg = 128) ?move_budget ~spill_bases progs =
-  let base = baseline ~nreg ~spill_bases progs in
-  let bal = balanced ~nreg ?move_budget ~spill_bases progs in
-  (base, bal)
+   run compares allocation policy and nothing else. The two runs are
+   independent, so a multi-worker [pool] computes them concurrently;
+   results are task-indexed, so the pair is the same at any job count. *)
+let contenders ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?move_budget
+    ~spill_bases progs =
+  let results =
+    Npra_par.Pool.tasks pool 2 (fun i ->
+        if i = 0 then `Base (baseline ~nreg ~spill_bases progs)
+        else `Bal (balanced ~nreg ?move_budget ~spill_bases progs))
+  in
+  match (results.(0), results.(1)) with
+  | `Base base, `Bal bal -> (base, bal)
+  | _ -> assert false
 
 (* Cycles per main-loop iteration for each thread of a finished run. *)
 let cycles_per_iteration report iters =

@@ -133,8 +133,12 @@ let kernel_report ?seed spec =
     cells = List.map run_fault Mutate.all_kinds;
   }
 
-let run ?seed ?(specs = Registry.all) () =
-  { kernels = List.map (kernel_report ?seed) specs; nthd; nreg }
+(* Kernel reports never read each other — each builds, allocates and
+   simulates its own four-thread system — so the matrix fans out over
+   the pool and [map_list] keeps registry order. *)
+let run ?(pool = Npra_par.Pool.sequential) ?seed ?(specs = Registry.all) () =
+  { kernels = Npra_par.Pool.map_list pool (kernel_report ?seed) specs;
+    nthd; nreg }
 
 let all_detected m =
   List.for_all

@@ -41,13 +41,20 @@ type kernel_report = {
 
 type matrix = { kernels : kernel_report list; nthd : int; nreg : int }
 
-val run : ?seed:int -> ?specs:Workload.spec list -> unit -> matrix
+val run :
+  ?pool:Npra_par.Pool.t ->
+  ?seed:int ->
+  ?specs:Workload.spec list ->
+  unit ->
+  matrix
 (** Builds, allocates, corrupts and measures each kernel as a
     four-thread system over the full 128-register file. Defaults to the
     whole registry. [seed] overlays seeded packet words on each
     thread's input buffer, replaying the matrix over different packet
     contents; omitted, the registry's committed images are used
-    unchanged. *)
+    unchanged. [pool] fans the per-kernel reports out over its workers;
+    kernels are independent, so the matrix — and its JSON — is
+    identical at any job count. *)
 
 val all_detected : matrix -> bool
 (** True iff every injected fault was caught by at least one layer and

@@ -301,11 +301,55 @@ let excerpt s =
   let s = if String.length s > 120 then String.sub s 0 120 ^ "..." else s in
   String.map (fun c -> if Char.code c < 0x20 && c <> '\n' then '?' else c) s
 
-let run ?(seed = 1) ?(count = 12_000) ?nreg ?max_cycles
-    ?(hang_budget_s = 10.) () =
+let run ?(pool = Npra_par.Pool.sequential) ?(seed = 1) ?(count = 12_000) ?nreg
+    ?max_cycles ?(hang_budget_s = 10.) () =
   let rand = make_rand seed in
   let asm_seeds = Array.of_list (asm_corpus ()) in
   let npc_seeds = Array.of_list npc_corpus in
+  (* The input list is generated up front, sequentially: the chained
+     PRNG makes input [i] a pure function of [seed], independent of any
+     outcome. Evaluation then fans out over the pool — each input runs
+     the whole pipeline in isolation — and the stats fold walks the
+     task-indexed outcomes in input order, so the counts and the capped
+     crash-report list are identical at any job count. Only the
+     wall-clock fields ([slowest_s], [hangs]) can differ between runs;
+     they are timing observations, not properties of the inputs. *)
+  (* the regression corpus and the pristine round-trip corpus always
+     run first, so even --quick counts exercise them *)
+  let fixed =
+    crasher_corpus
+    @ List.map (fun src -> (Asm, src)) (Array.to_list asm_seeds)
+    @ List.map (fun src -> (Npc, src)) (Array.to_list npc_seeds)
+  in
+  let generated = max 0 (count - List.length fixed) in
+  let gen_rev = ref [] in
+  for _ = 1 to generated do
+    let input =
+      match rand 10 with
+      | 0 -> (Asm, random_printable rand)
+      | 1 ->
+        let lang = if rand 2 = 0 then Asm else Npc in
+        (lang, random_bytes rand)
+      | 2 -> (Npc, random_printable rand)
+      | k when k < 7 ->
+        (* asm kernel mutation, the paper's restored-assembly path *)
+        let src = asm_seeds.(rand (Array.length asm_seeds)) in
+        (Asm, mutate rand asm_seeds src)
+      | _ ->
+        let src = npc_seeds.(rand (Array.length npc_seeds)) in
+        (Npc, mutate rand npc_seeds src)
+    in
+    gen_rev := input :: !gen_rev
+  done;
+  let inputs = Array.of_list (fixed @ List.rev !gen_rev) in
+  let outcomes =
+    Npra_par.Pool.tasks pool (Array.length inputs) (fun i ->
+        let lang, src = inputs.(i) in
+        let t0 = Unix.gettimeofday () in
+        let outcome = run_input ?nreg ?max_cycles lang src in
+        let dt = Unix.gettimeofday () -. t0 in
+        (outcome, dt))
+  in
   let stats =
     ref
       {
@@ -314,51 +358,29 @@ let run ?(seed = 1) ?(count = 12_000) ?nreg ?max_cycles
         slowest_s = 0.; crash_reports = [];
       }
   in
-  let feed lang src =
-    let t0 = Unix.gettimeofday () in
-    let outcome = run_input ?nreg ?max_cycles lang src in
-    let dt = Unix.gettimeofday () -. t0 in
-    let s = !stats in
-    let s = { s with inputs = s.inputs + 1; slowest_s = max s.slowest_s dt } in
-    let s = if dt > hang_budget_s then { s with hangs = s.hangs + 1 } else s in
-    stats :=
-      (match outcome with
-      | Rejected _ -> { s with rejected = s.rejected + 1 }
-      | Accepted -> { s with accepted = s.accepted + 1 }
-      | Alloc_failed -> { s with alloc_failed = s.alloc_failed + 1 }
-      | Verify_failed _ -> { s with verify_failed = s.verify_failed + 1 }
-      | Budget_stopped _ -> { s with budget_stopped = s.budget_stopped + 1 }
-      | Crashed exn ->
-        {
-          s with
-          crashes = s.crashes + 1;
-          crash_reports =
-            (if List.length s.crash_reports < 10 then
-               s.crash_reports @ [ (lang, excerpt src, exn) ]
-             else s.crash_reports);
-        })
-  in
-  (* the regression corpus and the pristine round-trip corpus always
-     run first, so even --quick counts exercise them *)
-  List.iter (fun (lang, src) -> feed lang src) crasher_corpus;
-  Array.iter (fun src -> feed Asm src) asm_seeds;
-  Array.iter (fun src -> feed Npc src) npc_seeds;
-  let generated = max 0 (count - !stats.inputs) in
-  for _ = 1 to generated do
-    match rand 10 with
-    | 0 -> feed Asm (random_printable rand)
-    | 1 ->
-      let lang = if rand 2 = 0 then Asm else Npc in
-      feed lang (random_bytes rand)
-    | 2 -> feed Npc (random_printable rand)
-    | k when k < 7 ->
-      (* asm kernel mutation, the paper's restored-assembly path *)
-      let src = asm_seeds.(rand (Array.length asm_seeds)) in
-      feed Asm (mutate rand asm_seeds src)
-    | _ ->
-      let src = npc_seeds.(rand (Array.length npc_seeds)) in
-      feed Npc (mutate rand npc_seeds src)
-  done;
+  Array.iteri
+    (fun i (outcome, dt) ->
+      let lang, src = inputs.(i) in
+      let s = !stats in
+      let s = { s with inputs = s.inputs + 1; slowest_s = max s.slowest_s dt } in
+      let s = if dt > hang_budget_s then { s with hangs = s.hangs + 1 } else s in
+      stats :=
+        (match outcome with
+        | Rejected _ -> { s with rejected = s.rejected + 1 }
+        | Accepted -> { s with accepted = s.accepted + 1 }
+        | Alloc_failed -> { s with alloc_failed = s.alloc_failed + 1 }
+        | Verify_failed _ -> { s with verify_failed = s.verify_failed + 1 }
+        | Budget_stopped _ -> { s with budget_stopped = s.budget_stopped + 1 }
+        | Crashed exn ->
+          {
+            s with
+            crashes = s.crashes + 1;
+            crash_reports =
+              (if List.length s.crash_reports < 10 then
+                 s.crash_reports @ [ (lang, excerpt src, exn) ]
+               else s.crash_reports);
+          }))
+    outcomes;
   !stats
 
 let ok s = s.crashes = 0 && s.hangs = 0

@@ -46,6 +46,7 @@ type stats = {
 }
 
 val run :
+  ?pool:Npra_par.Pool.t ->
   ?seed:int ->
   ?count:int ->
   ?nreg:int ->
@@ -57,7 +58,12 @@ val run :
     [seed]. The seeded crasher corpus and the pristine kernel corpus
     are always prepended, so regressions are caught even at tiny
     counts. An input is a hang if it takes longer than [hang_budget_s]
-    (default 10s) of wall clock. *)
+    (default 10s) of wall clock.
+
+    [pool] fans input evaluation out over its workers. Inputs are
+    generated before evaluation begins and the stats are folded in
+    input order, so every field except the wall-clock observations
+    ([slowest_s], [hangs]) is identical at any job count. *)
 
 val crasher_corpus : (lang * string) list
 (** Historical and representative crashers — including the

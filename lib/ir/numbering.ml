@@ -1,29 +1,62 @@
 (* Dense per-program register numbering.
 
-   Registers are numbered in Reg.compare order so the mapping depends only
-   on the set of registers, not on how the program was traversed. Lookup
-   is a hash-table hit; the inverse is an array index. *)
+   Registers are numbered in Reg.compare order (all virtuals by number,
+   then all physicals by number) so the mapping depends only on the set
+   of registers, not on how the program was traversed.
 
-(* Registers are keyed by [2 * number + kind] in an int hash table:
-   lookups sit on the setup path of every dense analysis and the
-   specialised table avoids polymorphic hashing of the variant. *)
+   Two lookup representations share the interface:
+
+   - [Direct]: two int arrays mapping a register's own number to its
+     index (-1 = absent), one per kind. Building it is two counting
+     passes over the program and lookup is a bounds check plus an array
+     read — no hashing at all. This is the fast path: register numbers
+     in real programs are small and dense, and numbering sits on the
+     setup path of every dense dataflow analysis.
+   - [Hashed]: the original int hash table keyed by [2*number + kind].
+     Kept for hostile register numbers (the asm frontend admits indices
+     up to ~10^6, and a direct map that size would cost more to allocate
+     than it saves), and for [of_regs]/[of_array] callers whose sets are
+     not program-shaped. *)
+
 module IntTbl = Hashtbl.Make (Int)
 
 let key = function Reg.V n -> n lsl 1 | Reg.P n -> (n lsl 1) lor 1
 
+(* Largest register number the direct map will allocate tables for; a
+   program numbering registers above this falls back to hashing. The
+   workloads and the web renamer stay orders of magnitude below, while
+   the bound caps a hostile [v999999]'s table at nothing. *)
+let direct_limit = 16_384
+
+type repr =
+  | Direct of { vmap : int array; pmap : int array }
+      (* register number -> index, -1 when absent *)
+  | Hashed of int IntTbl.t  (* key reg -> index *)
+
 type t = {
   regs : Reg.t array;  (* index -> register, sorted by Reg.compare *)
-  indices : int IntTbl.t;  (* key reg -> index *)
+  repr : repr;
 }
 
 let of_array regs =
   let indices = IntTbl.create (Array.length regs * 2) in
   Array.iteri (fun i r -> IntTbl.replace indices (key r) i) regs;
-  { regs; indices }
+  { regs; repr = Hashed indices }
 
 let of_regs set = of_array (Array.of_list (Reg.Set.elements set))
 
-let of_prog prog =
+let max_reg_numbers prog =
+  Prog.fold_instrs
+    (fun acc _ ins ->
+      let bump (maxv, maxp) = function
+        | Reg.V n -> (max maxv n, maxp)
+        | Reg.P n -> (maxv, max maxp n)
+      in
+      let acc = List.fold_left bump acc (Instr.defs ins) in
+      List.fold_left bump acc (Instr.uses ins))
+    (-1, -1) prog
+
+let of_prog_hashed prog =
   (* One hash-table pass instead of [Prog.regs]'s tree set. *)
   let seen = IntTbl.create 64 in
   Prog.fold_instrs
@@ -37,16 +70,67 @@ let of_prog prog =
   in
   of_array regs
 
+let of_prog_direct ~maxv ~maxp prog =
+  let vmap = Array.make (maxv + 1) (-1) and pmap = Array.make (maxp + 1) (-1) in
+  let mark = function
+    | Reg.V n -> vmap.(n) <- 0
+    | Reg.P n -> pmap.(n) <- 0
+  in
+  Prog.fold_instrs
+    (fun () _ ins ->
+      List.iter mark (Instr.defs ins);
+      List.iter mark (Instr.uses ins))
+    () prog;
+  (* Index in ascending number order, virtuals before physicals — the
+     Reg.compare order the interface promises. *)
+  let count = ref 0 in
+  let assign map =
+    Array.iteri
+      (fun n present ->
+        if present >= 0 then begin
+          map.(n) <- !count;
+          incr count
+        end)
+      map
+  in
+  assign vmap;
+  assign pmap;
+  let regs = Array.make !count (Reg.V 0) in
+  Array.iteri (fun n i -> if i >= 0 then regs.(i) <- Reg.V n) vmap;
+  Array.iteri (fun n i -> if i >= 0 then regs.(i) <- Reg.P n) pmap;
+  { regs; repr = Direct { vmap; pmap } }
+
+let of_prog prog =
+  let maxv, maxp = max_reg_numbers prog in
+  if maxv <= direct_limit && maxp <= direct_limit then
+    of_prog_direct ~maxv ~maxp prog
+  else of_prog_hashed prog
+
 let size t = Array.length t.regs
 
-let index_opt t r = IntTbl.find_opt t.indices (key r)
+let index_opt t r =
+  match t.repr with
+  | Hashed indices -> IntTbl.find_opt indices (key r)
+  | Direct { vmap; pmap } ->
+    let map, n = (match r with Reg.V n -> (vmap, n) | Reg.P n -> (pmap, n)) in
+    if n < 0 || n >= Array.length map then None
+    else
+      let i = map.(n) in
+      if i < 0 then None else Some i
 
 let index t r =
-  match IntTbl.find_opt t.indices (key r) with
-  | Some i -> i
-  | None -> Fmt.invalid_arg "Numbering.index: %a is not numbered" Reg.pp r
+  let bad () = Fmt.invalid_arg "Numbering.index: %a is not numbered" Reg.pp r in
+  match t.repr with
+  | Hashed indices -> (
+    match IntTbl.find_opt indices (key r) with Some i -> i | None -> bad ())
+  | Direct { vmap; pmap } ->
+    let map, n = (match r with Reg.V n -> (vmap, n) | Reg.P n -> (pmap, n)) in
+    if n < 0 || n >= Array.length map then bad ()
+    else
+      let i = map.(n) in
+      if i < 0 then bad () else i
 
-let mem t r = IntTbl.mem t.indices (key r)
+let mem t r = index_opt t r <> None
 
 let reg t i = t.regs.(i)
 

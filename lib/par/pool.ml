@@ -1,0 +1,66 @@
+(* A fixed-size domain pool with deterministic, task-indexed results.
+
+   Determinism argument: the only inter-worker communication is (a) the
+   atomic claim counter, which decides *who* runs a task but never
+   *what* the task computes, and (b) the result array, where slot [i] is
+   written exactly once, by whichever worker claimed task [i]. Reads of
+   the array happen after every worker domain is joined, so the caller
+   observes a fully written array regardless of interleaving. A pure
+   task function therefore produces the same array at any [jobs].
+
+   Domains are spawned per {!tasks} call rather than parked between
+   calls: the tasks this repo fans out (traffic engines, allocations,
+   fuzz inputs batched by the caller) cost milliseconds to minutes, so
+   a few hundred microseconds of spawn cost disappears, and there is no
+   pool lifecycle to leak or deadlock. *)
+
+type t = { n_jobs : int }
+
+let create ?(jobs = 1) () =
+  if jobs < 1 then Fmt.invalid_arg "Pool.create: jobs must be >= 1 (got %d)" jobs;
+  { n_jobs = jobs }
+
+let sequential = { n_jobs = 1 }
+
+let jobs t = t.n_jobs
+
+(* Each slot holds the task's outcome; exceptions are captured per task
+   and re-raised in the caller, lowest task index first, so a failing
+   run fails identically at jobs=1 and jobs=N. *)
+let tasks t n f =
+  if n < 0 then Fmt.invalid_arg "Pool.tasks: negative task count %d" n;
+  let results = Array.make n None in
+  let run i =
+    results.(i) <- Some (match f i with v -> Ok v | exception e -> Error e)
+  in
+  if t.n_jobs = 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      run i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then run i else continue := false
+      done
+    in
+    (* the caller's domain is worker number one *)
+    let spawned =
+      Array.init (min (t.n_jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned
+  end;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false (* every index < n is claimed exactly once *))
+    results
+
+let map_array t f xs = tasks t (Array.length xs) (fun i -> f xs.(i))
+
+let map_list t f xs =
+  Array.to_list (map_array t f (Array.of_list xs))

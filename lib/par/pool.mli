@@ -1,0 +1,43 @@
+(** A small fixed-size worker pool over OCaml 5 domains.
+
+    The pool exists to parallelise the repo's embarrassingly parallel
+    hot loops — micro-engines under traffic, fuzz inputs, fault-matrix
+    kernels, the two allocation contenders — without ever letting
+    scheduling nondeterminism leak into results. The contract that makes
+    that possible: {!tasks} returns a {e task-indexed} array, so result
+    [i] is always the value of task [i] no matter which worker ran it or
+    in which order tasks finished. Any pure task function therefore
+    yields byte-identical results at [jobs = 1] and [jobs = N].
+
+    Work distribution is an atomic task counter: workers claim the next
+    unclaimed index until none remain. There is no work stealing and no
+    shared mutable state beyond the counter and each task's own result
+    slot, which exactly one worker writes. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** A pool of [jobs] workers (default 1). [jobs = 1] never spawns a
+    domain: tasks run in the calling domain, in index order.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val sequential : t
+(** The shared single-worker pool — the default everywhere a [?pool]
+    argument is omitted, so existing call sites keep their exact
+    sequential behaviour. *)
+
+val jobs : t -> int
+
+val tasks : t -> int -> (int -> 'a) -> 'a array
+(** [tasks pool n f] evaluates [f 0 .. f (n-1)] on the pool's workers
+    and returns [[| f 0; ...; f (n-1) |]]. If any task raises, the
+    exception of the {e lowest-indexed} failing task is re-raised in
+    the caller after all workers have finished — deterministic even
+    when several tasks fail. [f] must not depend on evaluation order
+    across tasks. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f xs] is [List.map f xs] with the applications run
+    as pool tasks; element order is preserved. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array

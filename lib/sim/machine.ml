@@ -149,6 +149,9 @@ type status =
 type thread = {
   id : int;
   prog : Prog.t;
+  dcode : int array;
+      (* pre-decoded program, 4 words per instruction (see the decoder
+         below); [||] when the machine runs the legacy engine *)
   mutable pc : int;
   mutable status : status;
   mutable instrs : int;
@@ -156,9 +159,10 @@ type thread = {
   mutable loads : int;
   mutable stores : int;
   mutable moves : int;
-  mutable pending_writeback : (Reg.t * int) option;
-      (* a load's destination value, applied only when the thread is
-         dispatched again — the transfer-register rule *)
+  mutable pending_writeback : (int * int) option;
+      (* a load's destination register (by file index) and value, applied
+         only when the thread is dispatched again — the transfer-register
+         rule *)
   mutable store_trace_rev : (int * int) list;
   mutable ready_since : int;  (* cycle the thread last became runnable *)
   mutable wait_cycles : int;  (* runnable but not running *)
@@ -173,6 +177,8 @@ type timeline_event =
 
 type sentinel_mode = [ `Off | `Trap | `Quarantine ]
 
+type engine = [ `Decoded | `Legacy ]
+
 type sentinel = {
   mode : [ `Trap | `Quarantine ];
   owner : int array;  (* last writer thread per register; -1 = unwritten *)
@@ -183,6 +189,7 @@ type sentinel = {
 
 type t = {
   config : config;
+  engine : engine;
   regs : int array;
   mem : Memory.t;
   threads : thread array;
@@ -221,8 +228,81 @@ let status_view th =
 
 let statuses t = Array.to_list (Array.map status_view t.threads)
 
-let create ?(config = default_config) ?(mem_image = []) ?(timeline = false)
-    ?(sentinel = `Off) progs =
+(* ------------------------------------------------------------------ *)
+(* Pre-decoded program form.
+
+   The decoded engine flattens each program into an immutable int array
+   of four words per instruction — [op; f1; f2; f3] — with register
+   operands resolved to file indices and branch targets to instruction
+   indices (sound because {!Prog.make} validates every target). [step]
+   on this form touches no lists, closures or label tables and allocates
+   nothing; it exists because [Prog.label_index] is an O(labels) assoc
+   walk per executed branch and [Instr.t]'s boxed operands cost a
+   pointer chase per operand per cycle.
+
+   Opcode map: 0–7 ALU with register src2 and 8–15 with immediate src2
+   (low three bits index {!alu_of_int}); 16 mov, 17 movi, 18 load,
+   19 store, 20 br; 21–26 brc with register src2 and 27–32 with
+   immediate (offset by {!cond_of_int}); 33 ctx_switch, 34 nop,
+   35 halt. *)
+
+let alu_code = function
+  | Instr.Add -> 0 | Instr.Sub -> 1 | Instr.And -> 2 | Instr.Or -> 3
+  | Instr.Xor -> 4 | Instr.Shl -> 5 | Instr.Shr -> 6 | Instr.Mul -> 7
+
+let cond_code = function
+  | Instr.Eq -> 0 | Instr.Ne -> 1 | Instr.Lt -> 2 | Instr.Ge -> 3
+  | Instr.Gt -> 4 | Instr.Le -> 5
+
+let alu_of_int =
+  [| Instr.Add; Instr.Sub; Instr.And; Instr.Or;
+     Instr.Xor; Instr.Shl; Instr.Shr; Instr.Mul |]
+
+let cond_of_int =
+  [| Instr.Eq; Instr.Ne; Instr.Lt; Instr.Ge; Instr.Gt; Instr.Le |]
+
+(* Register number without a file-bounds check: bounds are still checked
+   at access time (like the legacy engine), so [Out_of_file] traps on
+   the same cycle under both engines. [create] has already rejected
+   non-physical programs. *)
+let rnum = function
+  | Reg.P n -> n
+  | Reg.V _ as r -> raise (Stuck (Virtual_operand { reg = r }))
+
+let decode prog =
+  let n = Prog.length prog in
+  let code = Array.make (4 * n) 0 in
+  for i = 0 to n - 1 do
+    let base = 4 * i in
+    let set op a b c =
+      code.(base) <- op;
+      code.(base + 1) <- a;
+      code.(base + 2) <- b;
+      code.(base + 3) <- c
+    in
+    match Prog.instr prog i with
+    | Instr.Alu { op; dst; src1; src2 = Instr.Reg r } ->
+      set (alu_code op) (rnum dst) (rnum src1) (rnum r)
+    | Instr.Alu { op; dst; src1; src2 = Instr.Imm k } ->
+      set (8 + alu_code op) (rnum dst) (rnum src1) k
+    | Instr.Mov { dst; src } -> set 16 (rnum dst) (rnum src) 0
+    | Instr.Movi { dst; imm } -> set 17 (rnum dst) imm 0
+    | Instr.Load { dst; addr; off } -> set 18 (rnum dst) (rnum addr) off
+    | Instr.Store { src; addr; off } -> set 19 (rnum src) (rnum addr) off
+    | Instr.Br { target } -> set 20 (Prog.label_index prog target) 0 0
+    | Instr.Brc { cond; src1; src2 = Instr.Reg r; target } ->
+      set (21 + cond_code cond) (rnum src1) (rnum r)
+        (Prog.label_index prog target)
+    | Instr.Brc { cond; src1; src2 = Instr.Imm k; target } ->
+      set (27 + cond_code cond) (rnum src1) k (Prog.label_index prog target)
+    | Instr.Ctx_switch -> set 33 0 0 0
+    | Instr.Nop -> set 34 0 0 0
+    | Instr.Halt -> set 35 0 0 0
+  done;
+  code
+
+let create ?(config = default_config) ?(engine = `Decoded) ?(mem_image = [])
+    ?(timeline = false) ?(sentinel = `Off) progs =
   List.iter
     (fun p ->
       if not (Prog.all_physical p) then
@@ -234,6 +314,7 @@ let create ?(config = default_config) ?(mem_image = []) ?(timeline = false)
   let nthd = List.length progs in
   {
     config;
+    engine;
     regs = Array.make config.nreg 0;
     mem;
     threads =
@@ -243,6 +324,9 @@ let create ?(config = default_config) ?(mem_image = []) ?(timeline = false)
              {
                id;
                prog;
+               dcode = (match engine with
+                 | `Decoded -> decode prog
+                 | `Legacy -> [||]);
                pc = 0;
                status = Ready;
                instrs = 0;
@@ -287,16 +371,14 @@ let record t thread event =
 
 let timeline t = List.rev t.timeline_rev
 
-let phys_index t r =
-  match r with
-  | Reg.P n ->
-    if n < 0 || n >= t.config.nreg then
-      raise (Stuck (Out_of_file { reg = n; nreg = t.config.nreg }));
-    n
-  | Reg.V _ -> raise (Stuck (Virtual_operand { reg = r }))
+(* All register traffic funnels through [read_idx]/[write_idx]: the
+   file-bounds check and the sentinel's ownership bookkeeping happen at
+   access time, by register {e index}, so the decoded and legacy engines
+   share exactly the same trap and corruption behaviour. *)
 
-let read_reg t th r =
-  let n = phys_index t r in
+let read_idx t th n =
+  if n < 0 || n >= t.config.nreg then
+    raise (Stuck (Out_of_file { reg = n; nreg = t.config.nreg }));
   (match t.sentinel with
   | Some s when s.owner.(n) >= 0 && s.owner.(n) <> th.id ->
     let clobberer = s.owner.(n) in
@@ -321,14 +403,18 @@ let read_reg t th r =
   | Some _ | None -> ());
   t.regs.(n)
 
-let write_reg t th r v =
-  let n = phys_index t r in
+let write_idx t th n v =
+  if n < 0 || n >= t.config.nreg then
+    raise (Stuck (Out_of_file { reg = n; nreg = t.config.nreg }));
   (match t.sentinel with
   | Some s ->
     s.owner.(n) <- th.id;
     s.owner_cycle.(n) <- t.cycle
   | None -> ());
   t.regs.(n) <- v
+
+let read_reg t th r = read_idx t th (rnum r)
+let write_reg t th r v = write_idx t th (rnum r) v
 
 (* Snapshot the yielding thread's register view: which registers it owns
    (it wrote them last) and their values. A later read that finds a
@@ -349,8 +435,10 @@ let operand_value t th = function
   | Instr.Imm n -> n
 
 (* Executes one instruction of [th]; returns [`Continue] to keep running
-   the same thread or [`Yield] when the PU must be rescheduled. *)
-let step t th =
+   the same thread or [`Yield] when the PU must be rescheduled. This is
+   the legacy engine, interpreting [Instr.t] directly; kept as the
+   differential oracle for the decoded engine below. *)
+let step_legacy t th =
   let ins = Prog.instr th.prog th.pc in
   t.cycle <- t.cycle + 1;
   t.busy_cycles <- t.busy_cycles + 1;
@@ -378,7 +466,7 @@ let step t th =
     th.loads <- th.loads + 1;
     th.ctx_events <- th.ctx_events + 1;
     th.pc <- next;
-    th.pending_writeback <- Some (dst, v);
+    th.pending_writeback <- Some (rnum dst, v);
     th.status <- Blocked { until = t.cycle + t.config.mem_latency };
     record t th.id Blocked_on_memory;
     `Yield
@@ -413,6 +501,90 @@ let step t th =
     th.status <- Done t.cycle;
     record t th.id Halted;
     `Yield
+
+(* The decoded engine: same observable semantics as [step_legacy],
+   executed off the thread's flat [dcode] quads. Operand reads keep the
+   legacy engine's order — OCaml evaluates arguments right-to-left, so
+   the legacy ALU and conditional branches read src2 {e before} src1 —
+   because with the sentinel armed the first corrupted read wins, and
+   the two engines must name the same register in the diagnostic. *)
+let step_decoded t th =
+  let code = th.dcode in
+  let base = th.pc * 4 in
+  let op = code.(base) in
+  t.cycle <- t.cycle + 1;
+  t.busy_cycles <- t.busy_cycles + 1;
+  th.instrs <- th.instrs + 1;
+  let next = th.pc + 1 in
+  if op < 16 then begin
+    (* ALU: 0-7 register src2, 8-15 immediate src2 *)
+    let s2 = code.(base + 3) in
+    let v2 = if op < 8 then read_idx t th s2 else s2 in
+    let v1 = read_idx t th (code.(base + 2)) in
+    write_idx t th (code.(base + 1)) (Instr.eval_alu alu_of_int.(op land 7) v1 v2);
+    th.pc <- next;
+    `Continue
+  end
+  else if op >= 21 && op < 33 then begin
+    (* Brc: 21-26 register src2, 27-32 immediate src2 *)
+    let s2 = code.(base + 2) in
+    let v2 = if op < 27 then read_idx t th s2 else s2 in
+    let v1 = read_idx t th (code.(base + 1)) in
+    let cond = cond_of_int.(if op < 27 then op - 21 else op - 27) in
+    th.pc <- (if Instr.eval_cond cond v1 v2 then code.(base + 3) else next);
+    `Continue
+  end
+  else
+    match op with
+    | 16 (* mov *) ->
+      th.moves <- th.moves + 1;
+      let v = read_idx t th (code.(base + 2)) in
+      write_idx t th (code.(base + 1)) v;
+      th.pc <- next;
+      `Continue
+    | 17 (* movi *) ->
+      write_idx t th (code.(base + 1)) code.(base + 2);
+      th.pc <- next;
+      `Continue
+    | 18 (* load *) ->
+      let a = read_idx t th (code.(base + 2)) + code.(base + 3) in
+      let v = Memory.read t.mem a in
+      th.loads <- th.loads + 1;
+      th.ctx_events <- th.ctx_events + 1;
+      th.pc <- next;
+      th.pending_writeback <- Some (code.(base + 1), v);
+      th.status <- Blocked { until = t.cycle + t.config.mem_latency };
+      record t th.id Blocked_on_memory;
+      `Yield
+    | 19 (* store *) ->
+      let a = read_idx t th (code.(base + 2)) + code.(base + 3) in
+      let v = read_idx t th (code.(base + 1)) in
+      Memory.write t.mem a v;
+      th.store_trace_rev <- (a, v) :: th.store_trace_rev;
+      th.stores <- th.stores + 1;
+      th.ctx_events <- th.ctx_events + 1;
+      th.pc <- next;
+      th.status <- Blocked { until = t.cycle + t.config.mem_latency };
+      record t th.id Blocked_on_memory;
+      `Yield
+    | 20 (* br *) ->
+      th.pc <- code.(base + 1);
+      `Continue
+    | 33 (* ctx_switch *) ->
+      th.ctx_events <- th.ctx_events + 1;
+      th.pc <- next;
+      record t th.id Yielded;
+      `Yield
+    | 34 (* nop *) ->
+      th.pc <- next;
+      `Continue
+    | _ (* 35: halt *) ->
+      th.status <- Done t.cycle;
+      record t th.id Halted;
+      `Yield
+
+let step t th =
+  match t.engine with `Decoded -> step_decoded t th | `Legacy -> step_legacy t th
 
 (* Round-robin dispatch: the next ready thread after [from]; if none is
    ready but some are blocked, time advances to the earliest wake-up —
@@ -463,7 +635,7 @@ let dispatch t i =
   let th = t.threads.(i) in
   (match th.pending_writeback with
   | Some (dst, v) ->
-    write_reg t th dst v;
+    write_idx t th dst v;
     th.pending_writeback <- None
   | None -> ());
   th.wait_cycles <- th.wait_cycles + max 0 (t.cycle - th.ready_since);
@@ -536,9 +708,9 @@ let exec t ~horizon ~strict ~stop_on_halt =
   done;
   match !ret with Some r -> r | None -> assert false
 
-let run ?(config = default_config) ?(mem_image = []) ?(timeline = false)
-    ?(sentinel = `Off) progs =
-  let t = create ~config ~mem_image ~timeline ~sentinel progs in
+let run ?(config = default_config) ?(engine = `Decoded) ?(mem_image = [])
+    ?(timeline = false) ?(sentinel = `Off) progs =
+  let t = create ~config ~engine ~mem_image ~timeline ~sentinel progs in
   (match exec t ~horizon:max_int ~strict:true ~stop_on_halt:false with
   | `Done -> ()
   | `Idle | `Horizon | `Halted _ -> assert false);

@@ -85,8 +85,17 @@ type sentinel_mode = [ `Off | `Trap | `Quarantine ]
     [`Quarantine] permanently parks the faulting thread (recorded in its
     {!thread_report}) and keeps the other threads running. *)
 
+type engine = [ `Decoded | `Legacy ]
+(** [`Decoded] (the default) pre-decodes every program at {!create} into
+    a flat immutable int-array form — register operands resolved to file
+    indices, branch targets to instruction indices — so the per-cycle
+    step allocates nothing and touches no label tables. [`Legacy]
+    interprets {!Npra_ir.Instr.t} directly; it is kept as a differential
+    oracle and is proved cycle- and trap-equal by the test suite. *)
+
 val create :
   ?config:config ->
+  ?engine:engine ->
   ?mem_image:(int * int) list ->
   ?timeline:bool ->
   ?sentinel:sentinel_mode ->
@@ -115,6 +124,7 @@ val pp_timeline : t Fmt.t
 
 val run :
   ?config:config ->
+  ?engine:engine ->
   ?mem_image:(int * int) list ->
   ?timeline:bool ->
   ?sentinel:sentinel_mode ->

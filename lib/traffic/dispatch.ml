@@ -231,8 +231,9 @@ let port_metrics i p =
     latencies = List.rev p.latencies_rev;
   }
 
-let run ?(engines = 1) ?(slice = 1024) ?(sentinel = `Off) ?machine_config
-    ?refresh ?drain_budget ~seed ~duration ~specs ~mem_image progs =
+let run ?(pool = Npra_par.Pool.sequential) ?(engines = 1) ?(slice = 1024)
+    ?(sentinel = `Off) ?machine_config ?refresh ?drain_budget ~seed ~duration
+    ~specs ~mem_image progs =
   if engines < 1 then invalid_arg "Dispatch.run: engines must be >= 1";
   if List.length specs <> List.length progs then
     invalid_arg "Dispatch.run: one traffic spec per thread program";
@@ -245,18 +246,27 @@ let run ?(engines = 1) ?(slice = 1024) ?(sentinel = `Off) ?machine_config
   let drain_budget =
     match drain_budget with Some b -> b | None -> max duration 10_000
   in
+  (* Engines never share registers, memory or arrival streams: each one
+     is a pure function of (seed, engine index, specs, programs). The
+     global clock interleaving is therefore equivalent to running every
+     engine's slice sequence to completion independently — which is
+     exactly what each pool task does, so a multi-worker run produces
+     the same engines, in the same index order, as a sequential one. *)
   let es =
-    Array.init engines
-      (make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs)
+    Npra_par.Pool.tasks pool engines (fun index ->
+        let e =
+          make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs
+            index
+        in
+        let t = ref 0 in
+        while !t < duration do
+          let upto = min duration (!t + slice) in
+          advance e ~upto ~duration ~refresh;
+          t := upto
+        done;
+        drain e ~deadline:(duration + drain_budget) ~refresh;
+        e)
   in
-  (* Interleave all engines on the global clock, slice by slice. *)
-  let t = ref 0 in
-  while !t < duration do
-    let upto = min duration (!t + slice) in
-    Array.iter (fun e -> advance e ~upto ~duration ~refresh) es;
-    t := upto
-  done;
-  Array.iter (fun e -> drain e ~deadline:(duration + drain_budget) ~refresh) es;
   let names = List.map (fun p -> p.Prog.name) progs in
   {
     Metrics.rm_duration = duration;

@@ -17,6 +17,7 @@ open Npra_sim
 open Npra_workloads
 
 val run :
+  ?pool:Npra_par.Pool.t ->
   ?engines:int ->
   ?slice:int ->
   ?sentinel:Machine.sentinel_mode ->
@@ -45,4 +46,10 @@ val run :
 
     The default machine config lifts [max_cycles] to [max_int]: the
     horizon is the budget. Results are a pure function of every
-    argument — identical calls produce identical metrics. *)
+    argument — identical calls produce identical metrics.
+
+    [pool] distributes whole engines over its workers (each engine is
+    independent, so per-engine results cannot observe the others): a
+    multi-worker run returns {e exactly} the metrics of the sequential
+    one, byte for byte once serialised. [refresh] then runs on worker
+    domains and must also be thread-safe. *)

@@ -143,6 +143,59 @@ let synthetic_tests =
           [ 2; 3; 4; 5 ]);
   ]
 
+(* ---------------- sweep vs worklist vs adaptive ---------------- *)
+
+(* [compute] picks an engine by program size; both specialised engines
+   must agree with each other and with the adaptive front door on
+   every program, in particular on sizes straddling the cutoff. *)
+let solvers_agree prog =
+  let results =
+    [
+      Liveness.compute prog; Liveness.compute_sweep prog;
+      Liveness.compute_worklist prog;
+    ]
+  in
+  let agree a b =
+    let ok = ref true in
+    for i = 0 to Prog.length prog - 1 do
+      if
+        not
+          (Reg.Set.equal (Liveness.live_in a i) (Liveness.live_in b i)
+          && Reg.Set.equal (Liveness.live_out a i) (Liveness.live_out b i))
+      then ok := false
+    done;
+    !ok
+  in
+  match results with
+  | [ c; s; w ] -> agree c s && agree c w
+  | _ -> assert false
+
+let solver_tests =
+  [
+    prop "sweep = worklist = adaptive on random programs"
+      Test_props.arb_recipe
+      (fun r ->
+        solvers_agree (Test_props.build_recipe ~name:"sv" ~mem_base:0 r));
+    test "sweep = worklist across the size cutoff" (fun () ->
+        List.iter
+          (fun size ->
+            Alcotest.(check bool)
+              (Fmt.str "size %d" size)
+              true
+              (solvers_agree (Synthetic.large ~size ())))
+          [
+            Liveness.small_program_cutoff - 40;
+            Liveness.small_program_cutoff + 40;
+          ]);
+    test "sweep = worklist on every kernel" (fun () ->
+        List.iter
+          (fun spec ->
+            Alcotest.(check bool)
+              spec.Workload.id true
+              (solvers_agree (Webs.rename (kernel_prog spec))))
+          Registry.all);
+  ]
+
 (* ---------------- dense consumers vs sparse views ---------------- *)
 
 let consumer_tests =
@@ -221,5 +274,6 @@ let suite =
     ("dataflow.bitset", bitset_props);
     ("dataflow.kernels", kernel_tests);
     ("dataflow.synthetic", synthetic_tests);
+    ("dataflow.solvers", solver_tests);
     ("dataflow.consumers", consumer_tests);
   ]

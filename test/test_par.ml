@@ -1,0 +1,265 @@
+(* Tests for the multicore execution engine: the domain pool's
+   deterministic task-indexed semantics, the content-addressed
+   allocation cache, and the cross-subsystem determinism contract —
+   every pool-aware entry point (traffic dispatch, fault matrix, fuzz
+   harness, contenders) must produce identical results at any job
+   count. *)
+
+open Npra_workloads
+open Npra_core
+
+module Pool = Npra_par.Pool
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let prop ?(count = 10) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* ---------------- pool semantics ---------------- *)
+
+let pool_tests =
+  [
+    test "results land at their task index at any job count" (fun () ->
+        let expected = Array.init 100 (fun i -> i * i) in
+        List.iter
+          (fun jobs ->
+            let p = Pool.create ~jobs () in
+            check
+              Alcotest.(array int)
+              (Fmt.str "%d jobs" jobs) expected
+              (Pool.tasks p 100 (fun i -> i * i)))
+          [ 1; 2; 3; 4; 8 ]);
+    test "zero tasks yields an empty array" (fun () ->
+        check Alcotest.int "length" 0
+          (Array.length (Pool.tasks (Pool.create ~jobs:4 ()) 0 (fun i -> i))));
+    test "map_list preserves order and length" (fun () ->
+        let xs = List.init 37 (fun i -> i) in
+        check
+          Alcotest.(list int)
+          "order" (List.map succ xs)
+          (Pool.map_list (Pool.create ~jobs:4 ()) succ xs));
+    test "the lowest task index's exception is re-raised" (fun () ->
+        List.iter
+          (fun jobs ->
+            let p = Pool.create ~jobs () in
+            match
+              Pool.tasks p 64 (fun i ->
+                  if i >= 17 then failwith (string_of_int i) else i)
+            with
+            | (_ : int array) -> Alcotest.fail "expected Failure"
+            | exception Failure s ->
+              check Alcotest.string (Fmt.str "%d jobs" jobs) "17" s)
+          [ 1; 4 ]);
+    test "create rejects a non-positive job count" (fun () ->
+        List.iter
+          (fun jobs ->
+            match Pool.create ~jobs () with
+            | (_ : Pool.t) -> Alcotest.fail "expected Invalid_argument"
+            | exception Invalid_argument _ -> ())
+          [ 0; -3 ]);
+    test "jobs accessor; sequential is single-worker" (fun () ->
+        check Alcotest.int "sequential" 1 (Pool.jobs Pool.sequential);
+        check Alcotest.int "create 5" 5 (Pool.jobs (Pool.create ~jobs:5 ())));
+    test "every task is claimed exactly once under 4 workers" (fun () ->
+        let p = Pool.create ~jobs:4 () in
+        let claims = Array.make 64 0 in
+        let (_ : unit array) =
+          Pool.tasks p 64 (fun i ->
+              (* each slot is claimed by exactly one worker, so this
+                 non-atomic bump is private to the claimant *)
+              claims.(i) <- claims.(i) + 1)
+        in
+        Array.iteri
+          (fun i c -> check Alcotest.int (Fmt.str "task %d" i) 1 c)
+          claims);
+  ]
+
+(* ---------------- allocation cache ---------------- *)
+
+let cache_progs ids =
+  let ws =
+    List.mapi
+      (fun i id -> Registry.instantiate (Registry.find_exn id) ~slot:i)
+      ids
+  in
+  ( List.map (fun w -> w.Workload.prog) ws,
+    List.map Workload.spill_base ws )
+
+let cache_tests =
+  [
+    test "repeated allocation hits the cache" (fun () ->
+        Pipeline.cache_clear ();
+        let progs, spill_bases = cache_progs [ "crc32"; "url" ] in
+        let b1 = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+        let s1 = Pipeline.cache_stats () in
+        check Alcotest.int "one miss" 1 s1.Pipeline.misses;
+        check Alcotest.int "no hit yet" 0 s1.Pipeline.hits;
+        let b2 = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+        let s2 = Pipeline.cache_stats () in
+        check Alcotest.int "one hit" 1 s2.Pipeline.hits;
+        check Alcotest.int "still one miss" 1 s2.Pipeline.misses;
+        check Alcotest.int "one entry" 1 s2.Pipeline.entries;
+        (* The cached result is the original result. *)
+        check Alcotest.bool "same provenance" true
+          (b1.Pipeline.provenance = b2.Pipeline.provenance);
+        check Alcotest.bool "same programs" true
+          (List.for_all2
+             (fun a b ->
+               String.equal (Npra_ir.Prog.to_string a)
+                 (Npra_ir.Prog.to_string b))
+             b1.Pipeline.programs b2.Pipeline.programs));
+    test "a hit is recorded in the trail with the original provenance"
+      (fun () ->
+        Pipeline.cache_clear ();
+        let progs, spill_bases = cache_progs [ "route"; "frag" ] in
+        let b1 = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+        check Alcotest.bool "first result carries no cache note" true
+          (List.for_all
+             (function
+               | Pipeline.Cache_hit _ -> false
+               | Pipeline.Rejected _ -> true)
+             b1.Pipeline.trail);
+        let b2 = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+        match
+          List.filter_map
+            (function
+              | Pipeline.Cache_hit { stage; key } -> Some (stage, key)
+              | Pipeline.Rejected _ -> None)
+            b2.Pipeline.trail
+        with
+        | [ (stage, key) ] ->
+          check Alcotest.bool "stage is the original provenance" true
+            (stage = b1.Pipeline.provenance);
+          check Alcotest.int "key is an MD5 hex digest" 32
+            (String.length key)
+        | notes ->
+          Alcotest.failf "expected exactly one cache-hit note, got %d"
+            (List.length notes));
+    test "a config change misses" (fun () ->
+        Pipeline.cache_clear ();
+        let progs, spill_bases = cache_progs [ "crc32"; "url" ] in
+        let (_ : Pipeline.balanced) =
+          Pipeline.balanced_exn ~nreg:128 ~spill_bases progs
+        in
+        let (_ : Pipeline.balanced) =
+          Pipeline.balanced_exn ~nreg:64 ~spill_bases progs
+        in
+        let (_ : Pipeline.balanced) =
+          Pipeline.balanced_exn ~nreg:128 ~move_budget:3 ~spill_bases progs
+        in
+        let s = Pipeline.cache_stats () in
+        check Alcotest.int "three distinct keys" 3 s.Pipeline.misses;
+        check Alcotest.int "no hits" 0 s.Pipeline.hits);
+    test "rejections filters cache notes out of a trail" (fun () ->
+        let trail =
+          [
+            Pipeline.Rejected { stage = Pipeline.Balanced; reason = "x" };
+            Pipeline.Cache_hit { stage = Pipeline.Balanced; key = "k" };
+          ]
+        in
+        check Alcotest.int "one rejection" 1
+          (List.length (Pipeline.rejections trail)));
+  ]
+
+(* ---------------- determinism across job counts ---------------- *)
+
+let traffic_system ids =
+  let ws =
+    List.mapi
+      (fun i id ->
+        Registry.instantiate (Registry.find_exn id) ~slot:i ~iters:2)
+      ids
+  in
+  let progs = List.map (fun w -> w.Workload.prog) ws in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  let spill_bases = List.map Workload.spill_base ws in
+  let bal = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+  (bal.Pipeline.programs, mem_image)
+
+let dispatch_json ~jobs seed =
+  let open Npra_traffic in
+  let progs, mem_image = traffic_system [ "crc32"; "frag" ] in
+  let refresh ~engine ~thread ~seq =
+    [ (thread * 1024, (seed + (engine * 7) + seq) land 0xFFFF) ]
+  in
+  let specs =
+    List.init 2 (fun _ ->
+        {
+          Workload.arrival = Workload.Uniform { period = 200 };
+          queue_capacity = 4;
+          per_packet_iters = 2;
+        })
+  in
+  Metrics.to_json
+    (Dispatch.run
+       ~pool:(Pool.create ~jobs ())
+       ~engines:4 ~sentinel:`Trap ~refresh ~seed ~duration:4_000 ~specs
+       ~mem_image progs)
+
+let fault_json ~jobs seed =
+  let specs =
+    List.map Registry.find_exn [ "crc32"; "url"; "route" ]
+  in
+  Npra_fault.Driver.to_json
+    (Npra_fault.Driver.run ~pool:(Pool.create ~jobs ()) ~seed ~specs ())
+
+(* Everything but the wall-clock observations must match. *)
+let normalize_fuzz (s : Npra_fuzz.Fuzz.stats) =
+  { s with Npra_fuzz.Fuzz.slowest_s = 0.; hangs = 0 }
+
+let fuzz_stats ~jobs seed =
+  normalize_fuzz
+    (Npra_fuzz.Fuzz.run ~pool:(Pool.create ~jobs ()) ~seed ~count:150 ())
+
+let determinism_tests =
+  [
+    test "dispatch metrics are byte-identical at jobs=1 and jobs=4"
+      (fun () ->
+        List.iter
+          (fun seed ->
+            check Alcotest.string (Fmt.str "seed %d" seed)
+              (dispatch_json ~jobs:1 seed)
+              (dispatch_json ~jobs:4 seed))
+          [ 1; 42 ]);
+    prop ~count:5 "dispatch metrics are jobs-invariant (random seeds)"
+      QCheck.(int_range 0 1_000_000)
+      (fun seed ->
+        String.equal (dispatch_json ~jobs:1 seed) (dispatch_json ~jobs:4 seed));
+    test "fault matrix JSON is byte-identical at jobs=1 and jobs=4"
+      (fun () ->
+        check Alcotest.string "seed 7" (fault_json ~jobs:1 7)
+          (fault_json ~jobs:4 7));
+    test "fuzz stats are jobs-invariant modulo wall clock" (fun () ->
+        List.iter
+          (fun seed ->
+            check Alcotest.bool (Fmt.str "seed %d" seed) true
+              (fuzz_stats ~jobs:1 seed = fuzz_stats ~jobs:4 seed))
+          [ 42; 7 ]);
+    test "contenders returns the same pair at jobs=1 and jobs=4" (fun () ->
+        let progs, spill_bases = cache_progs [ "crc32"; "url" ] in
+        let pair jobs =
+          Pipeline.cache_clear ();
+          let base, bal =
+            Pipeline.contenders
+              ~pool:(Pool.create ~jobs ())
+              ~nreg:128 ~spill_bases progs
+          in
+          let bal =
+            match bal with
+            | Ok b -> b
+            | Error _ -> Alcotest.fail "balanced failed"
+          in
+          ( List.map Npra_ir.Prog.to_string base.Pipeline.base_programs,
+            List.map Npra_ir.Prog.to_string bal.Pipeline.programs,
+            bal.Pipeline.provenance )
+        in
+        check Alcotest.bool "identical" true (pair 1 = pair 4));
+  ]
+
+let suite =
+  [
+    ("par.pool", pool_tests);
+    ("par.cache", cache_tests);
+    ("par.determinism", determinism_tests);
+  ]

@@ -89,7 +89,9 @@ let degradation_tests =
             (bal.Pipeline.provenance = Pipeline.Chaitin_fallback);
           check Alcotest.bool "trail records the degradation" true
             (List.exists
-               (fun d -> d.Pipeline.stage = Pipeline.Balanced)
+               (function
+                 | Pipeline.Rejected { stage; _ } -> stage = Pipeline.Balanced
+                 | Pipeline.Cache_hit _ -> false)
                bal.Pipeline.trail);
           check Alcotest.bool "no inter result on the fallback path" true
             (bal.Pipeline.inter = None);
@@ -121,8 +123,8 @@ let degradation_tests =
           check Alcotest.bool "moves were inserted" true (bal.Pipeline.moves > 0);
           check Alcotest.bool "provenance is balanced-relaxed" true
             (bal.Pipeline.provenance = Pipeline.Balanced_relaxed);
-          check Alcotest.int "one diagnostic in the trail" 1
-            (List.length bal.Pipeline.trail);
+          check Alcotest.int "one rejection in the trail" 1
+            (List.length (Pipeline.rejections bal.Pipeline.trail));
           check Alcotest.int "still verifies" 0
             (List.length bal.Pipeline.verify_errors);
           (* the same system under the default budget is plain Balanced *)

@@ -355,11 +355,95 @@ let memory_tests =
         check Alcotest.int "reads" 0 (Memory.reads m));
   ]
 
+(* ---------------- decoded vs legacy engine ---------------- *)
+
+(* The pre-decoded fast path must be indistinguishable from the legacy
+   Instr.t interpreter: same cycle counts, same per-thread reports,
+   same store traces, and the same traps on the same cycle. Every
+   registry kernel, allocated as a four-thread system, is the witness
+   set; traps are exercised by hand-built out-of-file programs. *)
+let engine_report engine progs mem_image =
+  Machine.report (Machine.run ~engine ~sentinel:`Trap ~mem_image progs)
+
+let engine_differential_tests =
+  let open Npra_workloads in
+  List.map
+    (fun spec ->
+      test
+        (Fmt.str "decoded = legacy on kernel %s (4 threads)"
+           spec.Workload.id)
+        (fun () ->
+          let ws = List.init 4 (fun slot -> Registry.instantiate spec ~slot) in
+          let progs = List.map (fun w -> w.Workload.prog) ws in
+          let mem_image =
+            List.concat_map (fun w -> w.Workload.mem_image) ws
+          in
+          let spill_bases = List.map Workload.spill_base ws in
+          let bal =
+            Npra_core.Pipeline.balanced_exn ~nreg:128 ~spill_bases progs
+          in
+          let d =
+            engine_report `Decoded bal.Npra_core.Pipeline.programs mem_image
+          in
+          let l =
+            engine_report `Legacy bal.Npra_core.Pipeline.programs mem_image
+          in
+          check Alcotest.int "total cycles" l.Machine.total_cycles
+            d.Machine.total_cycles;
+          check Alcotest.string "full report"
+            (Fmt.str "%a" Machine.pp_report l)
+            (Fmt.str "%a" Machine.pp_report d);
+          Alcotest.(check bool) "structurally equal" true (d = l)))
+    Registry.all
+
+let engine_trap_tests =
+  [
+    test "decoded and legacy trap identically on an out-of-file read"
+      (fun () ->
+        let p =
+          prog "oob"
+            [
+              Instr.Movi { dst = Reg.P 0; imm = 1 };
+              Instr.Alu
+                {
+                  op = Instr.Add;
+                  dst = Reg.P 0;
+                  src1 = Reg.P 4000;
+                  src2 = Instr.Imm 1;
+                };
+              Instr.Halt;
+            ]
+            []
+        in
+        let outcome engine =
+          match Machine.run ~engine [ p ] with
+          | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
+          | exception Machine.Stuck s -> Fmt.str "%a" Machine.pp_stuck s
+        in
+        check Alcotest.string "same stuck diagnostic" (outcome `Legacy)
+          (outcome `Decoded));
+    test "decoded and legacy reject virtual registers identically"
+      (fun () ->
+        let p =
+          prog "virt"
+            [ Instr.Mov { dst = Reg.P 0; src = Reg.V 3 }; Instr.Halt ]
+            []
+        in
+        let outcome engine =
+          match Machine.run ~engine [ p ] with
+          | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
+          | exception Machine.Stuck s -> Fmt.str "%a" Machine.pp_stuck s
+        in
+        check Alcotest.string "same stuck diagnostic" (outcome `Legacy)
+          (outcome `Decoded));
+  ]
+
 let suite =
   [
     ("sim.machine", machine_tests);
     ("sim.sentinel", sentinel_tests);
     ("sim.stuck", stuck_tests);
+    ("sim.engines", engine_differential_tests @ engine_trap_tests);
     ("sim.refexec", refexec_tests);
     ("sim.memory", memory_tests);
   ]
