@@ -768,6 +768,48 @@ let run_throughput () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Portfolio race: the parallel strategy slate vs the sequential       *)
+(* fallback chain on every registry kernel. Writes                     *)
+(* BENCH_portfolio.json (deterministic payload + wall_clock block) and *)
+(* exits non-zero if the portfolio ever scores worse than the chain.   *)
+
+let portfolio_json_path = "BENCH_portfolio.json"
+
+let run_portfolio () =
+  let seed = Option.value !seed_flag ~default:1 in
+  Fmt.pr
+    "@.== Portfolio: strategy race vs the fallback chain (seed %d, %d \
+     jobs%s) ==@."
+    seed !jobs
+    (if !quick then ", quick" else "");
+  let rows, seconds =
+    timed (fun () ->
+        Experiments.portfolio_rows ~pool:(pool ()) ~quick:!quick ~seed ())
+  in
+  Report.print (Experiments.portfolio_report rows);
+  List.iter
+    (fun r ->
+      if not r.Experiments.p_never_loses then
+        Fmt.epr
+          "PORTFOLIO FAILURE: %s: the portfolio winner scores worse than \
+           the fallback chain@."
+          r.Experiments.p_kernel)
+    rows;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  let oc = open_out portfolio_json_path in
+  output_string oc
+    (splice_wall_clock ~jobs:!jobs ~seconds
+       (Experiments.portfolio_json ~seed ~quick:!quick rows));
+  close_out oc;
+  Fmt.pr "wrote %s@." portfolio_json_path;
+  if not (Experiments.portfolio_ok rows) then begin
+    Fmt.epr
+      "PORTFOLIO HARNESS FAILURE: the never-loses property was violated \
+       (see above)@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let known =
@@ -776,7 +818,7 @@ let () =
       ("table3", run_table3); ("ablation", run_ablation);
       ("timing", run_timing); ("dataflow", run_dataflow);
       ("faults", run_faults); ("fuzz", run_fuzz);
-      ("throughput", run_throughput);
+      ("throughput", run_throughput); ("portfolio", run_portfolio);
     ]
   in
   let print_subcommands ppf =

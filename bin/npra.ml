@@ -306,6 +306,96 @@ let throughput_cmd =
       const run $ nreg_arg $ engines_arg $ duration_arg $ seed_arg $ jobs_arg
       $ baseline_flag $ kernels_arg)
 
+(* ---- portfolio ---- *)
+
+let portfolio_cmd =
+  let run nreg seed jobs probe_horizon ids =
+    let pool = Npra_par.Pool.create ~jobs () in
+    let ws =
+      List.mapi
+        (fun i id ->
+          let spec = lookup id in
+          let t =
+            match Registry.default_traffic id with
+            | Some t -> t
+            | None ->
+              { Workload.arrival = Workload.Uniform { period = 1000 };
+                queue_capacity = 8;
+                per_packet_iters = 2 }
+          in
+          (Registry.instantiate spec ~slot:i ~iters:t.Workload.per_packet_iters, t))
+        ids
+    in
+    let progs = List.map (fun (w, _) -> w.Workload.prog) ws in
+    let mem_image = List.concat_map (fun (w, _) -> w.Workload.mem_image) ws in
+    let spill_bases = List.map (fun (w, _) -> Workload.spill_base w) ws in
+    let probe =
+      {
+        Pipeline.probe_mem_image = mem_image;
+        probe_traffic = List.map snd ws;
+        probe_horizon;
+      }
+    in
+    match Pipeline.portfolio ~pool ~nreg ~spill_bases ~seed ~probe progs with
+    | Error trail ->
+      Fmt.epr "every portfolio entrant failed:@.";
+      List.iter (fun d -> Fmt.epr "  %a@." Pipeline.pp_diagnostic d) trail;
+      exit 1
+    | Ok p ->
+      Fmt.pr "slate (%d entrants, %d probed):@."
+        (List.length p.Pipeline.slate)
+        p.Pipeline.probed;
+      List.iter
+        (fun (stage, oc) ->
+          Fmt.pr "  %-40s %a@."
+            (Fmt.str "%a" Pipeline.pp_stage stage)
+            Pipeline.pp_outcome oc)
+        p.Pipeline.slate;
+      let w = p.Pipeline.winner in
+      Fmt.pr "winner: %a (%a)@." Pipeline.pp_stage w.Pipeline.provenance
+        Pipeline.pp_score p.Pipeline.winner_score;
+      (match w.Pipeline.inter with
+      | Some inter -> Fmt.pr "%a" Inter.pp inter
+      | None ->
+        Fmt.pr "spilled ranges per thread: %a@."
+          Fmt.(list ~sep:sp int)
+          w.Pipeline.spilled_ranges);
+      Fmt.pr "%a" Assign.pp w.Pipeline.layout;
+      match w.Pipeline.verify_errors with
+      | [] -> Fmt.pr "safety verification: OK@."
+      | errs ->
+        Fmt.pr "safety verification FAILED:@.";
+        List.iter (fun e -> Fmt.pr "  %a@." Verify.pp_error e) errs;
+        exit 1
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the randomised split-order entrants.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains racing the slate. The result is identical at \
+             any job count; only wall clock changes.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 24_000
+      & info [ "horizon" ] ~docv:"CYCLES"
+          ~doc:"Cycle budget of the throughput probe that breaks score ties.")
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:
+         "Race the allocation strategy slate in parallel (up to 4 kernels) \
+          and print the winner with the full slate verdict")
+    Term.(
+      const run $ nreg_arg $ seed_arg $ jobs_arg $ horizon_arg $ kernels_arg)
+
 (* ---- asm ---- *)
 
 (* Frontend failures (exit 3) are distinct from allocation failures
@@ -464,7 +554,7 @@ let () =
                "Balanced register allocation for a multithreaded network \
                 processor (PLDI 2004 reproduction)")
           [
-            list_cmd; dump_cmd; analyze_cmd; allocate_cmd; simulate_cmd;
-            throughput_cmd; asm_cmd; cc_cmd; sra_cmd; dot_cmd; table1_cmd;
-            fig14_cmd; table2_cmd; table3_cmd;
+            list_cmd; dump_cmd; analyze_cmd; allocate_cmd; portfolio_cmd;
+            simulate_cmd; throughput_cmd; asm_cmd; cc_cmd; sra_cmd; dot_cmd;
+            table1_cmd; fig14_cmd; table2_cmd; table3_cmd;
           ]))

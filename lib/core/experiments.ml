@@ -442,3 +442,199 @@ let table3_report rows =
       ]
     ~aligns:[ Report.L; R; R; R; R; R; R; R; R; R; R ]
     body
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio race: every registry kernel as a 4-thread symmetric mix,  *)
+(* the parallel strategy portfolio against the sequential fallback     *)
+(* chain. The JSON payload is deterministic (no wall clock; the bench  *)
+(* harness splices that in), so the jobs-invariance tests can compare  *)
+(* it byte-for-byte across job counts.                                 *)
+
+type portfolio_row = {
+  p_kernel : string;
+  p_chain : (Pipeline.stage * Pipeline.score) option;
+      (* what the fallback chain served; [None] if every stage failed *)
+  p_winner : (Pipeline.stage * Pipeline.score) option;
+      (* the portfolio winner; [None] if the whole slate failed *)
+  p_probed : int;  (* distinct candidates the throughput probe ran on *)
+  p_never_loses : bool;  (* winner's static score <= the chain's *)
+  p_entrants : (Pipeline.stage * Pipeline.outcome) list;
+}
+
+let default_probe_traffic =
+  { Workload.arrival = Workload.Uniform { period = 1000 };
+    queue_capacity = 8;
+    per_packet_iters = 2 }
+
+(* Four engines of the same kernel on disjoint memory slots — symmetric
+   by construction, so the SRA entrant is admissible — sized for packet
+   service: each restart processes one packet's worth of iterations. *)
+let portfolio_system spec =
+  let tspec =
+    Option.value
+      (Registry.default_traffic spec.Workload.id)
+      ~default:default_probe_traffic
+  in
+  let ws =
+    List.init nthd (fun slot ->
+        Registry.instantiate ~iters:tspec.Workload.per_packet_iters spec ~slot)
+  in
+  let progs = List.map (fun w -> w.Workload.prog) ws in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  let spill_bases = List.map Workload.spill_base ws in
+  (progs, mem_image, spill_bases, List.init nthd (fun _ -> tspec))
+
+let portfolio_row ?(pool = Npra_par.Pool.sequential) ~seed ~horizon spec =
+  let progs, mem_image, spill_bases, traffic = portfolio_system spec in
+  let chain = Pipeline.balanced ~nreg ~spill_bases progs in
+  let probe =
+    {
+      Pipeline.probe_mem_image = mem_image;
+      probe_traffic = traffic;
+      probe_horizon = horizon;
+    }
+  in
+  let port = Pipeline.portfolio ~pool ~nreg ~spill_bases ~seed ~probe progs in
+  let p_chain =
+    match chain with
+    | Ok c -> Some (c.Pipeline.provenance, Pipeline.static_score c)
+    | Error _ -> None
+  in
+  let p_winner, p_probed, p_entrants =
+    match port with
+    | Ok p ->
+      ( Some (p.Pipeline.winner.Pipeline.provenance, p.Pipeline.winner_score),
+        p.Pipeline.probed,
+        p.Pipeline.slate )
+    | Error trail ->
+      ( None,
+        0,
+        List.filter_map
+          (function
+            | Pipeline.Rejected { stage; reason } ->
+              Some (stage, Pipeline.Failed reason)
+            | Pipeline.Cache_hit _ -> None)
+          trail )
+  in
+  let p_never_loses =
+    match (p_chain, p_winner) with
+    | None, _ -> true  (* nothing to lose to *)
+    | Some _, None -> false  (* the chain found something; the slate didn't *)
+    | Some (_, csc), Some (_, wsc) -> Pipeline.compare_static wsc csc <= 0
+  in
+  {
+    p_kernel = spec.Workload.id;
+    p_chain;
+    p_winner;
+    p_probed;
+    p_never_loses;
+    p_entrants;
+  }
+
+let portfolio_quick_ids = [ "crc32"; "url"; "wraps_rx" ]
+
+let portfolio_rows ?pool ?(quick = false) ?(seed = 1) () =
+  let specs =
+    if quick then
+      List.filter
+        (fun s -> List.mem s.Workload.id portfolio_quick_ids)
+        Registry.all
+    else Registry.all
+  in
+  let horizon = if quick then 6_000 else 24_000 in
+  List.map (portfolio_row ?pool ~seed ~horizon) specs
+
+let portfolio_ok rows = List.for_all (fun r -> r.p_never_loses) rows
+
+let stage_name st = Fmt.str "%a" Pipeline.pp_stage st
+
+let portfolio_report rows =
+  let cell = function
+    | None -> [ "(failed)"; "-"; "-"; "-" ]
+    | Some (st, sc) ->
+      [
+        stage_name st;
+        string_of_int sc.Pipeline.sc_spills;
+        string_of_int sc.Pipeline.sc_moves;
+        string_of_int sc.Pipeline.sc_demand;
+      ]
+  in
+  Report.make ~title:"Portfolio: strategy race vs the fallback chain"
+    ~headers:
+      [
+        "benchmark"; "chain stage"; "spill"; "moves"; "demand";
+        "winner stage"; "spill"; "moves"; "demand"; "probed"; "never-loses";
+      ]
+    ~aligns:[ Report.L; L; R; R; R; L; R; R; R; R; L ]
+    (List.map
+       (fun r ->
+         (r.p_kernel :: cell r.p_chain)
+         @ cell r.p_winner
+         @ [ string_of_int r.p_probed; (if r.p_never_loses then "yes" else "NO") ])
+       rows)
+
+let portfolio_json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The deterministic payload of BENCH_portfolio.json: same seed, same
+   bytes at any job count. The harness appends the wall_clock block. *)
+let portfolio_json ~seed ~quick rows =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let scored = function
+    | None -> add "null"
+    | Some (st, sc) ->
+      add
+        {|{"stage": "%s", "unsafe": %d, "spilled": %d, "moves": %d, "demand": %d, "probe": %s}|}
+        (portfolio_json_escape (stage_name st))
+        sc.Pipeline.sc_unsafe sc.Pipeline.sc_spills sc.Pipeline.sc_moves
+        sc.Pipeline.sc_demand
+        (match sc.Pipeline.sc_probe with
+        | Some p -> string_of_int p
+        | None -> "null")
+  in
+  add "{\n  \"benchmark\": \"portfolio\",\n  \"seed\": %d,\n  \"quick\": %b,\n  \"kernels\": [\n"
+    seed quick;
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",\n";
+      add "    {\"kernel\": \"%s\", \"chain\": " (portfolio_json_escape r.p_kernel);
+      scored r.p_chain;
+      add ", \"winner\": ";
+      scored r.p_winner;
+      add ", \"margin\": ";
+      (match (r.p_chain, r.p_winner) with
+      | Some (_, c), Some (_, w) ->
+        add {|{"spilled": %d, "moves": %d, "demand": %d}|}
+          (c.Pipeline.sc_spills - w.Pipeline.sc_spills)
+          (c.Pipeline.sc_moves - w.Pipeline.sc_moves)
+          (c.Pipeline.sc_demand - w.Pipeline.sc_demand)
+      | _ -> add "null");
+      add ", \"probed\": %d, \"never_loses\": %b,\n     \"entrants\": [\n"
+        r.p_probed r.p_never_loses;
+      List.iteri
+        (fun j (st, oc) ->
+          if j > 0 then add ",\n";
+          let outcome =
+            match oc with
+            | Pipeline.Won _ -> "won"
+            | Pipeline.Lost { reason; _ } -> "lost: " ^ reason
+            | Pipeline.Failed reason -> "failed: " ^ reason
+          in
+          add {|       {"stage": "%s", "outcome": "%s"}|}
+            (portfolio_json_escape (stage_name st))
+            (portfolio_json_escape outcome))
+        r.p_entrants;
+      add "\n     ]}")
+    rows;
+  add "\n  ],\n  \"never_loses_all\": %b\n}\n" (portfolio_ok rows);
+  Buffer.contents b

@@ -24,12 +24,27 @@ open Npra_cfg
 open Npra_regalloc
 open Npra_sim
 
-type stage = Balanced | Balanced_relaxed | Chaitin_fallback
+(* [Balanced], [Balanced_relaxed] and [Chaitin_fallback] are the three
+   stages of the sequential fallback chain. The remaining constructors
+   are portfolio entrants ({!portfolio}): the same contenders raced in
+   parallel instead of tried pessimistically one after another. *)
+type stage =
+  | Balanced
+  | Balanced_relaxed
+  | Chaitin_fallback
+  | Balanced_budget of int  (* balanced, rejected over this move budget *)
+  | Balanced_zero_cost  (* Inter.tighten_zero_cost: free reductions only *)
+  | Balanced_shuffled of int  (* seeded thread-order permutation *)
+  | Sra_exhaustive  (* paper §8: exhaustive symmetric (PR, SR) sweep *)
 
 let pp_stage ppf = function
   | Balanced -> Fmt.string ppf "balanced"
   | Balanced_relaxed -> Fmt.string ppf "balanced (relaxed move budget)"
   | Chaitin_fallback -> Fmt.string ppf "fixed-partition chaitin"
+  | Balanced_budget b -> Fmt.pf ppf "balanced (move budget %d)" b
+  | Balanced_zero_cost -> Fmt.string ppf "balanced (zero-cost tighten)"
+  | Balanced_shuffled s -> Fmt.pf ppf "balanced (shuffled order, seed %d)" s
+  | Sra_exhaustive -> Fmt.string ppf "sra (exhaustive symmetric sweep)"
 
 (* A trail entry: either a stage that rejected the allocation before a
    later stage served it, or a provenance note that the whole result was
@@ -92,73 +107,84 @@ let default_move_budget progs =
   let code = List.fold_left (fun a p -> a + Prog.length p) 0 progs in
   max 32 (code / 4)
 
+(* Materialise a completed inter-thread allocation: pack the layout,
+   rewrite every thread to physical registers, verify from scratch.
+   @raise Rewrite.Incomplete_coloring or Assign.Overflow when an
+   allocator invariant broke — callers degrade or reject the entrant. *)
+let finish_inter ~nreg ~provenance ~trail inter =
+  let prs =
+    Array.to_list inter.Inter.threads |> List.map (fun t -> t.Inter.pr)
+  in
+  let layout = Assign.layout ~nreg ~prs ~sgr:inter.Inter.sgr in
+  let programs =
+    List.mapi
+      (fun i th ->
+        Rewrite.apply th.Inter.ctx
+          ~reg_of_color:(Assign.reg_of_color layout ~thread:i))
+      (Array.to_list inter.Inter.threads)
+  in
+  {
+    provenance;
+    inter = Some inter;
+    chaitin = None;
+    layout;
+    programs;
+    moves = Inter.total_moves inter;
+    spilled_ranges = List.map (fun _ -> 0) programs;
+    verify_errors = Verify.check_system layout programs;
+    trail;
+  }
+
+(* The fixed-partition Chaitin floor as a complete [balanced] result
+   (provenance [stage], normally [Chaitin_fallback]). Programs must be
+   in web form. *)
+let chaitin_floor ~nreg ~spill_bases ~stage ~trail progs =
+  match chaitin_partition ~nreg ~spill_bases progs with
+  | layout, results, programs ->
+    Ok
+      {
+        provenance = stage;
+        inter = None;
+        chaitin = Some results;
+        layout;
+        programs;
+        moves = 0;
+        spilled_ranges =
+          List.map (fun r -> Reg.Set.cardinal r.Chaitin.spilled) results;
+        verify_errors = Verify.check_system layout programs;
+        trail;
+      }
+  | exception Chaitin.Did_not_converge { k; iterations; pending; _ } ->
+    Error
+      (trail
+      @ [
+          Rejected
+            {
+              stage;
+              reason =
+                Fmt.str
+                  "spill loop did not converge after %d iterations (k=%d, %d \
+                   registers still uncolourable)"
+                  iterations k
+                  (Reg.Set.cardinal pending);
+            };
+        ])
+  | exception Assign.Overflow msg ->
+    Error (trail @ [ Rejected { stage; reason = msg } ])
+
 let balanced_uncached ?(nreg = 128) ?move_budget ?spill_bases progs =
   let progs = List.map Webs.rename progs in
   let budget =
     match move_budget with Some b -> b | None -> default_move_budget progs
   in
-  let finish ~provenance ~inter ~trail =
-    let prs =
-      Array.to_list inter.Inter.threads |> List.map (fun t -> t.Inter.pr)
-    in
-    let layout = Assign.layout ~nreg ~prs ~sgr:inter.Inter.sgr in
-    let programs =
-      List.mapi
-        (fun i th ->
-          Rewrite.apply th.Inter.ctx
-            ~reg_of_color:(Assign.reg_of_color layout ~thread:i))
-        (Array.to_list inter.Inter.threads)
-    in
-    {
-      provenance;
-      inter = Some inter;
-      chaitin = None;
-      layout;
-      programs;
-      moves = Inter.total_moves inter;
-      spilled_ranges = List.map (fun _ -> 0) programs;
-      verify_errors = Verify.check_system layout programs;
-      trail;
-    }
-  in
+  let finish ~provenance ~inter ~trail = finish_inter ~nreg ~provenance ~trail inter in
   let fallback trail =
     let spill_bases =
       match spill_bases with
       | Some bs -> bs
       | None -> default_spill_bases progs
     in
-    match chaitin_partition ~nreg ~spill_bases progs with
-    | layout, results, programs ->
-      Ok
-        {
-          provenance = Chaitin_fallback;
-          inter = None;
-          chaitin = Some results;
-          layout;
-          programs;
-          moves = 0;
-          spilled_ranges =
-            List.map (fun r -> Reg.Set.cardinal r.Chaitin.spilled) results;
-          verify_errors = Verify.check_system layout programs;
-          trail;
-        }
-    | exception Chaitin.Did_not_converge { k; iterations; pending; _ } ->
-      Error
-        (trail
-        @ [
-            Rejected
-              {
-                stage = Chaitin_fallback;
-                reason =
-                  Fmt.str
-                    "spill loop did not converge after %d iterations (k=%d, %d \
-                     registers still uncolourable)"
-                    iterations k
-                    (Reg.Set.cardinal pending);
-              };
-          ])
-    | exception Assign.Overflow msg ->
-      Error (trail @ [ Rejected { stage = Chaitin_fallback; reason = msg } ])
+    chaitin_floor ~nreg ~spill_bases ~stage:Chaitin_fallback ~trail progs
   in
   match Inter.allocate ~nreg progs with
   | Ok inter -> (
@@ -240,11 +266,17 @@ let cache_clear () =
       cache_hits := 0;
       cache_misses := 0)
 
-let cache_key ~nreg ~move_budget ~spill_bases progs =
+(* [tag] distinguishes the computation that produced the value: the
+   chain caches untagged; every portfolio entrant caches under its own
+   strategy tag. Without the tag, a portfolio entrant could hit a value
+   computed by a different strategy on the same programs and its
+   {!Cache_hit} note would then carry that other strategy's provenance
+   — the slate default — instead of the entrant's own. *)
+let cache_key ?(tag = "chain") ~nreg ~move_budget ~spill_bases progs =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Fmt.str "nreg=%d;budget=%a;spill=%a"
-       nreg
+    (Fmt.str "tag=%s;nreg=%d;budget=%a;spill=%a"
+       tag nreg
        Fmt.(option ~none:(any "-") int)
        move_budget
        Fmt.(option ~none:(any "-") (list ~sep:comma int))
@@ -256,20 +288,32 @@ let cache_key ~nreg ~move_budget ~spill_bases progs =
     progs;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* The hit note must carry the provenance of the cached value itself —
+   an Ok result's own stage, or for a failure the stage that had the
+   last word in its trail — never a fixed default, or a portfolio
+   entrant served from cache would report another strategy's identity. *)
 let note_cache_hit key = function
   | Ok b ->
     Ok { b with trail = b.trail @ [ Cache_hit { stage = b.provenance; key } ] }
   | Error trail ->
-    Error (trail @ [ Cache_hit { stage = Chaitin_fallback; key } ])
+    let stage =
+      List.fold_left
+        (fun acc d ->
+          match d with Rejected { stage; _ } -> Some stage | Cache_hit _ -> acc)
+        None trail
+      |> Option.value ~default:Chaitin_fallback
+    in
+    Error (trail @ [ Cache_hit { stage; key } ])
 
-let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
-  let key = cache_key ~nreg ~move_budget ~spill_bases progs in
+(* Look up [key], or compute outside the lock and publish. The shared
+   cached-entry discipline of [balanced] and every portfolio entrant. *)
+let cached ~key compute =
   match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) with
   | Some result ->
     Mutex.protect cache_lock (fun () -> incr cache_hits);
     note_cache_hit key result
   | None ->
-    let result = balanced_uncached ~nreg ?move_budget ?spill_bases progs in
+    let result = compute () in
     Mutex.protect cache_lock (fun () ->
         incr cache_misses;
         if not (Hashtbl.mem cache key) then begin
@@ -278,11 +322,497 @@ let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
         end);
     result
 
+let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
+  let key = cache_key ~nreg ~move_budget ~spill_bases progs in
+  cached ~key (fun () -> balanced_uncached ~nreg ?move_budget ?spill_bases progs)
+
 let balanced_exn ?nreg ?move_budget ?spill_bases progs =
   match balanced ?nreg ?move_budget ?spill_bases progs with
   | Ok b -> b
   | Error trail ->
     Fmt.failwith "Pipeline.balanced: every stage failed:@ %a"
+      (Fmt.list ~sep:Fmt.sp pp_diagnostic)
+      trail
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio allocation: race the contenders, keep the best.
+
+   The fallback chain above is pessimistic — it tries one strategy at a
+   time and settles for the first that works, so a kernel that barely
+   misses the first stage pays full latency and may accept a strictly
+   worse colouring. [portfolio] instead builds a deterministic slate of
+   strategies, fans them out over an [Npra_par.Pool], and scores every
+   survivor:
+
+     1. verified pressure bound, lexicographically —
+        (verify errors, spilled ranges, moves, register demand), all
+        ascending;
+     2. among survivors tied on the static score, an optional bounded
+        simulated-throughput probe (packets served under the workload's
+        traffic spec within a fixed horizon, higher wins);
+     3. remaining ties go to the earlier slate position.
+
+   The slate always contains the exact strategies of the fallback chain
+   (balanced at the default move budget, balanced-relaxed, Chaitin), so
+   the winner can never score worse than whatever the chain would have
+   served — the never-loses property the test suite and CI enforce.
+   Every pool result is task-indexed and every entrant is deterministic,
+   so the portfolio result is byte-identical at any job count. *)
+
+module Workload = Npra_workloads.Workload
+
+(* Lexicographic quality of one allocation; lower is better on every
+   static component. [sc_probe] is packets served by the throughput
+   probe — higher is better — and only set on tied survivors. *)
+type score = {
+  sc_unsafe : int;  (* verification errors; 0 for any survivor *)
+  sc_spills : int;  (* total spilled live ranges across threads *)
+  sc_moves : int;  (* move instructions materialised *)
+  sc_demand : int;  (* Σ private block sizes + shared block *)
+  sc_probe : int option;  (* packets served by the probe, if probed *)
+}
+
+let static_score b =
+  {
+    sc_unsafe = List.length b.verify_errors;
+    sc_spills = List.fold_left ( + ) 0 b.spilled_ranges;
+    sc_moves = b.moves;
+    sc_demand =
+      Array.fold_left ( + ) 0 b.layout.Assign.private_size + b.layout.Assign.sgr;
+    sc_probe = None;
+  }
+
+let compare_static a b =
+  let c = compare a.sc_unsafe b.sc_unsafe in
+  if c <> 0 then c
+  else
+    let c = compare a.sc_spills b.sc_spills in
+    if c <> 0 then c
+    else
+      let c = compare a.sc_moves b.sc_moves in
+      if c <> 0 then c else compare a.sc_demand b.sc_demand
+
+let pp_score ppf s =
+  Fmt.pf ppf "unsafe=%d spills=%d moves=%d demand=%d" s.sc_unsafe s.sc_spills
+    s.sc_moves s.sc_demand;
+  match s.sc_probe with
+  | Some p -> Fmt.pf ppf " probe=%d" p
+  | None -> ()
+
+(* The same xorshift as the workload generator, kept 30-bit so every
+   seed behaves identically on 32- and 64-bit hosts. *)
+let xorshift s =
+  let s = s land 0x3FFFFFFF in
+  let s = if s = 0 then 0x9E3779B9 land 0x3FFFFFFF else s in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 17) in
+  let s = s lxor (s lsl 5) in
+  let s = s land 0x3FFFFFFF in
+  if s = 0 then 1 else s
+
+(* Seeded Fisher–Yates permutation of [0..n-1]. *)
+let permutation ~seed n =
+  let perm = Array.init n Fun.id in
+  let state = ref (xorshift seed) in
+  for i = n - 1 downto 1 do
+    state := xorshift !state;
+    let j = !state mod (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  perm
+
+(* ------------------------------------------------------------------ *)
+(* Bounded throughput probe.
+
+   Replays the packet-traffic dispatcher in miniature: threads start
+   parked, packets arrive on each thread's deterministic effective
+   period, a completed thread with backlog is restarted, and the run is
+   sliced with {!Machine.run_until} up to [probe_horizon] cycles. The
+   figure of merit is packets fully served. A machine fault (register
+   clash, corruption trap) scores [None] — strictly worse than any
+   completed probe. *)
+
+type probe = {
+  probe_mem_image : (int * int) list;
+  probe_traffic : Workload.traffic_spec list;  (* one spec per thread *)
+  probe_horizon : int;
+}
+
+(* Deterministic effective arrival period of a traffic spec: the mean
+   inter-arrival gap, so the probe offers the same load the dispatcher
+   would on average without needing its seeded stream. *)
+let probe_arrival_period (spec : Workload.traffic_spec) =
+  match spec.Workload.arrival with
+  | Workload.Uniform { period } -> max 1 period
+  | Workload.Poisson { mean_period } -> max 1 mean_period
+  | Workload.Bursty { on_cycles; off_cycles; period } ->
+    max 1 (period * (on_cycles + off_cycles) / max 1 on_cycles)
+
+let probe_served probe programs =
+  let nthd = List.length programs in
+  if List.length probe.probe_traffic <> nthd then
+    Fmt.invalid_arg "Pipeline.probe_served: %d traffic specs for %d threads"
+      (List.length probe.probe_traffic)
+      nthd;
+  match
+    let m = Machine.create ~mem_image:probe.probe_mem_image programs in
+    for i = 0 to nthd - 1 do
+      Machine.park_thread m i
+    done;
+    let period =
+      Array.of_list (List.map probe_arrival_period probe.probe_traffic)
+    in
+    let cap =
+      Array.of_list
+        (List.map (fun t -> t.Workload.queue_capacity) probe.probe_traffic)
+    in
+    let next = Array.init nthd (fun i -> period.(i)) in
+    let queue = Array.make nthd 0 in
+    let served = ref 0 in
+    let horizon = probe.probe_horizon in
+    let rec loop () =
+      let now = Machine.cycle m in
+      if now >= horizon then !served
+      else begin
+        for i = 0 to nthd - 1 do
+          while next.(i) <= now do
+            if queue.(i) < cap.(i) then queue.(i) <- queue.(i) + 1;
+            next.(i) <- next.(i) + period.(i)
+          done
+        done;
+        for i = 0 to nthd - 1 do
+          match Machine.thread_state m i with
+          | Machine.Completed _ when queue.(i) > 0 ->
+            queue.(i) <- queue.(i) - 1;
+            Machine.restart_thread m i
+          | _ -> ()
+        done;
+        let next_event = Array.fold_left min max_int next in
+        let hz = max (now + 1) (min horizon next_event) in
+        (match Machine.run_until ~stop_on_halt:true m ~horizon:hz with
+        | `Halted _ -> incr served
+        | `Idle | `Horizon -> ());
+        loop ()
+      end
+    in
+    loop ()
+  with
+  | n -> Some n
+  | exception Machine.Stuck _ -> None
+  | exception Machine.Corruption _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The slate and its entrants. *)
+
+(* The cache tag distinguishing each strategy (see {!cache_key}). *)
+let strategy_tag = function
+  | Balanced -> "balanced"
+  | Balanced_relaxed -> "relaxed"
+  | Chaitin_fallback -> "chaitin"
+  | Balanced_budget b -> Fmt.str "budget:%d" b
+  | Balanced_zero_cost -> "zero-cost"
+  | Balanced_shuffled s -> Fmt.str "shuffled:%d" s
+  | Sra_exhaustive -> "sra"
+
+(* Runs one slate entrant on web-renamed programs. Total: allocator
+   infeasibilities and materialisation failures come back as [Error]
+   trails naming the entrant, never exceptions. *)
+let run_entrant ~nreg ~spill_bases ~wprogs stage =
+  let reject reason = Error [ Rejected { stage; reason } ] in
+  let finish inter = Ok (finish_inter ~nreg ~provenance:stage ~trail:[] inter) in
+  let from_inter = function
+    | Error (`Infeasible msg) -> reject msg
+    | Ok inter -> finish inter
+  in
+  match
+    match stage with
+    | Balanced | Balanced_relaxed -> from_inter (Inter.allocate ~nreg wprogs)
+    | Balanced_budget b -> (
+      match Inter.allocate ~nreg wprogs with
+      | Error (`Infeasible msg) -> reject msg
+      | Ok inter ->
+        let moves = Inter.total_moves inter in
+        if moves > b then
+          reject (Fmt.str "%d moves exceed the budget of %d" moves b)
+        else finish inter)
+    | Balanced_zero_cost -> (
+      match Inter.tighten_zero_cost ~nreg wprogs with
+      | Error (`Infeasible msg) -> reject msg
+      | Ok inter ->
+        let d = Inter.demand inter.Inter.threads in
+        if d > nreg then
+          reject
+            (Fmt.str "zero-cost tightening stops at demand %d > %d registers"
+               d nreg)
+        else finish inter)
+    | Balanced_shuffled s -> (
+      let arr = Array.of_list wprogs in
+      let n = Array.length arr in
+      let perm = permutation ~seed:s n in
+      let permuted = List.init n (fun j -> arr.(perm.(j))) in
+      match Inter.allocate ~nreg permuted with
+      | Error (`Infeasible msg) -> reject msg
+      | Ok inter ->
+        (* The balancer saw the threads in permuted order; put its
+           per-thread results back in caller order before assignment. *)
+        let unperm = Array.make n inter.Inter.threads.(0) in
+        Array.iteri (fun j th -> unperm.(perm.(j)) <- th) inter.Inter.threads;
+        finish { inter with Inter.threads = unperm })
+    | Sra_exhaustive -> (
+      let ths = List.map Inter.init_thread wprogs in
+      let nthd = List.length ths in
+      let b0 = (List.hd ths).Inter.bounds in
+      if not (List.for_all (fun t -> t.Inter.bounds = b0) ths) then
+        reject "mix is not symmetric: thread register-demand bounds differ"
+      else
+        match Sra.allocate ~nreg ~nthd (List.hd wprogs) with
+        | Error (`Infeasible msg) -> reject msg
+        | Ok sra ->
+          let target_pr = sra.Sra.pr and target_sr = sra.Sra.sr in
+          (* Drive every thread to the symmetric point the sweep chose;
+             threads share bounds but not necessarily programs. *)
+          let reduce t =
+            let { Estimate.max_pr; max_r; _ } = t.Inter.bounds in
+            if target_pr = max_pr && target_sr = max_r - max_pr then
+              Some
+                { Intra.ctx = t.Inter.ctx;
+                  cost = Context.move_count t.Inter.ctx }
+            else
+              Intra.reduce_to t.Inter.ctx ~pr:max_pr ~r:max_r ~target_pr
+                ~target_sr
+          in
+          let rec drive acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | t :: rest -> (
+              match reduce t with
+              | Some red ->
+                drive
+                  ({ t with Inter.ctx = red.Intra.ctx;
+                            pr = target_pr;
+                            sr = target_sr }
+                  :: acc)
+                  rest
+              | None -> Error t.Inter.name)
+          in
+          (match drive [] ths with
+          | Error name ->
+            reject
+              (Fmt.str "thread %s cannot reach the symmetric point (PR=%d, SR=%d)"
+                 name target_pr target_sr)
+          | Ok threads ->
+            finish { Inter.threads; nreg; sgr = target_sr }))
+    | Chaitin_fallback -> chaitin_floor ~nreg ~spill_bases ~stage ~trail:[] wprogs
+  with
+  | result -> result
+  | exception Rewrite.Incomplete_coloring { reg; gap } ->
+    let reason =
+      match gap with
+      | Some g -> Fmt.str "%a has no segment at gap %d" Reg.pp reg g
+      | None -> Fmt.str "%a has no colour" Reg.pp reg
+    in
+    reject reason
+  | exception Assign.Overflow msg -> reject msg
+  | exception Intra.Infeasible -> reject "intra-thread reduction infeasible"
+
+(* What happened to each slate entrant, in slate order. *)
+type outcome =
+  | Won of score
+  | Lost of { score : score; reason : string }
+  | Failed of string  (* produced no safe allocation *)
+
+let pp_outcome ppf = function
+  | Won sc -> Fmt.pf ppf "won (%a)" pp_score sc
+  | Lost { score; reason } -> Fmt.pf ppf "lost (%a): %s" pp_score score reason
+  | Failed reason -> Fmt.pf ppf "failed: %s" reason
+
+type portfolio = {
+  winner : balanced;
+      (* trail lists every losing entrant as [Rejected], then the
+         winner's own notes (e.g. its [Cache_hit]) *)
+  winner_score : score;
+  slate : (stage * outcome) list;  (* every entrant, slate order *)
+  probed : int;  (* distinct candidates the throughput probe ran on *)
+}
+
+let lose_reason ~winner wsc lsc =
+  let why =
+    if lsc.sc_unsafe > wsc.sc_unsafe then
+      Fmt.str "%d verify errors vs %d" lsc.sc_unsafe wsc.sc_unsafe
+    else if lsc.sc_spills > wsc.sc_spills then
+      Fmt.str "%d spilled ranges vs %d" lsc.sc_spills wsc.sc_spills
+    else if lsc.sc_moves > wsc.sc_moves then
+      Fmt.str "%d moves vs %d" lsc.sc_moves wsc.sc_moves
+    else if lsc.sc_demand > wsc.sc_demand then
+      Fmt.str "register demand %d vs %d" lsc.sc_demand wsc.sc_demand
+    else
+      match (lsc.sc_probe, wsc.sc_probe) with
+      | Some l, Some w when l < w ->
+        Fmt.str "probe served %d packets vs %d" l w
+      | _ -> "tied on every criterion; earlier slate position wins"
+  in
+  Fmt.str "lost to %a: %s" pp_stage winner why
+
+let portfolio ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?move_budget
+    ?spill_bases ?(seed = 1) ?probe progs =
+  let wprogs = List.map Webs.rename progs in
+  let spill_bases_v =
+    match spill_bases with Some bs -> bs | None -> default_spill_bases progs
+  in
+  let budget =
+    match move_budget with Some b -> b | None -> default_move_budget wprogs
+  in
+  let nthd = List.length progs in
+  let s1 = xorshift (seed + 1) in
+  let s2 =
+    let s = xorshift s1 in
+    if s = s1 then xorshift (s1 + 1) else s
+  in
+  (* Deterministic slate, most-constrained first; [sort_uniq] collapses
+     coinciding budgets so every stage (hence every cache key) is
+     distinct — two entrants racing the same key at different job
+     counts would otherwise make the trail depend on scheduling. *)
+  let budgets =
+    List.sort_uniq
+      (fun a b -> compare b a)
+      [ budget; max 1 (budget / 2); max 1 (budget / 4) ]
+  in
+  let slate_stages =
+    List.map (fun b -> Balanced_budget b) budgets
+    @ [ Balanced_relaxed; Balanced_zero_cost ]
+    @ (if nthd >= 2 then
+         [ Balanced_shuffled s1; Balanced_shuffled s2; Sra_exhaustive ]
+       else [])
+    @ [ Chaitin_fallback ]
+  in
+  let results =
+    Npra_par.Pool.map_list pool
+      (fun stage ->
+        let key =
+          cache_key ~tag:(strategy_tag stage) ~nreg ~move_budget
+            ~spill_bases:(Some spill_bases_v) progs
+        in
+        ( stage,
+          cached ~key (fun () ->
+              run_entrant ~nreg ~spill_bases:spill_bases_v ~wprogs stage) ))
+      slate_stages
+  in
+  let classified =
+    List.map
+      (fun (stage, res) ->
+        match res with
+        | Ok b when b.verify_errors = [] -> `Survivor (stage, b, static_score b)
+        | Ok b ->
+          `Dead
+            ( stage,
+              Fmt.str "verification failed (%d errors)"
+                (List.length b.verify_errors) )
+        | Error trail ->
+          let reason =
+            match rejections trail with
+            | Rejected { reason; _ } :: _ -> reason
+            | _ -> "failed with no recorded reason"
+          in
+          `Dead (stage, reason))
+      results
+  in
+  let survivors =
+    List.filter_map (function `Survivor s -> Some s | `Dead _ -> None) classified
+  in
+  match survivors with
+  | [] ->
+    Error
+      (List.concat_map
+         (function
+           | `Survivor _ -> []
+           | `Dead (stage, reason) -> [ Rejected { stage; reason } ])
+         classified)
+  | (_, _, sc0) :: _ ->
+    let best_static =
+      List.fold_left
+        (fun acc (_, _, sc) -> if compare_static sc acc < 0 then sc else acc)
+        sc0 survivors
+    in
+    let tied, rest =
+      List.partition
+        (fun (_, _, sc) -> compare_static sc best_static = 0)
+        survivors
+    in
+    (* Probe only distinct programs among the tied survivors: entrants
+       that converged on the same allocation share one probe run. *)
+    let tied_scored, probed =
+      match probe with
+      | Some p when List.length tied > 1 ->
+        let fp (_, b, _) = String.concat "\000" (List.map Prog.to_string b.programs) in
+        let fps = List.map fp tied in
+        let distinct = List.sort_uniq String.compare fps in
+        if List.length distinct < 2 then (tied, 0)
+          (* every tied entrant converged on the same allocation; a
+             probe could not separate them *)
+        else
+        let reps =
+          List.map
+            (fun f ->
+              let _, b, _ = List.find (fun t -> fp t = f) tied in
+              (f, b.programs))
+            distinct
+        in
+        let served =
+          Npra_par.Pool.map_list pool
+            (fun (f, programs) -> (f, probe_served p programs))
+            reps
+        in
+        ( List.map2
+            (fun (stage, b, sc) f ->
+              let pr =
+                match List.assoc f served with Some n -> n | None -> -1
+              in
+              (stage, b, { sc with sc_probe = Some pr }))
+            tied fps,
+          List.length distinct )
+      | _ -> (tied, 0)
+    in
+    let better (s1, b1, sc1) (s2, b2, sc2) =
+      (* strictly more packets wins; otherwise keep the earlier entrant *)
+      match (sc1.sc_probe, sc2.sc_probe) with
+      | Some a, Some b when b > a -> (s2, b2, sc2)
+      | _ -> (s1, b1, sc1)
+    in
+    let win_stage, win_b, win_sc =
+      List.fold_left better (List.hd tied_scored) (List.tl tied_scored)
+    in
+    let score_of_stage =
+      List.map (fun (st, _, sc) -> (st, sc)) (tied_scored @ rest)
+    in
+    let slate =
+      List.map
+        (function
+          | `Dead (stage, reason) -> (stage, Failed reason)
+          | `Survivor (stage, _, _) ->
+            let sc = List.assoc stage score_of_stage in
+            if stage = win_stage then (stage, Won sc)
+            else
+              (stage, Lost { score = sc; reason = lose_reason ~winner:win_stage win_sc sc }))
+        classified
+    in
+    let losing_notes =
+      List.filter_map
+        (fun (stage, oc) ->
+          match oc with
+          | Won _ -> None
+          | Lost { reason; _ } -> Some (Rejected { stage; reason })
+          | Failed reason -> Some (Rejected { stage; reason }))
+        slate
+    in
+    let winner = { win_b with trail = losing_notes @ win_b.trail } in
+    Ok { winner; winner_score = win_sc; slate; probed }
+
+let portfolio_exn ?pool ?nreg ?move_budget ?spill_bases ?seed ?probe progs =
+  match portfolio ?pool ?nreg ?move_budget ?spill_bases ?seed ?probe progs with
+  | Ok p -> p
+  | Error trail ->
+    Fmt.failwith "Pipeline.portfolio: every entrant failed:@ %a"
       (Fmt.list ~sep:Fmt.sp pp_diagnostic)
       trail
 
@@ -388,13 +918,29 @@ let simulate ?config ~mem_image progs = Machine.run ?config ~mem_image progs
    built from the same programs and the same spill areas, so a traffic
    run compares allocation policy and nothing else. The two runs are
    independent, so a multi-worker [pool] computes them concurrently;
-   results are task-indexed, so the pair is the same at any job count. *)
+   results are task-indexed, so the pair is the same at any job count.
+   [strategy] picks how the balanced contender is produced: the
+   sequential fallback chain (default), or the portfolio race with the
+   given seed — the winner's [balanced] record drops in unchanged. *)
 let contenders ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?move_budget
-    ~spill_bases progs =
+    ?(strategy = `Chain) ~spill_bases progs =
+  let balanced_contender () =
+    match strategy with
+    | `Chain -> balanced ~nreg ?move_budget ~spill_bases progs
+    | `Portfolio seed -> (
+      (* the pool's two slots are already taken by base/bal; run the
+         inner slate sequentially rather than oversubscribe *)
+      match
+        portfolio ~pool:Npra_par.Pool.sequential ~nreg ?move_budget
+          ~spill_bases ~seed progs
+      with
+      | Ok p -> Ok p.winner
+      | Error trail -> Error trail)
+  in
   let results =
     Npra_par.Pool.tasks pool 2 (fun i ->
         if i = 0 then `Base (baseline ~nreg ~spill_bases progs)
-        else `Bal (balanced ~nreg ?move_budget ~spill_bases progs))
+        else `Bal (balanced_contender ()))
   in
   match (results.(0), results.(1)) with
   | `Base base, `Bal bal -> (base, bal)

@@ -8,5 +8,5 @@ let () =
          Test_npc.suite; Test_opt.suite; Test_paper_examples.suite; Test_more.suite; Test_kernel_semantics.suite;
          Test_dataflow.suite; Test_verify.suite; Test_fault.suite;
          Test_diag.suite; Test_fuzz.suite; Test_sim_memory.suite;
-         Test_traffic.suite; Test_par.suite;
+         Test_traffic.suite; Test_par.suite; Test_portfolio.suite;
        ])
