@@ -810,6 +810,39 @@ let run_portfolio () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Chaos matrix: kernel mixes x injected fault schedules through the    *)
+(* fabric path of the dispatcher. Writes BENCH_chaos.json and fails     *)
+(* the process if any cell aborts, violates exact packet conservation,  *)
+(* or delivers below the degradation floor.                             *)
+
+let chaos_json = "BENCH_chaos.json"
+
+let run_chaos () =
+  let seed = Option.value !seed_flag ~default:42 in
+  Fmt.pr
+    "@.== Chaos: engine failure injection, watchdog quarantine, re-dispatch \
+     (seed %d, %d jobs%s) ==@."
+    seed !jobs
+    (if !quick then ", quick" else "");
+  let m, seconds =
+    timed (fun () ->
+        Npra_fault.Chaosdriver.run ~pool:(pool ()) ~seed ~quick:!quick ())
+  in
+  Fmt.pr "%a" Npra_fault.Chaosdriver.pp m;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  let oc = open_out chaos_json in
+  output_string oc
+    (splice_wall_clock ~jobs:!jobs ~seconds (Npra_fault.Chaosdriver.to_json m));
+  close_out oc;
+  Fmt.pr "wrote %s@." chaos_json;
+  if not (Npra_fault.Chaosdriver.all_ok m) then begin
+    Fmt.epr
+      "CHAOS HARNESS FAILURE: a cell aborted, lost packets, or delivered \
+       below the degradation floor (see the matrix above)@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let known =
@@ -819,6 +852,7 @@ let () =
       ("timing", run_timing); ("dataflow", run_dataflow);
       ("faults", run_faults); ("fuzz", run_fuzz);
       ("throughput", run_throughput); ("portfolio", run_portfolio);
+      ("chaos", run_chaos);
     ]
   in
   let print_subcommands ppf =

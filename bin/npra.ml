@@ -306,6 +306,115 @@ let throughput_cmd =
       const run $ nreg_arg $ engines_arg $ duration_arg $ seed_arg $ jobs_arg
       $ baseline_flag $ kernels_arg)
 
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let run nreg engines duration seed jobs crashes hangs transient_hangs storms
+      floods shed ids =
+    let pool = Npra_par.Pool.create ~jobs () in
+    let ws =
+      List.mapi
+        (fun i id ->
+          let spec = lookup id in
+          match Registry.default_traffic id with
+          | Some t ->
+            ( Registry.instantiate spec ~slot:i
+                ~iters:t.Workload.per_packet_iters,
+              t )
+          | None ->
+            Fmt.epr "kernel %S has no default traffic model@." id;
+            exit 2)
+        ids
+    in
+    let progs = List.map (fun (w, _) -> w.Workload.prog) ws in
+    let specs = List.map snd ws in
+    let mem_image = List.concat_map (fun (w, _) -> w.Workload.mem_image) ws in
+    let spill_bases = List.map (fun (w, _) -> Workload.spill_base w) ws in
+    let bal = balanced_or_die ~spill_bases ~nreg progs in
+    let progs = bal.Pipeline.programs in
+    let open Npra_traffic in
+    let chaos =
+      Chaos.schedule ~seed:(seed + 131) ~engines ~threads:(List.length progs)
+        ~duration
+        {
+          Chaos.crashes;
+          permanent_hangs = hangs;
+          transient_hangs;
+          storms;
+          floods;
+        }
+    in
+    Fmt.pr "chaos schedule (seed %d): %a@." chaos.Chaos.seed
+      Fmt.(list ~sep:comma Chaos.pp_event)
+      chaos.Chaos.events;
+    let m =
+      Dispatch.run ~pool ~engines ~sentinel:`Trap ~chaos
+        ~watchdog:Dispatch.default_watchdog
+        ?shed:(if shed then Some { Dispatch.quantum = 4; burst = 12 } else None)
+        ~seed ~duration ~specs ~mem_image progs
+    in
+    Fmt.pr "%a" Metrics.pp m;
+    Fmt.pr "delivered fraction (flood excluded): %.4f, surviving %d/%d@."
+      (Metrics.delivered_fraction m)
+      (Metrics.surviving_engines m)
+      engines;
+    if not (Metrics.conservation_ok m) then begin
+      Fmt.epr
+        "PACKET CONSERVATION VIOLATED: offered %d <> served %d + dropped %d + \
+         residual %d@."
+        (Metrics.total_offered m) (Metrics.total_served m)
+        (Metrics.total_dropped m) (Metrics.total_residual m);
+      exit 1
+    end
+  in
+  let engines_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "engines" ] ~docv:"N" ~doc:"Micro-engines running the mix.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt int 40_000
+      & info [ "duration" ] ~docv:"CYCLES"
+          ~doc:"Cycles of traffic generation.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for arrival streams and the fault schedule.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains advancing engines within each slice. The metrics \
+             are identical at any job count; only wall clock changes.")
+  in
+  let count name doc = Arg.(value & opt int 0 & info [ name ] ~docv:"N" ~doc) in
+  let crashes_arg = count "crashes" "Permanent engine crashes to inject." in
+  let hangs_arg = count "hangs" "Permanent engine hangs (watchdog fodder)." in
+  let transient_arg = count "transient-hangs" "Self-clearing engine stalls." in
+  let storms_arg = count "storms" "Register-corruption storms." in
+  let floods_arg = count "floods" "Offered-load floods on one port." in
+  let shed_flag =
+    Arg.(
+      value & flag
+      & info [ "shed" ]
+          ~doc:"Enable the per-port deficit-round-robin admission credit.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run kernels under packet traffic with injected engine faults: \
+          watchdog quarantine, re-dispatch and overload shedding, with a \
+          printed recovery trail")
+    Term.(
+      const run $ nreg_arg $ engines_arg $ duration_arg $ seed_arg $ jobs_arg
+      $ crashes_arg $ hangs_arg $ transient_arg $ storms_arg $ floods_arg
+      $ shed_flag $ kernels_arg)
+
 (* ---- portfolio ---- *)
 
 let portfolio_cmd =
@@ -555,6 +664,7 @@ let () =
                 processor (PLDI 2004 reproduction)")
           [
             list_cmd; dump_cmd; analyze_cmd; allocate_cmd; portfolio_cmd;
-            simulate_cmd; throughput_cmd; asm_cmd; cc_cmd; sra_cmd; dot_cmd;
+            simulate_cmd; throughput_cmd; chaos_cmd; asm_cmd; cc_cmd; sra_cmd;
+            dot_cmd;
             table1_cmd; fig14_cmd; table2_cmd; table3_cmd;
           ]))

@@ -1,0 +1,245 @@
+(* System-level chaos matrix: kernel mixes × fault schedules.
+
+   Each cell allocates a four-kernel system with the balanced pipeline,
+   offers it deterministic traffic on three engines, injects one fault
+   scenario, and checks the fabric's contract: no abort, exact packet
+   conservation, goodput above the degradation floor. Arrival periods
+   are deliberately set well below saturation (about a third of the
+   offered load the registry's Table-3 operating point uses) so that a
+   healthy cell delivers essentially everything and the floor measures
+   fault degradation, not queueing loss. *)
+
+open Npra_workloads
+open Npra_core
+open Npra_traffic
+
+type scenario = { sc_name : string; sc_spec : Chaos.spec; sc_shed : bool }
+
+let scenarios =
+  let q = Chaos.quiet in
+  [
+    { sc_name = "none"; sc_spec = q; sc_shed = false };
+    { sc_name = "crash"; sc_spec = { q with Chaos.crashes = 1 }; sc_shed = false };
+    { sc_name = "hang"; sc_spec = { q with Chaos.permanent_hangs = 1 }; sc_shed = false };
+    {
+      sc_name = "transient-hang";
+      sc_spec = { q with Chaos.transient_hangs = 1 };
+      sc_shed = false;
+    };
+    { sc_name = "storm"; sc_spec = { q with Chaos.storms = 1 }; sc_shed = false };
+    { sc_name = "flood"; sc_spec = { q with Chaos.floods = 1 }; sc_shed = false };
+    {
+      sc_name = "overload-shed";
+      sc_spec = { q with Chaos.floods = 2 };
+      sc_shed = true;
+    };
+  ]
+
+type cell = {
+  c_mix : string;
+  c_scenario : string;
+  c_offered : int;
+  c_served : int;
+  c_drops : Metrics.drops;
+  c_residual : int;
+  c_surviving : int;
+  c_delivered : float;
+  c_bound : float;
+  c_conservation : bool;
+  c_trail : Metrics.trail_event list;
+  c_faults : (int * string) list;
+  c_ok : bool;
+}
+
+type matrix = {
+  m_seed : int;
+  m_duration : int;
+  m_engines : int;
+  m_cells : cell list;
+}
+
+let engines = 3
+
+let mixes =
+  [
+    ("fwd-mix", [ "crc32"; "frag"; "url"; "route" ]);
+    ("deep-mix", [ "route"; "drr"; "url"; "crc32" ]);
+  ]
+
+(* One spec per thread: uniform arrivals far below saturation, a small
+   bounded queue — enough headroom that re-dispatched packets from a
+   failed engine fit on the survivors. *)
+let cell_specs n =
+  List.init n (fun i ->
+      {
+        Workload.arrival = Workload.Uniform { period = 1500 + (137 * i) };
+        queue_capacity = 8;
+        per_packet_iters = 1;
+      })
+
+let build_system ids =
+  let ws =
+    List.mapi
+      (fun i id -> Registry.instantiate (Registry.find_exn id) ~slot:i ~iters:1)
+      ids
+  in
+  let progs = List.map (fun w -> w.Workload.prog) ws in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  let spill_bases = List.map Workload.spill_base ws in
+  let bal = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+  (bal.Pipeline.programs, mem_image)
+
+let run_cell ~pool ~seed ~duration ~mix_index (mix_name, ids) sc =
+  let progs, mem_image = build_system ids in
+  let nthreads = List.length progs in
+  let cell_seed = seed + (mix_index * 7919) in
+  let chaos =
+    Chaos.schedule ~seed:(cell_seed + 131) ~engines ~threads:nthreads ~duration
+      sc.sc_spec
+  in
+  let shed =
+    if sc.sc_shed then Some { Dispatch.quantum = 4; burst = 12 } else None
+  in
+  let m =
+    Dispatch.run ~pool ~engines ~sentinel:`Trap ~chaos
+      ~watchdog:Dispatch.default_watchdog ?shed ~seed:cell_seed ~duration
+      ~specs:(cell_specs nthreads) ~mem_image progs
+  in
+  let surviving = Metrics.surviving_engines m in
+  let delivered = Metrics.delivered_fraction m in
+  let bound = float_of_int surviving /. float_of_int engines *. 0.9 in
+  let conservation = Metrics.conservation_ok m in
+  {
+    c_mix = mix_name;
+    c_scenario = sc.sc_name;
+    c_offered = Metrics.total_offered m;
+    c_served = Metrics.total_served m;
+    c_drops = Metrics.total_drops m;
+    c_residual = Metrics.total_residual m;
+    c_surviving = surviving;
+    c_delivered = delivered;
+    c_bound = bound;
+    c_conservation = conservation;
+    c_trail = m.Metrics.rm_trail;
+    c_faults = Metrics.faults m;
+    c_ok = conservation && delivered >= bound;
+  }
+
+let run ?(pool = Npra_par.Pool.sequential) ?(seed = 42) ?(quick = false) () =
+  let duration = if quick then 20_000 else 40_000 in
+  (* Cells run sequentially; the pool parallelises inside each cell's
+     slice advance, which keeps pool tasks un-nested. *)
+  let cells =
+    List.concat
+      (List.mapi
+         (fun mix_index mix ->
+           List.map (run_cell ~pool ~seed ~duration ~mix_index mix) scenarios)
+         mixes)
+  in
+  { m_seed = seed; m_duration = duration; m_engines = engines; m_cells = cells }
+
+let all_ok m = List.for_all (fun c -> c.c_ok) m.m_cells
+
+let totals m =
+  ( List.length m.m_cells,
+    List.length (List.filter (fun c -> c.c_ok) m.m_cells) )
+
+let pp ppf m =
+  let cells, ok = totals m in
+  Fmt.pf ppf
+    "chaos matrix: %d cells (%d ok), %d engines, duration %d, seed %d@."
+    cells ok m.m_engines m.m_duration m.m_seed;
+  Fmt.pf ppf "  %-10s %-14s %8s %8s %8s %5s %9s %7s  %s@." "mix" "scenario"
+    "offered" "served" "dropped" "surv" "delivered" "bound" "status";
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  %-10s %-14s %8d %8d %8d %3d/%d %9.3f %7.3f  %s@." c.c_mix
+        c.c_scenario c.c_offered c.c_served
+        (Metrics.drops_total c.c_drops)
+        c.c_surviving m.m_engines c.c_delivered c.c_bound
+        (if c.c_ok then "ok"
+         else if not c.c_conservation then "CONSERVATION VIOLATED"
+         else "BELOW BOUND");
+      List.iter
+        (fun (e, msg) -> Fmt.pf ppf "      engine %d: %s@." e msg)
+        c.c_faults)
+    m.m_cells
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let cell_json m c =
+  let trail_counts =
+    List.map
+      (fun kind ->
+        ( kind,
+          List.length
+            (List.filter
+               (fun ev ->
+                 match (ev, kind) with
+                 | Metrics.Injected _, "injected"
+                 | Metrics.Fault_observed _, "fault_observed"
+                 | Metrics.Watchdog_fired _, "watchdog_fired"
+                 | Metrics.Redispatched _, "redispatched"
+                 | Metrics.Backoff _, "backoff"
+                 | Metrics.Reset _, "reset"
+                 | Metrics.Recovered _, "recovered"
+                 | Metrics.Quarantined _, "quarantined" ->
+                   true
+                 | _ -> false)
+               c.c_trail) ))
+      [
+        "injected";
+        "fault_observed";
+        "watchdog_fired";
+        "redispatched";
+        "backoff";
+        "reset";
+        "recovered";
+        "quarantined";
+      ]
+  in
+  Fmt.str
+    {|{"mix": "%s", "scenario": "%s", "offered": %d, "served": %d, "drops": {"queue_full": %d, "shed": %d, "quarantine": %d, "flood": %d}, "residual": %d, "surviving": %d, "engines": %d, "delivered": %.4f, "bound": %.4f, "conservation": %b, "trail": {%s}, "faults": [%s], "ok": %b}|}
+    (json_escape c.c_mix) (json_escape c.c_scenario) c.c_offered c.c_served
+    c.c_drops.Metrics.queue_full c.c_drops.Metrics.shed
+    c.c_drops.Metrics.quarantine c.c_drops.Metrics.flood c.c_residual
+    c.c_surviving m.m_engines c.c_delivered c.c_bound c.c_conservation
+    (String.concat ", "
+       (List.map (fun (k, n) -> Fmt.str {|"%s": %d|} k n) trail_counts))
+    (String.concat ", "
+       (List.map
+          (fun (e, msg) ->
+            Fmt.str {|{"engine": %d, "fault": "%s"}|} e (json_escape msg))
+          c.c_faults))
+    c.c_ok
+
+let to_json m =
+  let b = Buffer.create 4096 in
+  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"seed\": %d,\n" m.m_seed;
+  add "  \"duration\": %d,\n" m.m_duration;
+  add "  \"engines\": %d,\n" m.m_engines;
+  let cells, ok = totals m in
+  add "  \"cells\": %d,\n" cells;
+  add "  \"cells_ok\": %d,\n" ok;
+  add "  \"all_ok\": %b,\n" (all_ok m);
+  add "  \"matrix\": [\n";
+  List.iteri
+    (fun i c ->
+      add "    %s%s\n" (cell_json m c)
+        (if i < List.length m.m_cells - 1 then "," else ""))
+    m.m_cells;
+  add "  ]\n";
+  add "}";
+  Buffer.contents b

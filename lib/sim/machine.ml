@@ -211,6 +211,10 @@ type t = {
       (* thread whose yield the next dispatch follows; charging the
          context-switch cost is deferred to that dispatch so a bounded
          run can pause at the yield point *)
+  mutable stalled_until : int;
+      (* chaos-injected hang: while [cycle < stalled_until] a bounded
+         run advances the clock but retires nothing — the observable a
+         dispatcher-level watchdog detects *)
 }
 
 let status_view th =
@@ -349,6 +353,7 @@ let create ?(config = default_config) ?(engine = `Decoded) ?(mem_image = [])
     holder = None;
     rr_from = nthd - 1;
     last_yielder = None;
+    stalled_until = 0;
     sentinel =
       (match sentinel with
       | `Off -> None
@@ -388,7 +393,12 @@ let read_idx t th n =
         reader = th.id;
         reader_name = th.prog.Prog.name;
         clobberer;
-        clobberer_name = t.threads.(clobberer).prog.Prog.name;
+        clobberer_name =
+          (* [scribble] attributes its writes to a phantom thread one
+             past the real ones *)
+          (if clobberer < Array.length t.threads then
+             t.threads.(clobberer).prog.Prog.name
+           else "chaos-storm");
         clobber_cycle = s.owner_cycle.(n);
         read_cycle = t.cycle;
         victim_value =
@@ -722,9 +732,59 @@ let run ?(config = default_config) ?(engine = `Decoded) ?(mem_image = [])
 type pause = [ `Horizon | `Idle | `Halted of int ]
 
 let run_until ?(stop_on_halt = false) t ~horizon : pause =
-  match exec t ~horizon ~strict:false ~stop_on_halt with
-  | (`Horizon | `Idle | `Halted _) as p -> p
-  | `Done -> assert false  (* strict-mode only *)
+  (* A stalled machine burns clock without retiring anything: the hang
+     the chaos harness injects and the dispatcher watchdog detects. If
+     the stall expires inside the horizon the machine resumes; blocked
+     threads wake late, exactly as if the whole engine froze. *)
+  if t.cycle < t.stalled_until then
+    t.cycle <- max t.cycle (min horizon t.stalled_until);
+  if t.cycle < t.stalled_until && t.cycle >= horizon then `Idle
+  else
+    match exec t ~horizon ~strict:false ~stop_on_halt with
+    | (`Horizon | `Idle | `Halted _) as p -> p
+    | `Done -> assert false  (* strict-mode only *)
+
+let stall t ~until = t.stalled_until <- until
+let stalled t = t.cycle < t.stalled_until
+
+let instructions_retired t =
+  Array.fold_left (fun a th -> a + th.instrs) 0 t.threads
+
+let thread_statuses = statuses
+
+(* Chaos storm: deterministically clobber up to [count] currently-owned
+   registers with garbage, attributing the writes to a phantom thread
+   id one past the real ones. Every subsequent read of a clobbered
+   register by any real thread therefore trips the sentinel (the
+   phantom id never equals a reader), so a storm is always caught at
+   the first dependent read instead of silently corrupting values. A
+   no-op (returning 0) without the sentinel. *)
+let scribble t ~seed ~count =
+  match t.sentinel with
+  | None -> 0
+  | Some s ->
+    let state = ref (if seed = 0 then 0x9E3779B9 else seed land 0x3FFFFFFF) in
+    let rand () =
+      let x = !state in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 17) in
+      let x = x lxor (x lsl 5) in
+      let x = x land 0x3FFFFFFF in
+      state := (if x = 0 then 1 else x);
+      x
+    in
+    let phantom = Array.length t.threads in
+    let hits = ref 0 in
+    for _ = 1 to count do
+      let n = rand () mod t.config.nreg in
+      if s.owner.(n) >= 0 && s.owner.(n) < phantom then begin
+        s.owner.(n) <- phantom;
+        s.owner_cycle.(n) <- t.cycle;
+        t.regs.(n) <- rand ();
+        incr hits
+      end
+    done;
+    !hits
 
 let cycle t = t.cycle
 let num_threads t = Array.length t.threads

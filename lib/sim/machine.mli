@@ -166,6 +166,38 @@ val cycle : t -> int
 val num_threads : t -> int
 val thread_state : t -> int -> thread_state_view
 
+val thread_statuses : t -> thread_status list
+(** Per-thread status snapshot (index, name, pc, state) — the same
+    detail {!stuck} carries, exposed so a dispatcher can attach it to a
+    structured engine report without tripping a trap. *)
+
+(** {2 Chaos-injection hooks}
+
+    The system-level fault harness drives these between bounded slices.
+    They model hardware-shell failures, not program bugs: a hang freezes
+    the whole engine, a storm scribbles the register file. *)
+
+val stall : t -> until:int -> unit
+(** Injects a hang: until the clock reaches [until], {!run_until}
+    advances time but retires no instruction — observable to a watchdog
+    as zero progress across slices. A later [stall ~until:0] (or any
+    past cycle) clears it. Strict {!run} ignores stalls. *)
+
+val stalled : t -> bool
+
+val instructions_retired : t -> int
+(** Total instructions retired across all threads — the watchdog's
+    progress counter. *)
+
+val scribble : t -> seed:int -> count:int -> int
+(** Chaos storm: deterministically overwrites up to [count] currently
+    owned registers with garbage, attributed to a phantom thread id, so
+    the armed sentinel traps at the first read of any clobbered
+    register ([clobberer_name] reads ["chaos-storm"]). Returns the
+    number of registers actually hit; a no-op (0) when the machine has
+    no sentinel. Integer-only and a pure function of [(seed, count)]
+    and the machine state. *)
+
 val park_thread : t -> int -> unit
 (** Marks a still-[Runnable] thread as completed without executing it —
     used right after {!create} to hold threads dormant until their

@@ -1,50 +1,76 @@
-(* Multi-micro-engine packet dispatcher.
+(* Multi-micro-engine packet dispatcher, with a chaos-hardened fabric.
 
-   Runs N independent {!Npra_sim.Machine} instances — micro-engines —
-   each executing the same four allocated thread programs, under
-   packet traffic on a shared global virtual clock. Thread i of every
-   engine is a port with its own deterministic arrival stream (seeded
-   from the run seed, the engine index and the thread index) and its
-   own bounded input queue; an arrival to a full queue is dropped and
-   counted. A thread serves one packet per program run: it sits parked
+   Two execution paths share all packet plumbing:
+
+   - The {e legacy} path (no [chaos], no [watchdog]) runs N independent
+     {!Npra_sim.Machine} instances to completion, one pool task per
+     engine — maximum wall-clock parallelism, identical results at any
+     worker count because engines never share state.
+
+   - The {e fabric} path (any [chaos] or [watchdog] argument) runs the
+     same engines slice-synchronously: every global slice boundary is a
+     sequential barrier where faults are injected, the per-engine
+     watchdog checks progress, backed-off engines are reset, shedding
+     credits are refilled, and dead engines' arrivals are re-routed;
+     between barriers the live engines advance in parallel. Barriers
+     are sequential and engine advances touch only their own engine, so
+     the fabric too is byte-deterministic at any worker count.
+
+   A thread serves one packet per program run: it sits parked
    ([Machine.park_thread]) until a packet is queued, is restarted at
-   service start ([Machine.restart_thread]), and its [halt] completes
-   the packet — the machine's [`Halted] pause hands control back to the
-   dispatcher at the exact completion cycle, so latency accounting is
-   cycle-accurate.
-
-   Engines never share registers or memory, but they are advanced in
-   interleaved slices of the global clock (never past the next arrival
-   of any of their ports), exactly as a shared-clock hardware shell
-   would run them; a machine that traps — the corruption sentinel, a
-   register-file violation — or fails to drain its accepted packets
-   within the drain budget marks its engine faulted, and the run's
-   metrics carry the fault. *)
+   service start, and its [halt] completes the packet — the machine's
+   [`Halted] pause hands control back at the exact completion cycle,
+   so latency accounting is cycle-accurate. *)
 
 open Npra_ir
 open Npra_sim
 open Npra_workloads
 
+type watchdog = { stall_slices : int; retries : int; backoff_slices : int }
+
+let default_watchdog = { stall_slices = 3; retries = 2; backoff_slices = 2 }
+
+type shed = { quantum : int; burst : int }
+
 type port = {
   spec : Workload.traffic_spec;
   stream : Arrival.t;
-  queue : int Queue.t;  (* arrival cycles of waiting packets *)
-  mutable serving : (int * int) option;  (* (arrival, service start) *)
+  queue : (int * bool) Queue.t;  (* (arrival cycle, flood?) *)
+  mutable serving : (int * int * bool) option;
+      (* (arrival, service start, flood?) *)
   mutable seq : int;  (* packets started, drives the refresh payload *)
   mutable offered : int;
-  mutable dropped : int;
   mutable served : int;
+  mutable d_queue_full : int;
+  mutable d_shed : int;
+  mutable d_quarantine : int;
+  mutable d_flood : int;
+  mutable offered_flood : int;
+  mutable served_flood : int;
   mutable max_queue : int;
   mutable sum_wait : int;
   mutable sum_service : int;
   mutable latencies_rev : int list;
+  mutable credit : int;  (* deficit-round-robin admission credit *)
+  mutable flood_until : int;  (* chaos flood active while next < until *)
+  mutable flood_next : int;
+  mutable flood_period : int;
 }
+
+type life = Live | Backoff of int  (* until this barrier number *) | Dead
 
 type engine = {
   index : int;
-  machine : Machine.t;
+  mutable machine : Machine.t;
   ports : port array;
-  mutable fault : string option;
+  mutable fault : Metrics.engine_fault option;
+  mutable life : life;
+  mutable retries_left : int;
+  mutable stall_count : int;  (* consecutive no-progress barriers *)
+  mutable last_instrs : int;
+  mutable permanent_hang : bool;  (* re-assert the stall after a reset *)
+  mutable trap_pending : bool;  (* a trap since the last barrier *)
+  mutable probation : bool;  (* fresh after reset; first retire = recovery *)
 }
 
 (* Seed mixing: one xorshift pass over a combination of run seed,
@@ -58,7 +84,8 @@ let port_seed ~seed ~engine ~thread =
   let x = x lxor (x lsl 5) land 0x3FFFFFFF in
   if x = 0 then 1 else x
 
-let make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs index =
+let make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs
+    ~retries ~burst index =
   let machine =
     Machine.create ~config:machine_config ~mem_image ~sentinel progs
   in
@@ -81,32 +108,88 @@ let make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs index =
                serving = None;
                seq = 0;
                offered = 0;
-               dropped = 0;
                served = 0;
+               d_queue_full = 0;
+               d_shed = 0;
+               d_quarantine = 0;
+               d_flood = 0;
+               offered_flood = 0;
+               served_flood = 0;
                max_queue = 0;
                sum_wait = 0;
                sum_service = 0;
                latencies_rev = [];
+               credit = burst;
+               flood_until = 0;
+               flood_next = max_int;
+               flood_period = 1;
              })
            specs);
     fault = None;
+    life = Live;
+    retries_left = retries;
+    stall_count = 0;
+    last_instrs = 0;
+    permanent_hang = false;
+    trap_pending = false;
+    probation = false;
   }
 
+(* Admission: bounded queue first, then the shedding credit. A refused
+   flood packet is always accounted as [flood], whatever refused it. *)
+let admit p ~at ~flood ~shed =
+  p.offered <- p.offered + 1;
+  if flood then p.offered_flood <- p.offered_flood + 1;
+  if Queue.length p.queue >= p.spec.Workload.queue_capacity then
+    if flood then p.d_flood <- p.d_flood + 1
+    else p.d_queue_full <- p.d_queue_full + 1
+  else if shed <> None && p.credit <= 0 then
+    if flood then p.d_flood <- p.d_flood + 1 else p.d_shed <- p.d_shed + 1
+  else begin
+    Queue.add (at, flood) p.queue;
+    if shed <> None then p.credit <- p.credit - 1;
+    p.max_queue <- max p.max_queue (Queue.length p.queue)
+  end
+
+(* Same admission for a packet re-routed from a dead engine: the
+   arrival was already counted [offered] at its origin port. *)
+let admit_routed p ~at ~flood ~shed =
+  if Queue.length p.queue >= p.spec.Workload.queue_capacity then
+    if flood then p.d_flood <- p.d_flood + 1
+    else p.d_queue_full <- p.d_queue_full + 1
+  else if shed <> None && p.credit <= 0 then
+    if flood then p.d_flood <- p.d_flood + 1 else p.d_shed <- p.d_shed + 1
+  else begin
+    Queue.add (at, flood) p.queue;
+    if shed <> None then p.credit <- p.credit - 1;
+    p.max_queue <- max p.max_queue (Queue.length p.queue)
+  end
+
+let flood_active p ~duration =
+  p.flood_next < p.flood_until && p.flood_next < duration
+
 (* Arrivals up to the engine's current cycle (traffic stops at
-   [duration]): enqueue, or drop against a full queue. *)
-let deliver e ~duration =
+   [duration]), stream and chaos-flood interleaved in time order. *)
+let deliver e ~duration ~shed =
   let now = Machine.cycle e.machine in
   Array.iter
     (fun p ->
-      while Arrival.peek p.stream < duration && Arrival.peek p.stream <= now do
-        let at = Arrival.advance p.stream in
-        p.offered <- p.offered + 1;
-        if Queue.length p.queue >= p.spec.Workload.queue_capacity then
-          p.dropped <- p.dropped + 1
-        else begin
-          Queue.add at p.queue;
-          p.max_queue <- max p.max_queue (Queue.length p.queue)
+      let continue_ = ref true in
+      while !continue_ do
+        let sa =
+          let a = Arrival.peek p.stream in
+          if a < duration then a else max_int
+        in
+        let fa = if flood_active p ~duration then p.flood_next else max_int in
+        if sa <= fa && sa <= now then begin
+          let at = Arrival.advance p.stream in
+          admit p ~at ~flood:false ~shed
         end
+        else if fa < sa && fa <= now then begin
+          p.flood_next <- p.flood_next + p.flood_period;
+          admit p ~at:fa ~flood:true ~shed
+        end
+        else continue_ := false
       done)
     e.ports
 
@@ -124,9 +207,9 @@ let start_service e ~refresh =
            | Machine.Runnable | Machine.Waiting _ | Machine.Quarantined _ ->
              false)
       then begin
-        let at = Queue.pop p.queue in
+        let at, flood = Queue.pop p.queue in
         let now = Machine.cycle e.machine in
-        p.serving <- Some (at, now);
+        p.serving <- Some (at, now, flood);
         p.sum_wait <- p.sum_wait + (now - at);
         (match refresh with
         | None -> ()
@@ -143,10 +226,11 @@ let finish_service e i =
   let p = e.ports.(i) in
   match p.serving with
   | None -> ()  (* a halt with no packet in flight: ignore defensively *)
-  | Some (at, start) ->
+  | Some (at, start, flood) ->
     let now = Machine.cycle e.machine in
     p.serving <- None;
     p.served <- p.served + 1;
+    if flood then p.served_flood <- p.served_flood + 1;
     p.sum_service <- p.sum_service + (now - start);
     p.latencies_rev <- (now - at) :: p.latencies_rev
 
@@ -157,23 +241,34 @@ let finish_service e i =
 let horizon e ~upto ~duration =
   Array.fold_left
     (fun h p ->
-      let a = Arrival.peek p.stream in
-      if a < duration then min h a else h)
+      let h =
+        let a = Arrival.peek p.stream in
+        if a < duration then min h a else h
+      in
+      if flood_active p ~duration then min h p.flood_next else h)
     upto e.ports
 
 let guard_faults e f =
   if e.fault = None then
     try f () with
     | Machine.Corruption c ->
-      e.fault <- Some (Fmt.str "sentinel: %a" Machine.pp_corruption c)
+      e.fault <-
+        Some
+          (Metrics.Engine_trap
+             { message = Fmt.str "sentinel: %a" Machine.pp_corruption c });
+      e.trap_pending <- true
     | Machine.Stuck s ->
-      e.fault <- Some (Fmt.str "machine stuck: %a" Machine.pp_stuck s)
+      e.fault <-
+        Some
+          (Metrics.Engine_trap
+             { message = Fmt.str "machine stuck: %a" Machine.pp_stuck s });
+      e.trap_pending <- true
 
 (* Advance one engine to global cycle [upto]. *)
-let advance e ~upto ~duration ~refresh =
+let advance e ~upto ~duration ~refresh ~shed =
   guard_faults e (fun () ->
       while e.fault = None && Machine.cycle e.machine < upto do
-        deliver e ~duration;
+        deliver e ~duration ~shed;
         start_service e ~refresh;
         let h = horizon e ~upto ~duration in
         match Machine.run_until ~stop_on_halt:true e.machine ~horizon:h with
@@ -186,9 +281,82 @@ let pending e =
     (fun p -> p.serving <> None || not (Queue.is_empty p.queue))
     e.ports
 
+let pending_count e =
+  Array.fold_left
+    (fun a p ->
+      a + (if p.serving = None then 0 else 1) + Queue.length p.queue)
+    0 e.ports
+
+let refill_credits engines_arr = function
+  | None -> ()
+  | Some s ->
+    Array.iter
+      (fun e ->
+        Array.iter
+          (fun p -> p.credit <- min s.burst (p.credit + s.quantum))
+          e.ports)
+      engines_arr
+
+let port_metrics i p =
+  {
+    Metrics.tm_thread = i;
+    tm_name = "";  (* filled by the caller, which knows the programs *)
+    offered = p.offered;
+    served = p.served;
+    drops =
+      {
+        Metrics.queue_full = p.d_queue_full;
+        shed = p.d_shed;
+        quarantine = p.d_quarantine;
+        flood = p.d_flood;
+      };
+    max_queue = p.max_queue;
+    sum_wait = p.sum_wait;
+    sum_service = p.sum_service;
+    latencies = List.rev p.latencies_rev;
+    flood_offered = p.offered_flood;
+    flood_served = p.served_flood;
+  }
+
+let build_metrics ~duration ~seed ~trail ~names es =
+  {
+    Metrics.rm_duration = duration;
+    rm_seed = seed;
+    rm_trail = trail;
+    rm_engines =
+      Array.to_list
+        (Array.map
+           (fun e ->
+             {
+               Metrics.em_engine = e.index;
+               em_threads =
+                 List.mapi
+                   (fun i name ->
+                     {
+                       (port_metrics i e.ports.(i)) with
+                       Metrics.tm_name = name;
+                     })
+                   names;
+               em_report = Machine.report e.machine;
+               em_fault = e.fault;
+               em_residual = pending_count e;
+               em_live =
+                 (e.life <> Dead
+                 &&
+                 match e.fault with
+                 | Some (Metrics.Engine_trap _) -> e.trap_pending = false
+                 | _ -> true);
+             })
+           es);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Legacy path: independent engines, one pool task each.               *)
+
 (* After traffic stops, accepted packets must still complete; an engine
-   that cannot drain within the budget is deadlocked. *)
-let drain e ~deadline ~refresh =
+   that cannot drain within the budget is deadlocked — reported as a
+   structured fault carrying the per-thread machine states. *)
+let drain e ~deadline ~refresh ~shed =
   guard_faults e (fun () ->
       let made_progress = ref true in
       while
@@ -203,37 +371,375 @@ let drain e ~deadline ~refresh =
         | `Halted i -> finish_service e i
         | `Horizon -> ()
         | `Idle -> made_progress := false
-      done;
-      if e.fault = None && pending e then
+      done);
+  ignore shed;
+  if e.fault = None && pending e then
+    e.fault <-
+      Some
+        (Metrics.Drain_deadlock
+           {
+             at = Machine.cycle e.machine;
+             deadline;
+             pending = pending_count e;
+             threads = Machine.thread_statuses e.machine;
+           })
+
+let run_legacy ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
+    ~drain_budget ~shed ~seed ~duration ~specs ~mem_image ~progs =
+  (* Engines never share registers, memory or arrival streams: each one
+     is a pure function of (seed, engine index, specs, programs). The
+     global clock interleaving is therefore equivalent to running every
+     engine's slice sequence to completion independently — which is
+     exactly what each pool task does, so a multi-worker run produces
+     the same engines, in the same index order, as a sequential one. *)
+  let burst = match shed with Some s -> s.burst | None -> 0 in
+  let es =
+    Npra_par.Pool.tasks pool engines (fun index ->
+        let e =
+          make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs
+            ~retries:0 ~burst index
+        in
+        let t = ref 0 in
+        while !t < duration do
+          refill_credits [| e |] shed;
+          let upto = min duration (!t + slice) in
+          advance e ~upto ~duration ~refresh ~shed;
+          t := upto
+        done;
+        drain e ~deadline:(duration + drain_budget) ~refresh ~shed;
+        e)
+  in
+  let names = List.map (fun p -> p.Prog.name) progs in
+  build_metrics ~duration ~seed ~trail:[] ~names es
+
+(* ------------------------------------------------------------------ *)
+(* Fabric path: slice-synchronous barriers, watchdog, quarantine and   *)
+(* re-dispatch.                                                        *)
+
+let storm_seed ~chaos_seed ~engine ~now =
+  let x = chaos_seed + (engine * 1009) + (now * 31) + 1 in
+  let x = x land 0x3FFFFFFF in
+  if x = 0 then 1 else x
+
+(* Remove every packet the engine holds — the in-flight one first, then
+   each port's queue in FIFO order — returning (port, arrival, flood)
+   triples in that deterministic order. *)
+let salvage e =
+  let acc = ref [] in
+  Array.iteri
+    (fun i p ->
+      (match p.serving with
+      | Some (at, _start, flood) ->
+        acc := (i, at, flood) :: !acc;
+        p.serving <- None
+      | None -> ());
+      Queue.iter (fun (at, flood) -> acc := (i, at, flood) :: !acc) p.queue;
+      Queue.clear p.queue)
+    e.ports;
+  List.rev !acc
+
+let run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
+    ~drain_budget ~chaos ~wd ~shed ~seed ~duration ~specs ~mem_image ~progs =
+  let burst = match shed with Some s -> s.burst | None -> 0 in
+  let es =
+    Array.init engines
+      (make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs
+         ~retries:wd.retries ~burst)
+  in
+  let trail = ref [] in
+  let emit ev = trail := ev :: !trail in
+  let rr = ref 0 in  (* global round-robin cursor for re-dispatch *)
+  let live_survivors except =
+    Array.to_list es
+    |> List.filter (fun e -> e.life = Live && e.index <> except)
+  in
+  (* Re-queue salvaged packets onto surviving engines (same port index,
+     round-robin over survivors, first one with queue room). With no
+     survivor: a retryable engine keeps its own packets — it will come
+     back — while a quarantined one loses them as [quarantine] drops. *)
+  let redispatch e ~now ~retryable pkts =
+    let survivors = Array.of_list (live_survivors e.index) in
+    let n = Array.length survivors in
+    if n = 0 && retryable then begin
+      List.iter (fun (i, at, flood) -> Queue.add (at, flood) e.ports.(i).queue) pkts;
+      emit
+        (Metrics.Redispatched
+           { cycle = now; engine = e.index; packets = List.length pkts; lost = 0 })
+    end
+    else begin
+      let moved = ref 0 and lost = ref 0 in
+      List.iter
+        (fun (i, at, flood) ->
+          let placed = ref false and tries = ref 0 in
+          while (not !placed) && !tries < n do
+            let tgt = survivors.(!rr mod n) in
+            incr rr;
+            incr tries;
+            let tp = tgt.ports.(i) in
+            if Queue.length tp.queue < tp.spec.Workload.queue_capacity then begin
+              Queue.add (at, flood) tp.queue;
+              tp.max_queue <- max tp.max_queue (Queue.length tp.queue);
+              placed := true;
+              incr moved
+            end
+          done;
+          if not !placed then begin
+            e.ports.(i).d_quarantine <- e.ports.(i).d_quarantine + 1;
+            incr lost
+          end)
+        pkts;
+      emit
+        (Metrics.Redispatched
+           { cycle = now; engine = e.index; packets = !moved; lost = !lost })
+    end
+  in
+  (* An engine failed (watchdog fire or trap): bounded retry with
+     slice-based backoff, then permanent quarantine. *)
+  let fail_engine e ~now ~barrier_no ~final_fault ~reason =
+    let pkts = salvage e in
+    if e.retries_left > 0 then begin
+      e.retries_left <- e.retries_left - 1;
+      let retry_no = wd.retries - e.retries_left in
+      let until = barrier_no + (wd.backoff_slices * retry_no) in
+      e.life <- Backoff until;
+      redispatch e ~now ~retryable:true pkts;
+      emit
+        (Metrics.Backoff
+           {
+             cycle = now;
+             engine = e.index;
+             until_cycle = now + (wd.backoff_slices * retry_no * slice);
+             retries_left = e.retries_left;
+           })
+    end
+    else begin
+      e.life <- Dead;
+      e.fault <- Some final_fault;
+      redispatch e ~now ~retryable:false pkts;
+      emit (Metrics.Quarantined { cycle = now; engine = e.index; reason })
+    end
+  in
+  let pending_events = ref (match chaos with None -> [] | Some c -> c.Chaos.events) in
+  let chaos_seed = match chaos with None -> 0 | Some c -> c.Chaos.seed in
+  let nports = List.length specs in
+  (* One barrier, run sequentially in engine-index order at global
+     cycle [now] (= a slice boundary). *)
+  let barrier ~now ~barrier_no =
+    (* 1. chaos injection: every event whose cycle has been reached *)
+    let rec inject () =
+      match !pending_events with
+      | ev :: rest when Chaos.event_at ev <= now ->
+        pending_events := rest;
+        let idx = Chaos.event_engine ev in
+        if idx >= 0 && idx < engines then begin
+          let e = es.(idx) in
+          emit
+            (Metrics.Injected
+               {
+                 cycle = now;
+                 engine = idx;
+                 what = Fmt.str "%a" Chaos.pp_event ev;
+               });
+          (match ev with
+          | Chaos.Crash _ ->
+            if e.life <> Dead then begin
+              e.fault <- Some (Metrics.Crash_injected { at = now });
+              e.life <- Dead;
+              let pkts = salvage e in
+              redispatch e ~now ~retryable:false pkts;
+              emit
+                (Metrics.Quarantined
+                   { cycle = now; engine = idx; reason = "crash" })
+            end
+          | Chaos.Hang { stall; _ } ->
+            if e.life <> Dead then begin
+              (match stall with
+              | Chaos.Permanent ->
+                e.permanent_hang <- true;
+                Machine.stall e.machine ~until:max_int
+              | Chaos.Transient n -> Machine.stall e.machine ~until:(now + n))
+            end
+          | Chaos.Storm { writes; _ } ->
+            if e.life = Live then
+              ignore
+                (Machine.scribble e.machine
+                   ~seed:(storm_seed ~chaos_seed ~engine:idx ~now)
+                   ~count:writes)
+          | Chaos.Flood { thread; duration = fd; period; _ } ->
+            if thread >= 0 && thread < nports then begin
+              let p = e.ports.(thread) in
+              p.flood_until <- now + fd;
+              p.flood_next <- now;
+              p.flood_period <- max 1 period
+            end)
+        end;
+        inject ()
+      | _ -> ()
+    in
+    inject ();
+    (* 2. watchdog: trap handling, then the progress check *)
+    Array.iter
+      (fun e ->
+        match e.life with
+        | Live ->
+          if e.trap_pending then begin
+            e.trap_pending <- false;
+            let what =
+              match e.fault with
+              | Some f -> Metrics.fault_message f
+              | None -> "trap"
+            in
+            emit (Metrics.Fault_observed { cycle = now; engine = e.index; what });
+            fail_engine e ~now ~barrier_no
+              ~final_fault:
+                (match e.fault with
+                | Some f -> f
+                | None -> Metrics.Engine_trap { message = "trap" })
+              ~reason:"trap retries exhausted"
+          end
+          else begin
+            let instrs = Machine.instructions_retired e.machine in
+            if e.probation && instrs > e.last_instrs then begin
+              e.probation <- false;
+              emit (Metrics.Recovered { cycle = now; engine = e.index })
+            end;
+            if instrs = e.last_instrs && pending e then begin
+              e.stall_count <- e.stall_count + 1;
+              if e.stall_count >= wd.stall_slices then begin
+                let stalled_slices = e.stall_count in
+                emit
+                  (Metrics.Watchdog_fired
+                     { cycle = now; engine = e.index; stalled_slices });
+                e.stall_count <- 0;
+                fail_engine e ~now ~barrier_no
+                  ~final_fault:
+                    (Metrics.Hang_quarantined { at = now; stalled_slices })
+                  ~reason:"hang retries exhausted"
+              end
+            end
+            else e.stall_count <- 0;
+            e.last_instrs <- instrs
+          end
+        | Backoff _ | Dead -> ())
+      es;
+    (* 3. backoff expiry: fresh machine, clock re-synced to the global
+       now; a permanent hang re-asserts its stall so the watchdog's
+       remaining retries exhaust deterministically *)
+    Array.iter
+      (fun e ->
+        match e.life with
+        | Backoff until when barrier_no >= until ->
+          let m =
+            Machine.create ~config:machine_config ~mem_image ~sentinel progs
+          in
+          List.iteri (fun i _ -> Machine.park_thread m i) progs;
+          ignore (Machine.run_until m ~horizon:now);
+          if e.permanent_hang then Machine.stall m ~until:max_int;
+          e.machine <- m;
+          e.life <- Live;
+          (* a retried fault is forgiven: a fresh machine advances again,
+             and only the fault that finally kills the engine is kept *)
+          e.fault <- None;
+          e.stall_count <- 0;
+          e.last_instrs <- Machine.instructions_retired m;
+          e.trap_pending <- false;
+          e.probation <- true;
+          emit (Metrics.Reset { cycle = now; engine = e.index })
+        | Live | Backoff _ | Dead -> ())
+      es;
+    (* 4. shedding credits *)
+    refill_credits es shed;
+    (* 5. inert engines' arrivals: a backed-off engine queues its own
+       (it will return); a dead engine's stream packets are re-routed
+       round-robin onto survivors, its flood packets dropped *)
+    Array.iter
+      (fun e ->
+        match e.life with
+        | Live -> ()
+        | Backoff _ ->
+          Array.iter
+            (fun p ->
+              while
+                Arrival.peek p.stream < duration && Arrival.peek p.stream <= now
+              do
+                let at = Arrival.advance p.stream in
+                admit p ~at ~flood:false ~shed
+              done;
+              while flood_active p ~duration && p.flood_next <= now do
+                let at = p.flood_next in
+                p.flood_next <- p.flood_next + p.flood_period;
+                admit p ~at ~flood:true ~shed
+              done)
+            e.ports
+        | Dead ->
+          Array.iteri
+            (fun i p ->
+              while
+                Arrival.peek p.stream < duration && Arrival.peek p.stream <= now
+              do
+                let at = Arrival.advance p.stream in
+                p.offered <- p.offered + 1;
+                (match live_survivors e.index with
+                | [] -> p.d_quarantine <- p.d_quarantine + 1
+                | survivors ->
+                  let arr = Array.of_list survivors in
+                  let tgt = arr.(!rr mod Array.length arr) in
+                  incr rr;
+                  admit_routed tgt.ports.(i) ~at ~flood:false ~shed)
+              done;
+              while flood_active p ~duration && p.flood_next <= now do
+                p.flood_next <- p.flood_next + p.flood_period;
+                p.offered <- p.offered + 1;
+                p.offered_flood <- p.offered_flood + 1;
+                p.d_flood <- p.d_flood + 1
+              done)
+            e.ports)
+      es
+  in
+  let deadline = duration + drain_budget in
+  let t = ref 0 and barrier_no = ref 0 in
+  let anyone_pending () =
+    Array.exists (fun e -> e.life <> Dead && pending e) es
+  in
+  let continue_ () =
+    if !t < duration then true else !t < deadline && anyone_pending ()
+  in
+  while continue_ () do
+    barrier ~now:!t ~barrier_no:!barrier_no;
+    let upto = min (if !t < duration then duration else deadline) (!t + slice) in
+    ignore
+      (Npra_par.Pool.tasks pool engines (fun i ->
+           let e = es.(i) in
+           (match e.life with
+           | Live -> advance e ~upto ~duration ~refresh ~shed
+           | Backoff _ | Dead -> ());
+           ()));
+    t := upto;
+    incr barrier_no
+  done;
+  (* Run one last barrier so faults from the final slice (a trap, a
+     stall that just crossed the threshold) reach the trail, then mark
+     anything still pending as a structured drain deadlock. *)
+  barrier ~now:!t ~barrier_no:!barrier_no;
+  Array.iter
+    (fun e ->
+      if e.life <> Dead && pending e then
         e.fault <-
           Some
-            (Fmt.str
-               "deadlock: %d packet(s) still in flight or queued at cycle %d \
-                (drain deadline %d)"
-               (Array.fold_left
-                  (fun a p ->
-                    a
-                    + (if p.serving = None then 0 else 1)
-                    + Queue.length p.queue)
-                  0 e.ports)
-               (Machine.cycle e.machine) deadline))
-
-let port_metrics i p =
-  {
-    Metrics.tm_thread = i;
-    tm_name = "";  (* filled by the caller, which knows the programs *)
-    offered = p.offered;
-    served = p.served;
-    dropped = p.dropped;
-    max_queue = p.max_queue;
-    sum_wait = p.sum_wait;
-    sum_service = p.sum_service;
-    latencies = List.rev p.latencies_rev;
-  }
+            (Metrics.Drain_deadlock
+               {
+                 at = Machine.cycle e.machine;
+                 deadline;
+                 pending = pending_count e;
+                 threads = Machine.thread_statuses e.machine;
+               }))
+    es;
+  let names = List.map (fun p -> p.Prog.name) progs in
+  build_metrics ~duration ~seed ~trail:(List.rev !trail) ~names es
 
 let run ?(pool = Npra_par.Pool.sequential) ?(engines = 1) ?(slice = 1024)
-    ?(sentinel = `Off) ?machine_config ?refresh ?drain_budget ~seed ~duration
-    ~specs ~mem_image progs =
+    ?(sentinel = `Off) ?machine_config ?refresh ?drain_budget ?chaos ?watchdog
+    ?shed ~seed ~duration ~specs ~mem_image progs =
   if engines < 1 then invalid_arg "Dispatch.run: engines must be >= 1";
   if List.length specs <> List.length progs then
     invalid_arg "Dispatch.run: one traffic spec per thread program";
@@ -246,44 +752,11 @@ let run ?(pool = Npra_par.Pool.sequential) ?(engines = 1) ?(slice = 1024)
   let drain_budget =
     match drain_budget with Some b -> b | None -> max duration 10_000
   in
-  (* Engines never share registers, memory or arrival streams: each one
-     is a pure function of (seed, engine index, specs, programs). The
-     global clock interleaving is therefore equivalent to running every
-     engine's slice sequence to completion independently — which is
-     exactly what each pool task does, so a multi-worker run produces
-     the same engines, in the same index order, as a sequential one. *)
-  let es =
-    Npra_par.Pool.tasks pool engines (fun index ->
-        let e =
-          make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs
-            index
-        in
-        let t = ref 0 in
-        while !t < duration do
-          let upto = min duration (!t + slice) in
-          advance e ~upto ~duration ~refresh;
-          t := upto
-        done;
-        drain e ~deadline:(duration + drain_budget) ~refresh;
-        e)
-  in
-  let names = List.map (fun p -> p.Prog.name) progs in
-  {
-    Metrics.rm_duration = duration;
-    rm_seed = seed;
-    rm_engines =
-      Array.to_list
-        (Array.map
-           (fun e ->
-             {
-               Metrics.em_engine = e.index;
-               em_threads =
-                 List.mapi
-                   (fun i name ->
-                     { (port_metrics i e.ports.(i)) with Metrics.tm_name = name })
-                   names;
-               em_report = Machine.report e.machine;
-               em_fault = e.fault;
-             })
-           es);
-  }
+  match (chaos, watchdog) with
+  | None, None ->
+    run_legacy ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
+      ~drain_budget ~shed ~seed ~duration ~specs ~mem_image ~progs
+  | _ ->
+    let wd = Option.value watchdog ~default:default_watchdog in
+    run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
+      ~drain_budget ~chaos ~wd ~shed ~seed ~duration ~specs ~mem_image ~progs

@@ -1,20 +1,51 @@
-(** Multi-micro-engine packet dispatcher.
+(** Multi-micro-engine packet dispatcher, with a chaos-hardened fabric.
 
-    Runs N independent {!Npra_sim.Machine} instances — micro-engines —
-    under deterministic packet traffic on a shared global virtual
-    clock. Thread [i] of every engine is a port: it has its own
-    {!Arrival} stream and bounded input queue, sits parked until a
-    packet is queued, serves exactly one packet per program run, and
-    halts back into the dispatcher at the completion cycle. Arrivals to
-    a full queue are dropped and counted. Engines are advanced in
-    interleaved slices of the global clock; a machine trap (sentinel,
-    register-file violation) or a failure to drain accepted packets
-    within the drain budget marks that engine faulted in the returned
-    metrics. *)
+    Runs N {!Npra_sim.Machine} instances — micro-engines — under
+    deterministic packet traffic on a shared global virtual clock.
+    Thread [i] of every engine is a port: it has its own {!Arrival}
+    stream and bounded input queue, sits parked until a packet is
+    queued, serves exactly one packet per program run, and halts back
+    into the dispatcher at the completion cycle.
+
+    Without [chaos] or [watchdog] the engines are fully independent and
+    each runs to completion in one pool task (the {e legacy} path).
+    With either, the {e fabric} path takes over: engines advance
+    slice-synchronously, and every slice boundary is a sequential
+    barrier that injects scheduled faults, checks per-engine progress
+    (the watchdog), resets backed-off engines, refills shedding
+    credits, and re-routes dead engines' arrivals onto survivors. A
+    failed engine's in-flight and queued packets are re-dispatched
+    round-robin across the surviving engines; bounded retries with
+    slice-based backoff precede permanent quarantine. Either way the
+    run never aborts: it returns degraded-but-complete metrics whose
+    recovery trail records fault → watchdog → re-dispatch → survival,
+    and whose drop accounting conserves packets exactly
+    ({!Metrics.conservation_ok}).
+
+    Both paths are byte-deterministic at any [pool] worker count. *)
 
 open Npra_ir
 open Npra_sim
 open Npra_workloads
+
+(** Per-engine progress watchdog (fabric path only). An engine that
+    retires no instruction for [stall_slices] consecutive slice
+    barriers {e while holding packets} is declared hung. Each of the
+    first [retries] failures salvages its packets, re-dispatches them,
+    and resets the engine after a backoff of
+    [backoff_slices × retry-number] slices; the next failure after the
+    retries are spent quarantines it permanently. *)
+type watchdog = { stall_slices : int; retries : int; backoff_slices : int }
+
+val default_watchdog : watchdog
+(** 3 stalled slices to fire, 2 retries, 2-slice backoff unit. *)
+
+(** Overload-shedding policy: a per-port deficit-round-robin credit.
+    Every slice boundary adds [quantum] credits (capped at [burst]);
+    admitting a packet costs one. An arrival with no credit is shed —
+    an explicit, counted decision ({!Metrics.drops}) instead of a
+    queue collapse. Re-dispatched packets bypass credits. *)
+type shed = { quantum : int; burst : int }
 
 val run :
   ?pool:Npra_par.Pool.t ->
@@ -24,6 +55,9 @@ val run :
   ?machine_config:Machine.config ->
   ?refresh:(engine:int -> thread:int -> seq:int -> (int * int) list) ->
   ?drain_budget:int ->
+  ?chaos:Chaos.t ->
+  ?watchdog:watchdog ->
+  ?shed:shed ->
   seed:int ->
   duration:int ->
   specs:Workload.traffic_spec list ->
@@ -34,22 +68,27 @@ val run :
     (default 1) micro-engines, each running [progs] (one thread per
     program, one [specs] entry per thread), under traffic generated for
     [duration] cycles, then drains in-flight packets for up to
-    [drain_budget] more cycles (default [max duration 10_000]).
+    [drain_budget] more cycles (default [max duration 10_000]). An
+    engine that cannot drain is reported as a structured
+    {!Metrics.Drain_deadlock} — which engine, how many packets, which
+    thread states — never an abort.
+
+    [chaos] injects the schedule's faults at slice boundaries;
+    [watchdog] (default {!default_watchdog} whenever the fabric path
+    runs) governs hang detection and retry; [shed] enables the
+    admission credit. Passing any of [chaos]/[watchdog] selects the
+    fabric path; otherwise the legacy independent-engine path runs.
 
     [refresh], when given, is called at each service start and returns
     [(address, value)] words poked into the engine's memory — the
     per-packet input payload; it must be a pure function of its
     arguments for runs to be reproducible. [slice] (default 1024) is
-    the granularity of the global-clock interleave; it affects only
-    scheduling of the simulation loop, not results, because each engine
-    is independent and never advances past its own next arrival.
+    the granularity of the global-clock interleave and, on the fabric
+    path, the watchdog's sampling period.
 
     The default machine config lifts [max_cycles] to [max_int]: the
     horizon is the budget. Results are a pure function of every
-    argument — identical calls produce identical metrics.
-
-    [pool] distributes whole engines over its workers (each engine is
-    independent, so per-engine results cannot observe the others): a
-    multi-worker run returns {e exactly} the metrics of the sequential
-    one, byte for byte once serialised. [refresh] then runs on worker
+    argument — identical calls produce identical metrics, and a
+    multi-worker [pool] returns {e exactly} the sequential metrics,
+    byte for byte once serialised. [refresh] then runs on worker
     domains and must also be thread-safe. *)

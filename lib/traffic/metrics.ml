@@ -2,10 +2,10 @@
 
    Collected by the dispatcher, aggregated here: sustained throughput
    (packets per kilocycle), per-thread IPC, exact packet-latency
-   percentiles, queue depth, drop rate and the machine's busy/idle/
-   switch cycle breakdown. Everything is integer or a deterministic
-   function of integers, so two runs with the same seed serialise to
-   byte-identical JSON. *)
+   percentiles, queue depth, drop accounting split by policy reason,
+   per-engine structured faults, and the fabric's recovery trail.
+   Everything is integer or a deterministic function of integers, so
+   two runs with the same seed serialise to byte-identical JSON. *)
 
 open Npra_sim
 
@@ -28,31 +28,123 @@ let percentiles = function
         pmax = a.(n - 1);
       }
 
+(* ------------------------------------------------------------------ *)
+(* Structured drop accounting.                                         *)
+
+type drops = { queue_full : int; shed : int; quarantine : int; flood : int }
+
+let no_drops = { queue_full = 0; shed = 0; quarantine = 0; flood = 0 }
+let drops_total d = d.queue_full + d.shed + d.quarantine + d.flood
+
+let add_drops a b =
+  {
+    queue_full = a.queue_full + b.queue_full;
+    shed = a.shed + b.shed;
+    quarantine = a.quarantine + b.quarantine;
+    flood = a.flood + b.flood;
+  }
+
 type thread_metrics = {
   tm_thread : int;
   tm_name : string;
-  offered : int;  (* arrivals, including dropped *)
+  offered : int;  (* arrivals, including dropped and flood packets *)
   served : int;  (* packets whose service completed *)
-  dropped : int;  (* arrivals refused by a full queue *)
+  drops : drops;  (* refusals, split by policy reason *)
   max_queue : int;  (* high-water mark of the input queue *)
   sum_wait : int;  (* cycles from arrival to service start, served pkts *)
   sum_service : int;  (* cycles from service start to completion *)
   latencies : int list;  (* completion - arrival per served packet *)
+  flood_offered : int;  (* of offered, chaos-flood packets *)
+  flood_served : int;  (* of served, chaos-flood packets *)
 }
+
+let tm_dropped t = drops_total t.drops
+
+(* ------------------------------------------------------------------ *)
+(* Structured engine faults.                                           *)
+
+type engine_fault =
+  | Engine_trap of { message : string }
+  | Crash_injected of { at : int }
+  | Hang_quarantined of { at : int; stalled_slices : int }
+  | Drain_deadlock of {
+      at : int;
+      deadline : int;
+      pending : int;
+      threads : Machine.thread_status list;
+    }
+
+let fault_message = function
+  | Engine_trap { message } -> message
+  | Crash_injected { at } -> Fmt.str "chaos crash at cycle %d" at
+  | Hang_quarantined { at; stalled_slices } ->
+    Fmt.str "watchdog: no retired instruction for %d slices (quarantined at \
+             cycle %d)"
+      stalled_slices at
+  | Drain_deadlock { at; deadline; pending; threads } ->
+    Fmt.str "deadlock: %d packet(s) still in flight or queued at cycle %d \
+             (drain deadline %d):%a"
+      pending at deadline
+      Fmt.(list ~sep:nop (fun ppf s -> Fmt.pf ppf " [%a]" Machine.pp_thread_status s))
+      threads
+
+let pp_engine_fault ppf f = Fmt.string ppf (fault_message f)
 
 type engine_metrics = {
   em_engine : int;
   em_threads : thread_metrics list;
   em_report : Machine.report;  (* busy/idle/switch breakdown, IPC inputs *)
-  em_fault : string option;
-      (* a sentinel trap, machine trap, or drain timeout: any of these
-         marks the whole run failed *)
+  em_fault : engine_fault option;
+  em_residual : int;  (* packets pending at the end of the run *)
+  em_live : bool;  (* false once quarantined or crashed *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Recovery trail.                                                     *)
+
+type trail_event =
+  | Injected of { cycle : int; engine : int; what : string }
+  | Fault_observed of { cycle : int; engine : int; what : string }
+  | Watchdog_fired of { cycle : int; engine : int; stalled_slices : int }
+  | Redispatched of { cycle : int; engine : int; packets : int; lost : int }
+  | Backoff of {
+      cycle : int;
+      engine : int;
+      until_cycle : int;
+      retries_left : int;
+    }
+  | Reset of { cycle : int; engine : int }
+  | Recovered of { cycle : int; engine : int }
+  | Quarantined of { cycle : int; engine : int; reason : string }
+
+let trail_fields = function
+  | Injected { cycle; engine; what } -> (cycle, engine, "injected", what)
+  | Fault_observed { cycle; engine; what } -> (cycle, engine, "fault", what)
+  | Watchdog_fired { cycle; engine; stalled_slices } ->
+    (cycle, engine, "watchdog", Fmt.str "%d stalled slice(s)" stalled_slices)
+  | Redispatched { cycle; engine; packets; lost } ->
+    ( cycle,
+      engine,
+      "redispatch",
+      Fmt.str "%d packet(s) re-queued, %d lost" packets lost )
+  | Backoff { cycle; engine; until_cycle; retries_left } ->
+    ( cycle,
+      engine,
+      "backoff",
+      Fmt.str "until cycle %d, %d retry(ies) left" until_cycle retries_left )
+  | Reset { cycle; engine } -> (cycle, engine, "reset", "fresh machine")
+  | Recovered { cycle; engine } -> (cycle, engine, "recovered", "retiring again")
+  | Quarantined { cycle; engine; reason } -> (cycle, engine, "quarantine", reason)
+
+let pp_trail_event ppf ev =
+  let cycle, engine, kind, detail = trail_fields ev in
+  Fmt.pf ppf "cycle %-8d engine %d %-10s %s" cycle engine kind detail
 
 type run_metrics = {
   rm_duration : int;  (* cycles of traffic generation *)
   rm_seed : int;
   rm_engines : engine_metrics list;
+  rm_trail : trail_event list;  (* empty outside the fabric path *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -62,7 +154,37 @@ let sum f xs = List.fold_left (fun a x -> a + f x) 0 xs
 
 let total_offered r = sum (fun e -> sum (fun t -> t.offered) e.em_threads) r.rm_engines
 let total_served r = sum (fun e -> sum (fun t -> t.served) e.em_threads) r.rm_engines
-let total_dropped r = sum (fun e -> sum (fun t -> t.dropped) e.em_threads) r.rm_engines
+
+let total_drops r =
+  List.fold_left
+    (fun acc e ->
+      List.fold_left (fun acc t -> add_drops acc t.drops) acc e.em_threads)
+    no_drops r.rm_engines
+
+let total_dropped r = drops_total (total_drops r)
+let total_residual r = sum (fun e -> e.em_residual) r.rm_engines
+
+let total_flood_offered r =
+  sum (fun e -> sum (fun t -> t.flood_offered) e.em_threads) r.rm_engines
+
+let total_flood_served r =
+  sum (fun e -> sum (fun t -> t.flood_served) e.em_threads) r.rm_engines
+
+(* Goodput: flood packets are junk traffic, so they count in neither
+   the numerator nor the denominator. *)
+let delivered_fraction r =
+  let offered = total_offered r - total_flood_offered r in
+  let served = total_served r - total_flood_served r in
+  if offered <= 0 then 1. else float_of_int served /. float_of_int offered
+
+let surviving_engines r =
+  sum (fun e -> if e.em_live then 1 else 0) r.rm_engines
+
+(* The fabric's packet-conservation invariant, checked exactly: every
+   arrival is eventually served, refused for a recorded reason, or
+   still pending at a structured drain deadlock. *)
+let conservation_ok r =
+  total_offered r = total_served r + total_dropped r + total_residual r
 
 let throughput_per_kcycle r =
   if r.rm_duration = 0 then 0.
@@ -70,7 +192,7 @@ let throughput_per_kcycle r =
 
 let faults r =
   List.filter_map
-    (fun e -> Option.map (fun f -> (e.em_engine, f)) e.em_fault)
+    (fun e -> Option.map (fun f -> (e.em_engine, fault_message f)) e.em_fault)
     r.rm_engines
 
 (* Per-thread-index view across all engines: every engine runs the same
@@ -80,6 +202,7 @@ type thread_summary = {
   ts_name : string;
   ts_offered : int;
   ts_served : int;
+  ts_drops : drops;
   ts_dropped : int;
   ts_max_queue : int;
   ts_mean_wait : float;  (* cycles queued before service, per served pkt *)
@@ -109,12 +232,16 @@ let thread_summaries r =
         let cycles =
           sum (fun e -> e.em_report.Machine.total_cycles) r.rm_engines
         in
+        let drops =
+          List.fold_left (fun acc t -> add_drops acc t.drops) no_drops per_engine
+        in
         {
           ts_thread = i;
           ts_name = t0.tm_name;
           ts_offered = sum (fun t -> t.offered) per_engine;
           ts_served = served;
-          ts_dropped = sum (fun t -> t.dropped) per_engine;
+          ts_drops = drops;
+          ts_dropped = drops_total drops;
           ts_max_queue =
             List.fold_left (fun a t -> max a t.max_queue) 0 per_engine;
           ts_mean_wait =
@@ -143,35 +270,49 @@ let pp_pctls ppf = function
   | None -> Fmt.string ppf "-"
   | Some p -> Fmt.pf ppf "p50=%d p95=%d p99=%d max=%d" p.p50 p.p95 p.p99 p.pmax
 
+let pp_drops ppf d =
+  if drops_total d = 0 then Fmt.string ppf "0"
+  else
+    Fmt.pf ppf "%d (qfull=%d shed=%d quar=%d flood=%d)" (drops_total d)
+      d.queue_full d.shed d.quarantine d.flood
+
 let pp ppf r =
   Fmt.pf ppf
-    "duration %d cycles, seed %d, %d engine(s): offered %d, served %d, \
-     dropped %d (%.2f pkt/kcycle)@."
+    "duration %d cycles, seed %d, %d engine(s) (%d surviving): offered %d, \
+     served %d, dropped %d, residual %d (%.2f pkt/kcycle)@."
     r.rm_duration r.rm_seed
     (List.length r.rm_engines)
-    (total_offered r) (total_served r) (total_dropped r)
+    (surviving_engines r) (total_offered r) (total_served r) (total_dropped r)
+    (total_residual r)
     (throughput_per_kcycle r);
   List.iter
     (fun s ->
       Fmt.pf ppf
         "  t%d %-14s offered=%-5d served=%-5d dropped=%-4d maxq=%-2d \
-         wait=%-8.1f svc=%-8.1f ipc=%.3f@.    latency %a@."
+         wait=%-8.1f svc=%-8.1f ipc=%.3f@.    drops %a, latency %a@."
         s.ts_thread s.ts_name s.ts_offered s.ts_served s.ts_dropped
-        s.ts_max_queue s.ts_mean_wait s.ts_mean_service s.ts_ipc pp_pctls
-        s.ts_latency)
+        s.ts_max_queue s.ts_mean_wait s.ts_mean_service s.ts_ipc pp_drops
+        s.ts_drops pp_pctls s.ts_latency)
     (thread_summaries r);
   List.iter
     (fun e ->
       let rep = e.em_report in
       Fmt.pf ppf
-        "  engine %d: busy %d, switch %d, idle %d of %d cycles (%.0f%% \
+        "  engine %d%s: busy %d, switch %d, idle %d of %d cycles (%.0f%% \
          utilised)%a@."
-        e.em_engine rep.Machine.busy_cycles rep.Machine.switch_cycles
+        e.em_engine
+        (if e.em_live then "" else " [quarantined]")
+        rep.Machine.busy_cycles rep.Machine.switch_cycles
         rep.Machine.idle_cycles rep.Machine.total_cycles
         (100. *. rep.Machine.utilization)
-        Fmt.(option (fun ppf f -> Fmt.pf ppf " FAULT: %s" f))
+        Fmt.(option (fun ppf f -> Fmt.pf ppf " FAULT: %a" pp_engine_fault f))
         e.em_fault)
-    r.rm_engines
+    r.rm_engines;
+  match r.rm_trail with
+  | [] -> ()
+  | trail ->
+    Fmt.pf ppf "  recovery trail:@.";
+    List.iter (fun ev -> Fmt.pf ppf "    %a@." pp_trail_event ev) trail
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -191,25 +332,37 @@ let pctls_json = function
     Fmt.str {|{"p50": %d, "p95": %d, "p99": %d, "max": %d}|} p.p50 p.p95 p.p99
       p.pmax
 
+let drops_json d =
+  Fmt.str {|{"queue_full": %d, "shed": %d, "quarantine": %d, "flood": %d}|}
+    d.queue_full d.shed d.quarantine d.flood
+
 let thread_summary_json s =
   Fmt.str
-    {|{"thread": %d, "name": "%s", "offered": %d, "served": %d, "dropped": %d, "max_queue": %d, "mean_wait": %.2f, "mean_service": %.2f, "latency": %s, "instructions": %d, "ipc": %.4f}|}
+    {|{"thread": %d, "name": "%s", "offered": %d, "served": %d, "dropped": %d, "drops": %s, "max_queue": %d, "mean_wait": %.2f, "mean_service": %.2f, "latency": %s, "instructions": %d, "ipc": %.4f}|}
     s.ts_thread (json_escape s.ts_name) s.ts_offered s.ts_served s.ts_dropped
-    s.ts_max_queue s.ts_mean_wait s.ts_mean_service
+    (drops_json s.ts_drops) s.ts_max_queue s.ts_mean_wait s.ts_mean_service
     (pctls_json s.ts_latency)
     s.ts_instructions s.ts_ipc
 
 let engine_json e =
   let rep = e.em_report in
+  let drops =
+    List.fold_left (fun acc t -> add_drops acc t.drops) no_drops e.em_threads
+  in
   Fmt.str
-    {|{"engine": %d, "busy": %d, "switch": %d, "idle": %d, "total": %d, "utilization": %.4f, "served": %d, "dropped": %d, "fault": %s}|}
-    e.em_engine rep.Machine.busy_cycles rep.Machine.switch_cycles
+    {|{"engine": %d, "live": %b, "busy": %d, "switch": %d, "idle": %d, "total": %d, "utilization": %.4f, "served": %d, "dropped": %d, "residual": %d, "fault": %s}|}
+    e.em_engine e.em_live rep.Machine.busy_cycles rep.Machine.switch_cycles
     rep.Machine.idle_cycles rep.Machine.total_cycles rep.Machine.utilization
     (sum (fun t -> t.served) e.em_threads)
-    (sum (fun t -> t.dropped) e.em_threads)
+    (drops_total drops) e.em_residual
     (match e.em_fault with
     | None -> "null"
-    | Some f -> Fmt.str {|"%s"|} (json_escape f))
+    | Some f -> Fmt.str {|"%s"|} (json_escape (fault_message f)))
+
+let trail_event_json ev =
+  let cycle, engine, kind, detail = trail_fields ev in
+  Fmt.str {|{"cycle": %d, "engine": %d, "event": "%s", "detail": "%s"}|} cycle
+    engine (json_escape kind) (json_escape detail)
 
 let to_json r =
   let b = Buffer.create 4096 in
@@ -220,6 +373,13 @@ let to_json r =
   add "  \"offered\": %d,\n" (total_offered r);
   add "  \"served\": %d,\n" (total_served r);
   add "  \"dropped\": %d,\n" (total_dropped r);
+  add "  \"drops\": %s,\n" (drops_json (total_drops r));
+  add "  \"residual\": %d,\n" (total_residual r);
+  add "  \"flood_offered\": %d,\n" (total_flood_offered r);
+  add "  \"flood_served\": %d,\n" (total_flood_served r);
+  add "  \"delivered_fraction\": %.4f,\n" (delivered_fraction r);
+  add "  \"surviving\": %d,\n" (surviving_engines r);
+  add "  \"conservation\": %b,\n" (conservation_ok r);
   add "  \"throughput_per_kcycle\": %.3f,\n" (throughput_per_kcycle r);
   add "  \"threads\": [\n";
   List.iteri
@@ -234,6 +394,13 @@ let to_json r =
       add "    %s%s\n" (engine_json e)
         (if i < List.length r.rm_engines - 1 then "," else ""))
     r.rm_engines;
+  add "  ],\n";
+  add "  \"trail\": [\n";
+  List.iteri
+    (fun i ev ->
+      add "    %s%s\n" (trail_event_json ev)
+        (if i < List.length r.rm_trail - 1 then "," else ""))
+    r.rm_trail;
   add "  ]\n";
   add "}";
   Buffer.contents b
