@@ -843,6 +843,41 @@ let run_chaos () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive re-allocation: every shifting-traffic scenario run twice    *)
+(* (allocation frozen vs the Adapt control loop re-balancing online).   *)
+(* Writes BENCH_adapt.json and fails the process if the adaptive run    *)
+(* ever serves fewer critical-thread packets than static, breaks the    *)
+(* hysteresis bound, or loses packets.                                  *)
+
+let adapt_json = "BENCH_adapt.json"
+
+let run_adapt () =
+  let seed = Option.value !seed_flag ~default:42 in
+  Fmt.pr
+    "@.== Adapt: metrics-driven re-balancing vs a frozen allocation (seed \
+     %d, %d jobs%s) ==@."
+    seed !jobs
+    (if !quick then ", quick" else "");
+  let m, seconds =
+    timed (fun () ->
+        Npra_fault.Adaptdriver.run ~pool:(pool ()) ~seed ~quick:!quick ())
+  in
+  Fmt.pr "%a" Npra_fault.Adaptdriver.pp m;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  let oc = open_out adapt_json in
+  output_string oc
+    (splice_wall_clock ~jobs:!jobs ~seconds
+       (Npra_fault.Adaptdriver.to_json m));
+  close_out oc;
+  Fmt.pr "wrote %s@." adapt_json;
+  if not (Npra_fault.Adaptdriver.all_ok m) then begin
+    Fmt.epr
+      "ADAPT HARNESS FAILURE: a cell served below static, exceeded the \
+       hysteresis bound, or lost packets (see the matrix above)@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let known =
@@ -852,7 +887,7 @@ let () =
       ("timing", run_timing); ("dataflow", run_dataflow);
       ("faults", run_faults); ("fuzz", run_fuzz);
       ("throughput", run_throughput); ("portfolio", run_portfolio);
-      ("chaos", run_chaos);
+      ("chaos", run_chaos); ("adapt", run_adapt);
     ]
   in
   let print_subcommands ppf =

@@ -310,7 +310,7 @@ let throughput_cmd =
 
 let chaos_cmd =
   let run nreg engines duration seed jobs crashes hangs transient_hangs storms
-      floods shed ids =
+      floods shed json ids =
     let pool = Npra_par.Pool.create ~jobs () in
     let ws =
       List.mapi
@@ -344,20 +344,24 @@ let chaos_cmd =
           floods;
         }
     in
-    Fmt.pr "chaos schedule (seed %d): %a@." chaos.Chaos.seed
-      Fmt.(list ~sep:comma Chaos.pp_event)
-      chaos.Chaos.events;
+    if not json then
+      Fmt.pr "chaos schedule (seed %d): %a@." chaos.Chaos.seed
+        Fmt.(list ~sep:comma Chaos.pp_event)
+        chaos.Chaos.events;
     let m =
       Dispatch.run ~pool ~engines ~sentinel:`Trap ~chaos
         ~watchdog:Dispatch.default_watchdog
         ?shed:(if shed then Some { Dispatch.quantum = 4; burst = 12 } else None)
         ~seed ~duration ~specs ~mem_image progs
     in
-    Fmt.pr "%a" Metrics.pp m;
-    Fmt.pr "delivered fraction (flood excluded): %.4f, surviving %d/%d@."
-      (Metrics.delivered_fraction m)
-      (Metrics.surviving_engines m)
-      engines;
+    if json then print_string (Metrics.to_json m)
+    else begin
+      Fmt.pr "%a" Metrics.pp m;
+      Fmt.pr "delivered fraction (flood excluded): %.4f, surviving %d/%d@."
+        (Metrics.delivered_fraction m)
+        (Metrics.surviving_engines m)
+        engines
+    end;
     if not (Metrics.conservation_ok m) then begin
       Fmt.epr
         "PACKET CONSERVATION VIOLATED: offered %d <> served %d + dropped %d + \
@@ -404,6 +408,14 @@ let chaos_cmd =
       & info [ "shed" ]
           ~doc:"Enable the per-port deficit-round-robin admission credit.")
   in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the run metrics as canonical JSON (the same shape the \
+             bench harness writes) instead of the human-readable report.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -413,12 +425,83 @@ let chaos_cmd =
     Term.(
       const run $ nreg_arg $ engines_arg $ duration_arg $ seed_arg $ jobs_arg
       $ crashes_arg $ hangs_arg $ transient_arg $ storms_arg $ floods_arg
-      $ shed_flag $ kernels_arg)
+      $ shed_flag $ json_flag $ kernels_arg)
+
+(* ---- adapt ---- *)
+
+let adapt_cmd =
+  let run scenario seed jobs quick json list_scenarios =
+    let names = Npra_fault.Adaptdriver.scenario_names in
+    if list_scenarios then
+      List.iter (fun n -> Fmt.pr "%s@." n) names
+    else begin
+      let pool = Npra_par.Pool.create ~jobs () in
+      match Npra_fault.Adaptdriver.run_scenario ~pool ~seed ~quick scenario with
+      | None ->
+        Fmt.epr "unknown scenario %S; available: %s@." scenario
+          (String.concat ", " names);
+        exit 2
+      | Some cell ->
+        if json then print_string (Npra_fault.Adaptdriver.cell_to_json cell)
+        else Fmt.pr "%a" Npra_fault.Adaptdriver.pp_cell cell;
+        if not cell.Npra_fault.Adaptdriver.c_ok then exit 1
+    end
+  in
+  let scenario_arg =
+    Arg.(
+      value & pos 0 string "phase-shift"
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Traffic scenario to replay (see $(b,--list) for the full \
+             set).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for arrival streams and any fault schedule.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains advancing engines within each slice. The replay \
+             is byte-identical at any job count.")
+  in
+  let quick_flag =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Half-duration run with a proportionally faster controller \
+             (smaller window and dwell).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the cell as canonical JSON (the same shape BENCH_adapt\
+             .json uses) instead of the replay report.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenarios and exit.")
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Replay one shifting-traffic scenario twice — allocation frozen vs \
+          the adaptive re-balancing control loop — and print the full \
+          re-balance trail")
+    Term.(
+      const run $ scenario_arg $ seed_arg $ jobs_arg $ quick_flag $ json_flag
+      $ list_flag)
 
 (* ---- portfolio ---- *)
 
 let portfolio_cmd =
-  let run nreg seed jobs probe_horizon ids =
+  let run nreg seed jobs probe_horizon json ids =
     let pool = Npra_par.Pool.create ~jobs () in
     let ws =
       List.mapi
@@ -450,6 +533,9 @@ let portfolio_cmd =
       Fmt.epr "every portfolio entrant failed:@.";
       List.iter (fun d -> Fmt.epr "  %a@." Pipeline.pp_diagnostic d) trail;
       exit 1
+    | Ok p when json ->
+      print_string (Experiments.portfolio_race_json ~seed ~nreg p);
+      if p.Pipeline.winner.Pipeline.verify_errors <> [] then exit 1
     | Ok p ->
       Fmt.pr "slate (%d entrants, %d probed):@."
         (List.length p.Pipeline.slate)
@@ -497,13 +583,23 @@ let portfolio_cmd =
       & info [ "horizon" ] ~docv:"CYCLES"
           ~doc:"Cycle budget of the throughput probe that breaks score ties.")
   in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the race result as canonical JSON (the same score fields \
+             the bench harness writes) instead of the human-readable \
+             report.")
+  in
   Cmd.v
     (Cmd.info "portfolio"
        ~doc:
          "Race the allocation strategy slate in parallel (up to 4 kernels) \
           and print the winner with the full slate verdict")
     Term.(
-      const run $ nreg_arg $ seed_arg $ jobs_arg $ horizon_arg $ kernels_arg)
+      const run $ nreg_arg $ seed_arg $ jobs_arg $ horizon_arg $ json_flag
+      $ kernels_arg)
 
 (* ---- asm ---- *)
 
@@ -664,7 +760,8 @@ let () =
                 processor (PLDI 2004 reproduction)")
           [
             list_cmd; dump_cmd; analyze_cmd; allocate_cmd; portfolio_cmd;
-            simulate_cmd; throughput_cmd; chaos_cmd; asm_cmd; cc_cmd; sra_cmd;
+            simulate_cmd; throughput_cmd; chaos_cmd; adapt_cmd; asm_cmd;
+            cc_cmd; sra_cmd;
             dot_cmd;
             table1_cmd; fig14_cmd; table2_cmd; table3_cmd;
           ]))

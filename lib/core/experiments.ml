@@ -638,3 +638,45 @@ let portfolio_json ~seed ~quick rows =
     rows;
   add "\n  ],\n  \"never_loses_all\": %b\n}\n" (portfolio_ok rows);
   Buffer.contents b
+
+(* Canonical JSON for a single portfolio race — the payload of
+   [npra portfolio --json]. Scores carry the same fields as the
+   BENCH_portfolio.json entrants, so downstream tooling parses both. *)
+let portfolio_race_json ~seed ~nreg (p : Pipeline.portfolio) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let score (sc : Pipeline.score) =
+    add
+      {|{"unsafe": %d, "spilled": %d, "moves": %d, "demand": %d, "probe": %s}|}
+      sc.Pipeline.sc_unsafe sc.Pipeline.sc_spills sc.Pipeline.sc_moves
+      sc.Pipeline.sc_demand
+      (match sc.Pipeline.sc_probe with
+      | Some pr -> string_of_int pr
+      | None -> "null")
+  in
+  add "{\n  \"seed\": %d,\n  \"nreg\": %d,\n  \"probed\": %d,\n" seed nreg
+    p.Pipeline.probed;
+  add "  \"winner\": {\"stage\": \"%s\", \"score\": "
+    (portfolio_json_escape (stage_name p.Pipeline.winner.Pipeline.provenance));
+  score p.Pipeline.winner_score;
+  add ", \"moves\": %d, \"spilled_ranges\": [%s], \"verified\": %b},\n"
+    p.Pipeline.winner.Pipeline.moves
+    (String.concat ", "
+       (List.map string_of_int p.Pipeline.winner.Pipeline.spilled_ranges))
+    (p.Pipeline.winner.Pipeline.verify_errors = []);
+  add "  \"slate\": [\n";
+  List.iteri
+    (fun i (st, oc) ->
+      if i > 0 then add ",\n";
+      let outcome =
+        match oc with
+        | Pipeline.Won _ -> "won"
+        | Pipeline.Lost { reason; _ } -> "lost: " ^ reason
+        | Pipeline.Failed reason -> "failed: " ^ reason
+      in
+      add {|    {"stage": "%s", "outcome": "%s"}|}
+        (portfolio_json_escape (stage_name st))
+        (portfolio_json_escape outcome))
+    p.Pipeline.slate;
+  add "\n  ]\n}\n";
+  Buffer.contents b

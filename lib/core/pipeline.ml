@@ -79,14 +79,24 @@ type balanced = {
 (* The fixed-partition Chaitin allocation shared by the [baseline]
    pipeline and the last stage of the [balanced] fallback chain.
    Programs must already be in web form. *)
-let chaitin_partition ~nreg ~spill_bases progs =
+let chaitin_partition ?(weights = []) ~nreg ~spill_bases progs =
   let nthd = List.length progs in
-  let k = nreg / nthd in
-  let layout = Assign.fixed_partition ~nreg ~nthd in
+  let layout =
+    (* non-trivial weights skew the partition toward the heavy
+       threads — the paper's "give the critical thread more registers"
+       applied to the conventional fixed split *)
+    if weights <> [] && List.exists (fun w -> w <> List.hd weights) weights
+    then
+      Assign.weighted_partition ~nreg
+        ~weights:
+          (List.mapi (fun i _ -> try List.nth weights i with _ -> 1) progs)
+    else Assign.fixed_partition ~nreg ~nthd
+  in
   let results =
-    List.map2
-      (fun prog spill_base -> Chaitin.allocate ~k ~spill_base prog)
-      progs spill_bases
+    List.mapi
+      (fun i (prog, spill_base) ->
+        Chaitin.allocate ~k:layout.Assign.private_size.(i) ~spill_base prog)
+      (List.combine progs spill_bases)
   in
   let programs =
     List.mapi
@@ -138,8 +148,8 @@ let finish_inter ~nreg ~provenance ~trail inter =
 (* The fixed-partition Chaitin floor as a complete [balanced] result
    (provenance [stage], normally [Chaitin_fallback]). Programs must be
    in web form. *)
-let chaitin_floor ~nreg ~spill_bases ~stage ~trail progs =
-  match chaitin_partition ~nreg ~spill_bases progs with
+let chaitin_floor ?(weights = []) ~nreg ~spill_bases ~stage ~trail progs =
+  match chaitin_partition ~weights ~nreg ~spill_bases progs with
   | layout, results, programs ->
     Ok
       {
@@ -172,7 +182,8 @@ let chaitin_floor ~nreg ~spill_bases ~stage ~trail progs =
   | exception Assign.Overflow msg ->
     Error (trail @ [ Rejected { stage; reason = msg } ])
 
-let balanced_uncached ?(nreg = 128) ?move_budget ?spill_bases progs =
+let balanced_uncached ?(nreg = 128) ?(weights = []) ?move_budget ?spill_bases
+    progs =
   let progs = List.map Webs.rename progs in
   let budget =
     match move_budget with Some b -> b | None -> default_move_budget progs
@@ -184,9 +195,10 @@ let balanced_uncached ?(nreg = 128) ?move_budget ?spill_bases progs =
       | Some bs -> bs
       | None -> default_spill_bases progs
     in
-    chaitin_floor ~nreg ~spill_bases ~stage:Chaitin_fallback ~trail progs
+    chaitin_floor ~weights ~nreg ~spill_bases ~stage:Chaitin_fallback ~trail
+      progs
   in
-  match Inter.allocate ~nreg progs with
+  match Inter.allocate ~weights ~nreg progs with
   | Ok inter -> (
     let moves = Inter.total_moves inter in
     let provenance, trail =
@@ -272,15 +284,18 @@ let cache_clear () =
    computed by a different strategy on the same programs and its
    {!Cache_hit} note would then carry that other strategy's provenance
    — the slate default — instead of the entrant's own. *)
-let cache_key ?(tag = "chain") ~nreg ~move_budget ~spill_bases progs =
+let cache_key ?(tag = "chain") ?(weights = []) ~nreg ~move_budget ~spill_bases
+    progs =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Fmt.str "tag=%s;nreg=%d;budget=%a;spill=%a"
+    (Fmt.str "tag=%s;nreg=%d;budget=%a;spill=%a;w=%a"
        tag nreg
        Fmt.(option ~none:(any "-") int)
        move_budget
        Fmt.(option ~none:(any "-") (list ~sep:comma int))
-       spill_bases);
+       spill_bases
+       Fmt.(list ~sep:comma int)
+       weights);
   List.iter
     (fun p ->
       Buffer.add_char buf '\000';
@@ -322,12 +337,13 @@ let cached ~key compute =
         end);
     result
 
-let balanced ?(nreg = 128) ?move_budget ?spill_bases progs =
-  let key = cache_key ~nreg ~move_budget ~spill_bases progs in
-  cached ~key (fun () -> balanced_uncached ~nreg ?move_budget ?spill_bases progs)
+let balanced ?(nreg = 128) ?(weights = []) ?move_budget ?spill_bases progs =
+  let key = cache_key ~weights ~nreg ~move_budget ~spill_bases progs in
+  cached ~key (fun () ->
+      balanced_uncached ~nreg ~weights ?move_budget ?spill_bases progs)
 
-let balanced_exn ?nreg ?move_budget ?spill_bases progs =
-  match balanced ?nreg ?move_budget ?spill_bases progs with
+let balanced_exn ?nreg ?weights ?move_budget ?spill_bases progs =
+  match balanced ?nreg ?weights ?move_budget ?spill_bases progs with
   | Ok b -> b
   | Error trail ->
     Fmt.failwith "Pipeline.balanced: every stage failed:@ %a"
@@ -399,29 +415,13 @@ let pp_score ppf s =
   | Some p -> Fmt.pf ppf " probe=%d" p
   | None -> ()
 
-(* The same xorshift as the workload generator, kept 30-bit so every
-   seed behaves identically on 32- and 64-bit hosts. *)
-let xorshift s =
-  let s = s land 0x3FFFFFFF in
-  let s = if s = 0 then 0x9E3779B9 land 0x3FFFFFFF else s in
-  let s = s lxor (s lsl 13) in
-  let s = s lxor (s lsr 17) in
-  let s = s lxor (s lsl 5) in
-  let s = s land 0x3FFFFFFF in
-  if s = 0 then 1 else s
+(* The pure form of the repo-wide xorshift (see {!Rng}), re-exported
+   because the portfolio's seed arithmetic and tests call it by this
+   name. *)
+let xorshift = Rng.step
 
 (* Seeded Fisher–Yates permutation of [0..n-1]. *)
-let permutation ~seed n =
-  let perm = Array.init n Fun.id in
-  let state = ref (xorshift seed) in
-  for i = n - 1 downto 1 do
-    state := xorshift !state;
-    let j = !state mod (i + 1) in
-    let t = perm.(i) in
-    perm.(i) <- perm.(j);
-    perm.(j) <- t
-  done;
-  perm
+let permutation = Rng.permutation
 
 (* ------------------------------------------------------------------ *)
 (* Bounded throughput probe.
@@ -444,11 +444,14 @@ type probe = {
    inter-arrival gap, so the probe offers the same load the dispatcher
    would on average without needing its seeded stream. *)
 let probe_arrival_period (spec : Workload.traffic_spec) =
-  match spec.Workload.arrival with
-  | Workload.Uniform { period } -> max 1 period
-  | Workload.Poisson { mean_period } -> max 1 mean_period
-  | Workload.Bursty { on_cycles; off_cycles; period } ->
-    max 1 (period * (on_cycles + off_cycles) / max 1 on_cycles)
+  let rec period_of = function
+    | Workload.Uniform { period } -> max 1 period
+    | Workload.Poisson { mean_period } -> max 1 mean_period
+    | Workload.Bursty { on_cycles; off_cycles; period } ->
+      max 1 (period * (on_cycles + off_cycles) / max 1 on_cycles)
+    | Workload.Windowed { inner; _ } -> period_of inner
+  in
+  period_of spec.Workload.arrival
 
 let probe_served probe programs =
   let nthd = List.length programs in
@@ -519,7 +522,7 @@ let strategy_tag = function
 (* Runs one slate entrant on web-renamed programs. Total: allocator
    infeasibilities and materialisation failures come back as [Error]
    trails naming the entrant, never exceptions. *)
-let run_entrant ~nreg ~spill_bases ~wprogs stage =
+let run_entrant ?(weights = []) ~nreg ~spill_bases ~wprogs stage =
   let reject reason = Error [ Rejected { stage; reason } ] in
   let finish inter = Ok (finish_inter ~nreg ~provenance:stage ~trail:[] inter) in
   let from_inter = function
@@ -528,9 +531,10 @@ let run_entrant ~nreg ~spill_bases ~wprogs stage =
   in
   match
     match stage with
-    | Balanced | Balanced_relaxed -> from_inter (Inter.allocate ~nreg wprogs)
+    | Balanced | Balanced_relaxed ->
+      from_inter (Inter.allocate ~weights ~nreg wprogs)
     | Balanced_budget b -> (
-      match Inter.allocate ~nreg wprogs with
+      match Inter.allocate ~weights ~nreg wprogs with
       | Error (`Infeasible msg) -> reject msg
       | Ok inter ->
         let moves = Inter.total_moves inter in
@@ -552,7 +556,15 @@ let run_entrant ~nreg ~spill_bases ~wprogs stage =
       let n = Array.length arr in
       let perm = permutation ~seed:s n in
       let permuted = List.init n (fun j -> arr.(perm.(j))) in
-      match Inter.allocate ~nreg permuted with
+      (* weights travel with their threads through the shuffle *)
+      let weights =
+        if weights = [] then []
+        else
+          let wa = Array.make n 1 in
+          List.iteri (fun i v -> if i < n then wa.(i) <- v) weights;
+          List.init n (fun j -> wa.(perm.(j)))
+      in
+      match Inter.allocate ~weights ~nreg permuted with
       | Error (`Infeasible msg) -> reject msg
       | Ok inter ->
         (* The balancer saw the threads in permuted order; put its
@@ -603,7 +615,8 @@ let run_entrant ~nreg ~spill_bases ~wprogs stage =
                  name target_pr target_sr)
           | Ok threads ->
             finish { Inter.threads; nreg; sgr = target_sr }))
-    | Chaitin_fallback -> chaitin_floor ~nreg ~spill_bases ~stage ~trail:[] wprogs
+    | Chaitin_fallback ->
+      chaitin_floor ~weights ~nreg ~spill_bases ~stage ~trail:[] wprogs
   with
   | result -> result
   | exception Rewrite.Incomplete_coloring { reg; gap } ->
@@ -654,8 +667,8 @@ let lose_reason ~winner wsc lsc =
   in
   Fmt.str "lost to %a: %s" pp_stage winner why
 
-let portfolio ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?move_budget
-    ?spill_bases ?(seed = 1) ?probe progs =
+let portfolio ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?(weights = [])
+    ?move_budget ?spill_bases ?(seed = 1) ?probe progs =
   let wprogs = List.map Webs.rename progs in
   let spill_bases_v =
     match spill_bases with Some bs -> bs | None -> default_spill_bases progs
@@ -690,12 +703,13 @@ let portfolio ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?move_budget
     Npra_par.Pool.map_list pool
       (fun stage ->
         let key =
-          cache_key ~tag:(strategy_tag stage) ~nreg ~move_budget
+          cache_key ~tag:(strategy_tag stage) ~weights ~nreg ~move_budget
             ~spill_bases:(Some spill_bases_v) progs
         in
         ( stage,
           cached ~key (fun () ->
-              run_entrant ~nreg ~spill_bases:spill_bases_v ~wprogs stage) ))
+              run_entrant ~weights ~nreg ~spill_bases:spill_bases_v ~wprogs
+                stage) ))
       slate_stages
   in
   let classified =
@@ -808,8 +822,11 @@ let portfolio ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?move_budget
     let winner = { win_b with trail = losing_notes @ win_b.trail } in
     Ok { winner; winner_score = win_sc; slate; probed }
 
-let portfolio_exn ?pool ?nreg ?move_budget ?spill_bases ?seed ?probe progs =
-  match portfolio ?pool ?nreg ?move_budget ?spill_bases ?seed ?probe progs with
+let portfolio_exn ?pool ?nreg ?weights ?move_budget ?spill_bases ?seed ?probe
+    progs =
+  match
+    portfolio ?pool ?nreg ?weights ?move_budget ?spill_bases ?seed ?probe progs
+  with
   | Ok p -> p
   | Error trail ->
     Fmt.failwith "Pipeline.portfolio: every entrant failed:@ %a"
@@ -922,16 +939,16 @@ let simulate ?config ~mem_image progs = Machine.run ?config ~mem_image progs
    [strategy] picks how the balanced contender is produced: the
    sequential fallback chain (default), or the portfolio race with the
    given seed — the winner's [balanced] record drops in unchanged. *)
-let contenders ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?move_budget
-    ?(strategy = `Chain) ~spill_bases progs =
+let contenders ?(pool = Npra_par.Pool.sequential) ?(nreg = 128) ?weights
+    ?move_budget ?(strategy = `Chain) ~spill_bases progs =
   let balanced_contender () =
     match strategy with
-    | `Chain -> balanced ~nreg ?move_budget ~spill_bases progs
+    | `Chain -> balanced ~nreg ?weights ?move_budget ~spill_bases progs
     | `Portfolio seed -> (
       (* the pool's two slots are already taken by base/bal; run the
          inner slate sequentially rather than oversubscribe *)
       match
-        portfolio ~pool:Npra_par.Pool.sequential ~nreg ?move_budget
+        portfolio ~pool:Npra_par.Pool.sequential ~nreg ?weights ?move_budget
           ~spill_bases ~seed progs
       with
       | Ok p -> Ok p.winner

@@ -1,0 +1,70 @@
+(* The repo-wide deterministic pseudo-random generator.
+
+   One 30-bit xorshift family, shared by every seeded component so a
+   single seed pins a whole experiment: packet-arrival streams, chaos
+   schedules and the portfolio's thread-order shuffle all draw from the
+   exact generator defined here. 30 bits keeps every draw identical on
+   32- and 64-bit hosts (OCaml ints are at least 31 bits everywhere).
+
+   Two historical calling conventions survive, and both are pinned
+   byte-for-byte by golden tests so committed BENCH_*.json files stay
+   reproducible across refactors:
+
+   - the {e stream} form ({!create}/{!next}), used by arrival streams
+     and chaos schedules: the initial state keeps the raw golden-ratio
+     constant (unmasked) when the seed is zero, and each draw masks
+     {e after} shifting;
+   - the {e pure} form ({!step}/{!permutation}), used by the portfolio
+     shuffle: input is masked and zero-guarded {e before} shifting, so
+     [step] is a total function on int. *)
+
+let mask = 0x3FFFFFFF
+
+(* Knuth's golden-ratio constant; an arbitrary well-mixed non-zero
+   escape for the all-zero state xorshift cannot leave. *)
+let phi = 0x9E3779B9
+
+(* The common xorshift core: 13/17/5 shifts, then truncate to 30 bits. *)
+let shift x =
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) in
+  x land mask
+
+(* ------------------------------------------------------------------ *)
+(* Stream form.                                                        *)
+
+type t = { mutable state : int }
+
+let create ~seed = { state = (if seed = 0 then phi else seed land mask) }
+
+let next t =
+  let x = shift t.state in
+  t.state <- (if x = 0 then 1 else x);
+  x
+
+(* Draw an int in [0, n), or 0 when n <= 1 — the modulo idiom every
+   call site used locally. *)
+let below t n = next t mod max 1 n
+
+(* ------------------------------------------------------------------ *)
+(* Pure form.                                                          *)
+
+let step s =
+  let s = s land mask in
+  let s = if s = 0 then phi land mask else s in
+  let s = shift s in
+  if s = 0 then 1 else s
+
+(* Seeded Fisher–Yates permutation of [0..n-1]. *)
+let permutation ~seed n =
+  let perm = Array.init n Fun.id in
+  let state = ref (step seed) in
+  for i = n - 1 downto 1 do
+    state := step !state;
+    let j = !state mod (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  perm

@@ -1,0 +1,29 @@
+(** The repo-wide 30-bit xorshift generator.
+
+    Every seeded component draws from this one family so a single seed
+    pins a whole experiment. Two calling conventions are exposed; both
+    are pinned byte-for-byte by golden tests so committed BENCH_*.json
+    files stay reproducible. *)
+
+type t
+(** Mutable generator state (the stream form used by arrival streams
+    and chaos schedules). *)
+
+val create : seed:int -> t
+(** Seed a stream. Seed 0 maps to a fixed non-zero escape constant;
+    other seeds are truncated to 30 bits. *)
+
+val next : t -> int
+(** Draw the next 30-bit word and advance the state. *)
+
+val below : t -> int -> int
+(** [below t n] draws uniformly-ish in [\[0, n)] by modulo; returns 0
+    when [n <= 1]. *)
+
+val step : int -> int
+(** The pure form: one xorshift step as a total function on int —
+    input is masked to 30 bits and zero-guarded before shifting. *)
+
+val permutation : seed:int -> int -> int array
+(** [permutation ~seed n] is a seeded Fisher–Yates shuffle of
+    [0..n-1], driven by {!step}. *)

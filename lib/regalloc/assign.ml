@@ -57,6 +57,45 @@ let fixed_partition ~nreg ~nthd =
     sgr = 0;
   }
 
+(* Uneven fixed partition: every thread keeps at least half its equal
+   share (never less than 2), and the registers left over are dealt
+   out proportionally to the weights, largest remainder first (ties to
+   the lower thread index). Deterministic in (nreg, weights), so a
+   weighted layout is as cacheable as an equal split. *)
+let weighted_partition ~nreg ~weights =
+  let nthd = List.length weights in
+  if nthd = 0 then invalid_arg "weighted_partition: no weights";
+  let w = Array.of_list (List.map (max 1) weights) in
+  let equal = nreg / nthd in
+  let kmin = min equal (max 2 (equal / 2)) in
+  let sizes = Array.make nthd kmin in
+  let spare = nreg - (nthd * kmin) in
+  let total_w = Array.fold_left ( + ) 0 w in
+  let given = ref 0 in
+  Array.iteri
+    (fun i wi ->
+      let share = spare * wi / total_w in
+      sizes.(i) <- sizes.(i) + share;
+      given := !given + share)
+    w;
+  (* largest remainder, ties to the lower index *)
+  let rem = Array.mapi (fun i wi -> (spare * wi mod total_w, i)) w in
+  Array.sort (fun (r1, i1) (r2, i2) -> compare (r2, i1) (r1, i2)) rem;
+  let leftover = spare - !given in
+  Array.iteri
+    (fun rank (_, i) -> if rank < leftover then sizes.(i) <- sizes.(i) + 1)
+    rem;
+  let base = ref 0 in
+  let private_base =
+    Array.map
+      (fun sz ->
+        let b = !base in
+        base := b + sz;
+        b)
+      sizes
+  in
+  { nreg; private_base; private_size = sizes; shared_base = nreg; sgr = 0 }
+
 let reg_of_color t ~thread color =
   let pr = t.private_size.(thread) in
   if color < 1 then invalid_arg "reg_of_color: colour < 1"

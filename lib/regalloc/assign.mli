@@ -23,6 +23,15 @@ val fixed_partition : nreg:int -> nthd:int -> t
 (** The conventional baseline: [nreg/nthd] registers per thread, nothing
     shared. *)
 
+val weighted_partition : nreg:int -> weights:int list -> t
+(** Uneven fixed partition, one entry per thread: each thread keeps at
+    least half its equal share (never less than 2) and the remaining
+    registers are dealt proportionally to the weights (largest
+    remainder first, ties to the lower thread index). Equal weights
+    give every thread at least as much as {!fixed_partition} would.
+    Deterministic in [(nreg, weights)].
+    @raise Invalid_argument on an empty weight list. *)
+
 val reg_of_color : t -> thread:int -> int -> Reg.t
 (** Maps a colour of [thread] to its physical register: colours up to the
     thread's PR into its private block, the rest into the shared block.

@@ -50,10 +50,13 @@ let init_thread prog =
   }
 
 (* A candidate single-step reduction: the updated thread records and the
-   total move-cost increase. *)
+   total move-cost increase, scaled by the owning thread's weight so a
+   critical thread's reductions look expensive and the greedy loop
+   shifts moves onto its co-residents. Weight 1 everywhere reproduces
+   the paper's unweighted Figure-8 behaviour exactly. *)
 type candidate = { delta : int; apply : thread_alloc array }
 
-let pr_candidate threads i =
+let pr_candidate ~w threads i =
   let th = threads.(i) in
   if th.pr - 1 < th.bounds.Estimate.min_pr || r_of th - 1 < th.bounds.Estimate.min_r
   then None
@@ -64,9 +67,9 @@ let pr_candidate threads i =
       let th' = { th with ctx = red.Intra.ctx; pr = th.pr - 1 } in
       let apply = Array.copy threads in
       apply.(i) <- th';
-      Some { delta = red.Intra.cost - cost_of th; apply }
+      Some { delta = w i * (red.Intra.cost - cost_of th); apply }
 
-let demote_candidate threads i =
+let demote_candidate ~w threads i =
   (* Weak PR-step: only profitable when this thread's SR is below the
      pooled maximum, so growing it by one does not grow SGR. *)
   let th = threads.(i) in
@@ -79,9 +82,9 @@ let demote_candidate threads i =
       let th' = { th with ctx = red.Intra.ctx; pr = th.pr - 1; sr = th.sr + 1 } in
       let apply = Array.copy threads in
       apply.(i) <- th';
-      Some { delta = red.Intra.cost - cost_of th; apply }
+      Some { delta = w i * (red.Intra.cost - cost_of th); apply }
 
-let sr_candidate threads =
+let sr_candidate ~w threads =
   let max_sr = Array.fold_left (fun acc t -> max acc t.sr) 0 threads in
   if max_sr = 0 then None
   else begin
@@ -96,18 +99,18 @@ let sr_candidate threads =
             match Intra.reduce_sr th.ctx ~pr:th.pr ~r:(r_of th) with
             | None -> ok := false
             | Some red ->
-              delta := !delta + red.Intra.cost - cost_of th;
+              delta := !delta + (w j * (red.Intra.cost - cost_of th));
               apply.(j) <- { th with ctx = red.Intra.ctx; sr = th.sr - 1 }
         end)
       threads;
     if !ok then Some { delta = !delta; apply } else None
   end
 
-let candidates threads =
+let candidates ~w threads =
   let n = Array.length threads in
-  let prs = List.init n (fun i -> pr_candidate threads i) in
-  let demotes = List.init n (fun i -> demote_candidate threads i) in
-  List.filter_map Fun.id ((sr_candidate threads :: prs) @ demotes)
+  let prs = List.init n (fun i -> pr_candidate ~w threads i) in
+  let demotes = List.init n (fun i -> demote_candidate ~w threads i) in
+  List.filter_map Fun.id ((sr_candidate ~w threads :: prs) @ demotes)
 
 let pick_min = function
   | [] -> None
@@ -117,12 +120,12 @@ let pick_min = function
 (* Stop conditions: [`Fit nreg] stops once the pooled demand fits;
    [`Zero_cost] keeps reducing while some reduction is free (used for the
    paper's Figure 14 experiment). *)
-let rec reduce_loop threads stop =
+let rec reduce_loop ~w threads stop =
   match stop with
   | `Fit nreg when demand threads <= nreg -> Ok threads
   | `Fit nreg -> (
-    match pick_min (candidates threads) with
-    | Some c -> reduce_loop c.apply (`Fit nreg)
+    match pick_min (candidates ~w threads) with
+    | Some c -> reduce_loop ~w c.apply (`Fit nreg)
     | None ->
       Error
         (`Infeasible
@@ -131,23 +134,33 @@ let rec reduce_loop threads stop =
               further"
              (demand threads) nreg)))
   | `Zero_cost -> (
-    match pick_min (candidates threads) with
-    | Some c when c.delta <= 0 -> reduce_loop c.apply `Zero_cost
+    match pick_min (candidates ~w threads) with
+    | Some c when c.delta <= 0 -> reduce_loop ~w c.apply `Zero_cost
     | Some _ | None -> Ok threads)
 
 let finish threads nreg =
   let sgr = Array.fold_left (fun acc t -> max acc t.sr) 0 threads in
   { threads; nreg; sgr }
 
-let allocate ~nreg progs =
+(* Per-thread move-cost weights: missing entries default to 1, negative
+   entries clamp to 0 (a zero weight marks a thread whose moves are
+   considered free — a sacrificial co-resident). *)
+let weight_fn weights n =
+  let a = Array.make n 1 in
+  List.iteri (fun i v -> if i < n then a.(i) <- max 0 v) weights;
+  fun i -> a.(i)
+
+let allocate ?(weights = []) ~nreg progs =
   let threads = Array.of_list (List.map init_thread progs) in
-  match reduce_loop threads (`Fit nreg) with
+  let w = weight_fn weights (Array.length threads) in
+  match reduce_loop ~w threads (`Fit nreg) with
   | Ok threads -> Ok (finish threads nreg)
   | Error e -> Error e
 
 let tighten_zero_cost ~nreg progs =
   let threads = Array.of_list (List.map init_thread progs) in
-  match reduce_loop threads `Zero_cost with
+  let w = weight_fn [] (Array.length threads) in
+  match reduce_loop ~w threads `Zero_cost with
   | Ok threads -> Ok (finish threads nreg)
   | Error e -> Error e
 

@@ -37,8 +37,15 @@ val init_thread : Prog.t -> thread_alloc
 (** Estimation only: the thread at its upper bounds, zero moves. The
     program must be in web form ({!Npra_cfg.Webs.rename}). *)
 
-val allocate : nreg:int -> Prog.t list -> (t, error) result
-(** The paper's Figure-8 algorithm. Programs must be in web form. *)
+val allocate : ?weights:int list -> nreg:int -> Prog.t list -> (t, error) result
+(** The paper's Figure-8 algorithm. Programs must be in web form.
+
+    [weights] biases the greedy loop for adaptive re-balancing: thread
+    [i]'s move-cost increase is multiplied by [List.nth weights i]
+    before candidates are compared, so a heavily-weighted (critical)
+    thread keeps its registers and moves land on co-residents. Missing
+    entries default to 1; [weights = []] (the default) is byte-identical
+    to the unweighted algorithm. *)
 
 val tighten_zero_cost : nreg:int -> Prog.t list -> (t, error) result
 (** Keeps reducing while some reduction is free of move insertions — the

@@ -750,6 +750,10 @@ let stalled t = t.cycle < t.stalled_until
 let instructions_retired t =
   Array.fold_left (fun a th -> a + th.instrs) 0 t.threads
 
+(* Cheap per-thread progress counter for per-slice controllers: unlike
+   {!report} this copies nothing. *)
+let thread_instrs t i = t.threads.(i).instrs
+
 let thread_statuses = statuses
 
 (* Chaos storm: deterministically clobber up to [count] currently-owned
@@ -808,6 +812,118 @@ let restart_thread t i =
     th.ready_since <- t.cycle
   | Ready | Blocked _ | Faulted _ ->
     invalid_arg "Machine.restart_thread: thread has not completed"
+
+(* ------------------------------------------------------------------ *)
+(* Hot-swap: replace every thread's program in place, at a packet
+   boundary, with the swap proven safe before any state is touched.
+
+   Safety argument. A swap is only legal when (a) every thread is
+   parked ([Done]) with no pending load writeback, so no old-program
+   continuation exists that could read a register afterwards, and
+   (b) every incoming program has an empty live-in set at its entry
+   point — computed by the same dataflow the allocator itself uses —
+   so no new-program path reads a register before writing it. Together
+   these prove every register dead across the swap: whatever values the
+   old allocation left behind are unobservable. The sentinel's
+   ownership state describes exactly those dead values, so it is
+   cleared rather than carried over — an armed sentinel can never fire
+   because of a swap, only because of a genuinely unsafe allocation. *)
+
+type swap_error =
+  | Swap_arity of { expected : int; got : int }
+  | Swap_not_parked of { thread : int; state : thread_state_view }
+  | Swap_pending_writeback of { thread : int }
+  | Swap_not_physical of { thread : string; reg : Reg.t }
+  | Swap_live_in of { thread : string; regs : Reg.t list }
+
+let pp_swap_error ppf = function
+  | Swap_arity { expected; got } ->
+    Fmt.pf ppf "swap expects %d program(s), got %d" expected got
+  | Swap_not_parked { thread; state } ->
+    Fmt.pf ppf "thread %d is %a, not parked at a packet boundary" thread
+      pp_thread_state state
+  | Swap_pending_writeback { thread } ->
+    Fmt.pf ppf "thread %d has a load writeback in flight" thread
+  | Swap_not_physical { thread; reg } ->
+    Fmt.pf ppf "thread %s still uses virtual register %a" thread Reg.pp reg
+  | Swap_live_in { thread; regs } ->
+    Fmt.pf ppf "thread %s reads %a before writing: not dead across the swap"
+      thread
+      Fmt.(list ~sep:comma Reg.pp)
+      regs
+
+(* Registers live at a program's entry: any of them would carry a value
+   across the swap, so the set must be empty. *)
+let entry_live_in prog =
+  if Prog.length prog = 0 then Reg.Set.empty
+  else Reg.Set.filter Reg.is_physical
+      (Npra_cfg.Liveness.live_in (Npra_cfg.Liveness.compute prog) 0)
+
+let swap_check t progs =
+  let expected = Array.length t.threads and got = List.length progs in
+  if got <> expected then Error (Swap_arity { expected; got })
+  else
+    let rec check_parked i =
+      if i >= expected then Ok ()
+      else
+        let th = t.threads.(i) in
+        match th.status with
+        | Done _ when th.pending_writeback <> None ->
+          Error (Swap_pending_writeback { thread = i })
+        | Done _ -> check_parked (i + 1)
+        | Ready | Blocked _ | Faulted _ ->
+          Error
+            (Swap_not_parked
+               { thread = i; state = (status_view th).st_state })
+    in
+    let rec check_progs = function
+      | [] -> Ok ()
+      | p :: rest -> (
+        match
+          if not (Prog.all_physical p) then
+            Error
+              (Swap_not_physical
+                 { thread = p.Prog.name; reg = Reg.Set.min_elt (Prog.vregs p) })
+          else
+            let live = entry_live_in p in
+            if Reg.Set.is_empty live then Ok ()
+            else
+              Error
+                (Swap_live_in
+                   { thread = p.Prog.name; regs = Reg.Set.elements live })
+        with
+        | Ok () -> check_progs rest
+        | Error e -> Error e)
+    in
+    match check_parked 0 with Error e -> Error e | Ok () -> check_progs progs
+
+let swap_programs t progs =
+  match swap_check t progs with
+  | Error e -> Error e
+  | Ok () ->
+    List.iteri
+      (fun i prog ->
+        let th = t.threads.(i) in
+        t.threads.(i) <-
+          {
+            th with
+            prog;
+            dcode = (match t.engine with `Decoded -> decode prog | `Legacy -> [||]);
+            pc = 0;
+            pending_writeback = None;
+            (* counters, traces and completion stamps accumulate across
+               the swap so IPC and store-order checks stay continuous *)
+          })
+      progs;
+    (match t.sentinel with
+    | None -> ()
+    | Some s ->
+      Array.fill s.owner 0 (Array.length s.owner) (-1);
+      Array.fill s.owner_cycle 0 (Array.length s.owner_cycle) 0;
+      Array.iter (fun a -> Array.fill a 0 (Array.length a) false) s.snap_owned;
+      Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) s.snap_value);
+    t.last_yielder <- None;
+    Ok ()
 
 type thread_report = {
   name : string;

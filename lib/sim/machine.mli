@@ -189,6 +189,10 @@ val instructions_retired : t -> int
 (** Total instructions retired across all threads — the watchdog's
     progress counter. *)
 
+val thread_instrs : t -> int -> int
+(** Instructions retired by one thread so far. O(1), unlike {!report} —
+    safe to sample every slice from a feedback controller. *)
+
 val scribble : t -> seed:int -> count:int -> int
 (** Chaos storm: deterministically overwrites up to [count] currently
     owned registers with garbage, attributed to a phantom thread id, so
@@ -208,6 +212,31 @@ val restart_thread : t -> int -> unit
 (** Resets a [Completed] thread to its entry point, runnable from the
     current cycle; per-thread counters keep accumulating across
     restarts. @raise Invalid_argument unless the thread is completed. *)
+
+(** Why a hot-swap cannot refuse and cannot trap (see {!swap_programs}):
+    the checks below prove every register dead across the swap before
+    any machine state is touched. *)
+type swap_error =
+  | Swap_arity of { expected : int; got : int }
+  | Swap_not_parked of { thread : int; state : thread_state_view }
+  | Swap_pending_writeback of { thread : int }
+  | Swap_not_physical of { thread : string; reg : Reg.t }
+  | Swap_live_in of { thread : string; regs : Reg.t list }
+      (** the new program reads these registers before writing them, so
+          a stale value could flow across the swap *)
+
+val pp_swap_error : swap_error Fmt.t
+
+val swap_programs : t -> Prog.t list -> (unit, swap_error) result
+(** Replaces every thread's program in place at a packet boundary: all
+    threads must be parked ([Completed]) with no writeback in flight,
+    and every new program must have an empty physical live-in set at
+    entry (checked with the allocator's own liveness dataflow). On
+    success, threads are re-decoded with [pc = 0] and stay parked;
+    cycle clock, memory, and per-thread counters are preserved; the
+    corruption sentinel's ownership state is cleared — the old values
+    are proven unobservable, so the sentinel can never fire because of
+    a swap. On [Error] the machine is untouched. *)
 
 type thread_report = {
   name : string;

@@ -13,19 +13,11 @@ open Npra_workloads
 
 type t = {
   model : Workload.arrival;
-  mutable state : int;  (* xorshift state *)
+  rng : Npra_core.Rng.t;  (* the repo-wide 30-bit xorshift stream *)
   mutable next_at : int;  (* cycle of the next arrival *)
 }
 
-(* xorshift step shared with Workload.random_words: 30-bit, never 0 *)
-let rand t =
-  let x = t.state in
-  let x = x lxor (x lsl 13) in
-  let x = x lxor (x lsr 17) in
-  let x = x lxor (x lsl 5) in
-  let x = x land 0x3FFFFFFF in
-  t.state <- (if x = 0 then 1 else x);
-  x
+let rand t = Npra_core.Rng.next t.rng
 
 (* Fixed-point quantile table for the exponential distribution:
    entry i is round(-ln((i + 0.5) / 256) * 1024), i.e. the inter-arrival
@@ -51,38 +43,56 @@ let bursty_align ~on_cycles ~off_cycles at =
   let phase = at mod span in
   if phase < on_cycles then at else at - phase + span
 
-(* First arrival: a seed-derived phase so co-resident uniform streams
-   do not arrive in lockstep. *)
+(* A [Workload.Windowed] model whose window has closed yields no more
+   arrivals: [never] compares greater than any duration, and the step
+   functions below guard against stepping past it. *)
+let never = max_int
+
+(* First arrival of a model (a seed-derived phase so co-resident
+   uniform streams do not arrive in lockstep), the arrival after [at],
+   and the window clamp for churn models — mutually recursive because a
+   [Windowed] wrapper skips the inner stream's out-of-window arrivals,
+   consuming their generator draws so the in-window stream is the same
+   whether or not the window is present. *)
+let rec first t model =
+  match model with
+  | Workload.Uniform { period } -> rand t mod max 1 period
+  | Workload.Poisson { mean_period } -> exp_gap t ~mean:mean_period
+  | Workload.Bursty { on_cycles; off_cycles; period } ->
+    bursty_align ~on_cycles ~off_cycles (rand t mod max 1 period)
+  | Workload.Windowed { from_cycle; until_cycle; inner } ->
+    clamp t ~from_cycle ~until_cycle inner (first t inner)
+
+and step t model at =
+  match model with
+  | Workload.Uniform { period } -> at + max 1 period
+  | Workload.Poisson { mean_period } -> at + exp_gap t ~mean:mean_period
+  | Workload.Bursty { on_cycles; off_cycles; period } ->
+    bursty_align ~on_cycles ~off_cycles (at + max 1 period)
+  | Workload.Windowed { from_cycle; until_cycle; inner } ->
+    if at >= until_cycle then never
+    else clamp t ~from_cycle ~until_cycle inner (step t inner at)
+
+and clamp t ~from_cycle ~until_cycle inner a =
+  if a >= until_cycle then never
+  else if a < from_cycle then
+    clamp t ~from_cycle ~until_cycle inner (step t inner a)
+  else a
+
 let create ~seed model =
-  let t =
-    {
-      model;
-      state = (if seed = 0 then 0x9E3779B9 else seed land 0x3FFFFFFF);
-      next_at = 0;
-    }
-  in
+  let t = { model; rng = Npra_core.Rng.create ~seed; next_at = 0 } in
   (* discard a few words so nearby seeds decorrelate *)
   for _ = 1 to 3 do
     ignore (rand t)
   done;
-  (t.next_at <-
-     (match model with
-     | Workload.Uniform { period } -> rand t mod max 1 period
-     | Workload.Poisson { mean_period } -> exp_gap t ~mean:mean_period
-     | Workload.Bursty { on_cycles; off_cycles; period } ->
-       bursty_align ~on_cycles ~off_cycles (rand t mod max 1 period)));
+  t.next_at <- first t model;
   t
 
 let peek t = t.next_at
 
 let advance t =
   let at = t.next_at in
-  (t.next_at <-
-     (match t.model with
-     | Workload.Uniform { period } -> at + max 1 period
-     | Workload.Poisson { mean_period } -> at + exp_gap t ~mean:mean_period
-     | Workload.Bursty { on_cycles; off_cycles; period } ->
-       bursty_align ~on_cycles ~off_cycles (at + max 1 period)));
+  t.next_at <- step t t.model at;
   at
 
 (* The first [n] arrival cycles, for tests and tables. *)

@@ -72,16 +72,8 @@ let pp_spec ppf s =
 
 (* The repo-wide 30-bit xorshift, seeded per schedule. *)
 let schedule ~seed ~engines ~threads ~duration spec =
-  let state = ref (if seed = 0 then 0x9E3779B9 else seed land 0x3FFFFFFF) in
-  let rand () =
-    let x = !state in
-    let x = x lxor (x lsl 13) in
-    let x = x lxor (x lsr 17) in
-    let x = x lxor (x lsl 5) in
-    let x = x land 0x3FFFFFFF in
-    state := (if x = 0 then 1 else x);
-    x
-  in
+  let rng = Npra_core.Rng.create ~seed in
+  let rand () = Npra_core.Rng.next rng in
   let engine () = rand () mod max 1 engines in
   (* middle half of the run: traffic exists on both sides of the fault *)
   let at () = (duration / 4) + (rand () mod max 1 (duration / 2)) in

@@ -71,7 +71,88 @@ type engine = {
   mutable permanent_hang : bool;  (* re-assert the stall after a reset *)
   mutable trap_pending : bool;  (* a trap since the last barrier *)
   mutable probation : bool;  (* fresh after reset; first retire = recovery *)
+  mutable swap_wait : bool;
+      (* a re-balance is pending: stop starting packets so the engine
+         drains to a packet boundary, where the hot-swap applies *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Feedback-controller interface (fabric path).
+
+   At every slice barrier the controller sees a cheap cumulative
+   snapshot — counters and queue depths only, no latency lists, no
+   store traces — and may answer with a replacement program list. The
+   fabric then stops starting packets on live engines, lets each drain
+   to a packet boundary, and hot-swaps it there
+   ({!Npra_sim.Machine.swap_programs}); backed-off engines pick the new
+   programs up at their reset, dead engines are left alone. The barrier
+   is sequential, so a controller is consulted exactly once per slice
+   in a fixed position regardless of the pool's worker count. *)
+
+type obs_port = {
+  op_thread : int;
+  op_offered : int;  (* cumulative arrivals *)
+  op_served : int;  (* cumulative completions *)
+  op_dropped : int;  (* cumulative refusals, all reasons *)
+  op_lost : int;
+      (* cumulative legitimate-stream refusals only (queue-full, shed,
+         quarantine) — flood-tagged packets are the adversary's, and
+         counting them would let a flood stampede the controller *)
+  op_queue : int;  (* standing legit backlog (+1 if one is in service) *)
+  op_sum_wait : int;  (* cumulative queue-wait cycles of served packets *)
+  op_instrs : int;  (* cumulative instructions retired by the thread *)
+}
+
+type obs_engine = {
+  oe_engine : int;
+  oe_live : bool;
+  oe_ports : obs_port array;
+}
+
+type observation = {
+  o_now : int;  (* global cycle of this barrier *)
+  o_slice : int;  (* barrier number *)
+  o_engines : obs_engine array;
+}
+
+type decision = { d_progs : Prog.t list; d_detail : string }
+type controller = observation -> decision option
+
+let observe ~now ~barrier_no es =
+  {
+    o_now = now;
+    o_slice = barrier_no;
+    o_engines =
+      Array.map
+        (fun e ->
+          {
+            oe_engine = e.index;
+            oe_live = (e.life = Live);
+            oe_ports =
+              Array.mapi
+                (fun i p ->
+                  {
+                    op_thread = i;
+                    op_offered = p.offered;
+                    op_served = p.served;
+                    op_dropped =
+                      p.d_queue_full + p.d_shed + p.d_quarantine + p.d_flood;
+                    op_lost = p.d_queue_full + p.d_shed + p.d_quarantine;
+                    op_queue =
+                      (Queue.fold
+                         (fun n (_, flood) -> if flood then n else n + 1)
+                         0 p.queue
+                      +
+                      match p.serving with
+                      | Some (_, _, false) -> 1
+                      | _ -> 0);
+                    op_sum_wait = p.sum_wait;
+                    op_instrs = Machine.thread_instrs e.machine i;
+                  })
+                e.ports;
+          })
+        es;
+  }
 
 (* Seed mixing: one xorshift pass over a combination of run seed,
    engine and thread, so per-port streams decorrelate but remain a pure
@@ -133,6 +214,7 @@ let make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs
     permanent_hang = false;
     trap_pending = false;
     probation = false;
+    swap_wait = false;
   }
 
 (* Admission: bounded queue first, then the shedding credit. A refused
@@ -200,7 +282,8 @@ let start_service e ~refresh =
   Array.iteri
     (fun i p ->
       if
-        p.serving = None
+        (not e.swap_wait)
+        && p.serving = None
         && (not (Queue.is_empty p.queue))
         && (match Machine.thread_state e.machine i with
            | Machine.Completed _ -> true
@@ -439,13 +522,18 @@ let salvage e =
   List.rev !acc
 
 let run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
-    ~drain_budget ~chaos ~wd ~shed ~seed ~duration ~specs ~mem_image ~progs =
+    ~drain_budget ~chaos ~wd ~shed ~controller ~seed ~duration ~specs
+    ~mem_image ~progs =
   let burst = match shed with Some s -> s.burst | None -> 0 in
   let es =
     Array.init engines
       (make_engine ~seed ~sentinel ~machine_config ~mem_image ~specs ~progs
          ~retries:wd.retries ~burst)
   in
+  (* The allocation currently deployed: re-balances replace it, and
+     backoff resets build their fresh machine from it, so a recovered
+     engine rejoins on the same allocation as the survivors. *)
+  let current_progs = ref progs in
   let trail = ref [] in
   let emit ev = trail := ev :: !trail in
   let rr = ref 0 in  (* global round-robin cursor for re-dispatch *)
@@ -603,7 +691,9 @@ let run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
               e.probation <- false;
               emit (Metrics.Recovered { cycle = now; engine = e.index })
             end;
-            if instrs = e.last_instrs && pending e then begin
+            (* a swap-waiting engine retires nothing by design while it
+               drains to a packet boundary — not a hang *)
+            if instrs = e.last_instrs && pending e && not e.swap_wait then begin
               e.stall_count <- e.stall_count + 1;
               if e.stall_count >= wd.stall_slices then begin
                 let stalled_slices = e.stall_count in
@@ -629,6 +719,7 @@ let run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
       (fun e ->
         match e.life with
         | Backoff until when barrier_no >= until ->
+          let progs = !current_progs in
           let m =
             Machine.create ~config:machine_config ~mem_image ~sentinel progs
           in
@@ -644,6 +735,8 @@ let run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
           e.last_instrs <- Machine.instructions_retired m;
           e.trap_pending <- false;
           e.probation <- true;
+          (* the fresh machine is already on the current allocation *)
+          e.swap_wait <- false;
           emit (Metrics.Reset { cycle = now; engine = e.index })
         | Live | Backoff _ | Dead -> ())
       es;
@@ -694,7 +787,73 @@ let run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
                 p.d_flood <- p.d_flood + 1
               done)
             e.ports)
-      es
+      es;
+    (* 6. adaptive re-balance: apply pending hot-swaps on engines that
+       have drained to a packet boundary, then consult the controller.
+       Both happen inside the sequential barrier, so decisions and
+       swap cycles are identical at any pool worker count. *)
+    match controller with
+    | None -> ()
+    | Some ctl ->
+      Array.iter
+        (fun e ->
+          if e.swap_wait then
+            match e.life with
+            | Dead -> e.swap_wait <- false
+            | Backoff _ -> ()  (* the reset builds from [current_progs] *)
+            | Live ->
+              if Array.for_all (fun p -> p.serving = None) e.ports then (
+                match Machine.swap_programs e.machine !current_progs with
+                | Ok () ->
+                  e.swap_wait <- false;
+                  e.last_instrs <- Machine.instructions_retired e.machine;
+                  emit
+                    (Metrics.Swapped
+                       {
+                         cycle = now;
+                         engine = e.index;
+                         detail = "hot-swap at packet boundary";
+                       })
+                | Error
+                    (Machine.Swap_not_parked
+                       { state = Machine.Quarantined _; _ }) ->
+                  (* a sentinel-quarantined thread never parks: give the
+                     swap up rather than stall the engine forever *)
+                  e.swap_wait <- false;
+                  emit
+                    (Metrics.Fault_observed
+                       {
+                         cycle = now;
+                         engine = e.index;
+                         what = "hot-swap abandoned: thread quarantined";
+                       })
+                | Error (Machine.Swap_not_parked _) -> ()  (* keep draining *)
+                | Error err ->
+                  e.swap_wait <- false;
+                  emit
+                    (Metrics.Fault_observed
+                       {
+                         cycle = now;
+                         engine = e.index;
+                         what =
+                           Fmt.str "hot-swap refused: %a" Machine.pp_swap_error
+                             err;
+                       })))
+        es;
+      if now < duration then (
+        match ctl (observe ~now ~barrier_no es) with
+        | None -> ()
+        | Some d ->
+          current_progs := d.d_progs;
+          emit
+            (Metrics.Rebalanced
+               { cycle = now; slice = barrier_no; detail = d.d_detail });
+          Array.iter
+            (fun e ->
+              match e.life with
+              | Live | Backoff _ -> e.swap_wait <- true
+              | Dead -> ())
+            es)
   in
   let deadline = duration + drain_budget in
   let t = ref 0 and barrier_no = ref 0 in
@@ -739,7 +898,7 @@ let run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
 
 let run ?(pool = Npra_par.Pool.sequential) ?(engines = 1) ?(slice = 1024)
     ?(sentinel = `Off) ?machine_config ?refresh ?drain_budget ?chaos ?watchdog
-    ?shed ~seed ~duration ~specs ~mem_image progs =
+    ?shed ?controller ~seed ~duration ~specs ~mem_image progs =
   if engines < 1 then invalid_arg "Dispatch.run: engines must be >= 1";
   if List.length specs <> List.length progs then
     invalid_arg "Dispatch.run: one traffic spec per thread program";
@@ -752,11 +911,12 @@ let run ?(pool = Npra_par.Pool.sequential) ?(engines = 1) ?(slice = 1024)
   let drain_budget =
     match drain_budget with Some b -> b | None -> max duration 10_000
   in
-  match (chaos, watchdog) with
-  | None, None ->
+  match (chaos, watchdog, controller) with
+  | None, None, None ->
     run_legacy ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
       ~drain_budget ~shed ~seed ~duration ~specs ~mem_image ~progs
   | _ ->
     let wd = Option.value watchdog ~default:default_watchdog in
     run_fabric ~pool ~engines ~slice ~sentinel ~machine_config ~refresh
-      ~drain_budget ~chaos ~wd ~shed ~seed ~duration ~specs ~mem_image ~progs
+      ~drain_budget ~chaos ~wd ~shed ~controller ~seed ~duration ~specs
+      ~mem_image ~progs

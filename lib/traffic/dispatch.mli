@@ -47,6 +47,53 @@ val default_watchdog : watchdog
     queue collapse. Re-dispatched packets bypass credits. *)
 type shed = { quantum : int; burst : int }
 
+(** {1 Feedback controller (fabric path)}
+
+    A controller closes the loop from traffic metrics back into the
+    allocator: at every slice barrier it receives a cheap cumulative
+    snapshot and may answer with a replacement program list (typically
+    a fresh allocation biased toward the currently-critical thread —
+    see {!Adapt}). The fabric then stops admitting packets on each live
+    engine until it drains to a packet boundary, hot-swaps it there
+    with {!Npra_sim.Machine.swap_programs} (recorded as
+    {!Metrics.Swapped}), and resumes. Backed-off engines pick the new
+    allocation up at their reset; dead engines are untouched. Because
+    the barrier is sequential, controller decisions — and therefore the
+    whole adaptive run — are byte-deterministic at any worker count. *)
+
+type obs_port = {
+  op_thread : int;
+  op_offered : int;  (** cumulative arrivals *)
+  op_served : int;  (** cumulative completions *)
+  op_dropped : int;  (** cumulative refusals, all reasons *)
+  op_lost : int;
+      (** legitimate-stream refusals only (queue-full, shed,
+          quarantine); excludes flood-tagged packets so an adversarial
+          flood cannot stampede a controller that scores on losses *)
+  op_queue : int;  (** standing legit backlog (+1 if one is in service) *)
+  op_sum_wait : int;  (** cumulative queue-wait cycles of served packets *)
+  op_instrs : int;  (** cumulative instructions retired by the thread *)
+}
+
+type obs_engine = {
+  oe_engine : int;
+  oe_live : bool;
+  oe_ports : obs_port array;
+}
+
+type observation = {
+  o_now : int;  (** global cycle of this barrier *)
+  o_slice : int;  (** barrier number *)
+  o_engines : obs_engine array;
+}
+
+type decision = {
+  d_progs : Prog.t list;  (** the allocation to deploy on every engine *)
+  d_detail : string;  (** trigger metrics, recorded in the trail *)
+}
+
+type controller = observation -> decision option
+
 val run :
   ?pool:Npra_par.Pool.t ->
   ?engines:int ->
@@ -58,6 +105,7 @@ val run :
   ?chaos:Chaos.t ->
   ?watchdog:watchdog ->
   ?shed:shed ->
+  ?controller:controller ->
   seed:int ->
   duration:int ->
   specs:Workload.traffic_spec list ->
@@ -76,7 +124,8 @@ val run :
     [chaos] injects the schedule's faults at slice boundaries;
     [watchdog] (default {!default_watchdog} whenever the fabric path
     runs) governs hang detection and retry; [shed] enables the
-    admission credit. Passing any of [chaos]/[watchdog] selects the
+    admission credit; [controller] closes the adaptive re-allocation
+    loop. Passing any of [chaos]/[watchdog]/[controller] selects the
     fabric path; otherwise the legacy independent-engine path runs.
 
     [refresh], when given, is called at each service start and returns

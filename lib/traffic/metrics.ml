@@ -116,6 +116,8 @@ type trail_event =
   | Reset of { cycle : int; engine : int }
   | Recovered of { cycle : int; engine : int }
   | Quarantined of { cycle : int; engine : int; reason : string }
+  | Rebalanced of { cycle : int; slice : int; detail : string }
+  | Swapped of { cycle : int; engine : int; detail : string }
 
 let trail_fields = function
   | Injected { cycle; engine; what } -> (cycle, engine, "injected", what)
@@ -135,6 +137,9 @@ let trail_fields = function
   | Reset { cycle; engine } -> (cycle, engine, "reset", "fresh machine")
   | Recovered { cycle; engine } -> (cycle, engine, "recovered", "retiring again")
   | Quarantined { cycle; engine; reason } -> (cycle, engine, "quarantine", reason)
+  | Rebalanced { cycle; slice; detail } ->
+    (cycle, -1, "rebalance", Fmt.str "slice %d: %s" slice detail)
+  | Swapped { cycle; engine; detail } -> (cycle, engine, "swap", detail)
 
 let pp_trail_event ppf ev =
   let cycle, engine, kind, detail = trail_fields ev in

@@ -92,6 +92,13 @@ type trail_event =
   | Reset of { cycle : int; engine : int }
   | Recovered of { cycle : int; engine : int }
   | Quarantined of { cycle : int; engine : int; reason : string }
+  | Rebalanced of { cycle : int; slice : int; detail : string }
+      (** a feedback controller requested a new allocation; [detail]
+          carries the trigger metrics and allocation provenance.
+          Fabric-wide, so the engine field renders as -1. *)
+  | Swapped of { cycle : int; engine : int; detail : string }
+      (** one engine hot-swapped onto the new allocation at a packet
+          boundary *)
 
 val pp_trail_event : trail_event Fmt.t
 

@@ -79,6 +79,11 @@ type arrival =
   | Bursty of { on_cycles : int; off_cycles : int; period : int }
       (* on/off source: [period]-spaced arrivals during each
          [on_cycles] burst, silence for [off_cycles] between bursts *)
+  | Windowed of { from_cycle : int; until_cycle : int; inner : arrival }
+      (* mix churn: [inner]'s arrivals restricted to
+         [from_cycle, until_cycle) — a kernel joining the mix mid-run
+         ([from_cycle] > 0), leaving it ([until_cycle] < duration), or
+         both. Arrivals outside the window are skipped, not deferred. *)
 
 type traffic_spec = {
   arrival : arrival;
@@ -86,11 +91,13 @@ type traffic_spec = {
   per_packet_iters : int;  (* kernel main-loop iterations per packet *)
 }
 
-let pp_arrival ppf = function
+let rec pp_arrival ppf = function
   | Uniform { period } -> Fmt.pf ppf "uniform(period=%d)" period
   | Poisson { mean_period } -> Fmt.pf ppf "poisson(mean=%d)" mean_period
   | Bursty { on_cycles; off_cycles; period } ->
     Fmt.pf ppf "bursty(on=%d,off=%d,period=%d)" on_cycles off_cycles period
+  | Windowed { from_cycle; until_cycle; inner } ->
+    Fmt.pf ppf "windowed(%d..%d,%a)" from_cycle until_cycle pp_arrival inner
 
 let pp_traffic_spec ppf t =
   Fmt.pf ppf "%a q=%d iters/pkt=%d" pp_arrival t.arrival t.queue_capacity

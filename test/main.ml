@@ -9,5 +9,5 @@ let () =
          Test_dataflow.suite; Test_verify.suite; Test_fault.suite;
          Test_diag.suite; Test_fuzz.suite; Test_sim_memory.suite;
          Test_traffic.suite; Test_par.suite; Test_portfolio.suite;
-         Test_chaos.suite;
+         Test_chaos.suite; Test_adapt.suite; Test_rng.suite;
        ])

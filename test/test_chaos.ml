@@ -155,7 +155,9 @@ let trail_kinds m =
       | Metrics.Backoff _ -> "backoff"
       | Metrics.Reset _ -> "reset"
       | Metrics.Recovered _ -> "recovered"
-      | Metrics.Quarantined _ -> "quarantined")
+      | Metrics.Quarantined _ -> "quarantined"
+      | Metrics.Rebalanced _ -> "rebalance"
+      | Metrics.Swapped _ -> "swap")
     m.Metrics.rm_trail
 
 let run_fabric ?shed ?(engines = 2) ?(duration = 20_000) ~chaos () =
