@@ -878,6 +878,41 @@ let run_adapt () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Full-chip fabric: sharded dispatch over the tiered memory hierarchy  *)
+(* plus inter-engine rx -> classify -> tx chains. Writes               *)
+(* BENCH_chip.json and fails the process on any conservation or SLO     *)
+(* violation, or if the balanced allocation serves fewer critical-      *)
+(* thread packets than the fixed partition.                             *)
+
+let chip_json = "BENCH_chip.json"
+
+let run_chip () =
+  let seed = Option.value !seed_flag ~default:42 in
+  Fmt.pr
+    "@.== Chip: sharded dispatch, tiered memory, inter-engine chains (seed \
+     %d, %d jobs%s) ==@."
+    seed !jobs
+    (if !quick then ", quick" else "");
+  let m, seconds =
+    timed (fun () ->
+        Npra_chip.Driver.run ~pool:(pool ()) ~seed ~quick:!quick ())
+  in
+  Fmt.pr "%a" Npra_chip.Driver.pp m;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  let oc = open_out chip_json in
+  output_string oc
+    (splice_wall_clock ~jobs:!jobs ~seconds (Npra_chip.Driver.to_json m));
+  close_out oc;
+  Fmt.pr "wrote %s@." chip_json;
+  if not (Npra_chip.Driver.all_ok m) then begin
+    Fmt.epr
+      "CHIP HARNESS FAILURE: a cell violated conservation, missed its SLO, \
+       fell short of the offered floor, or the balanced allocation lost to \
+       the fixed partition (see the matrix above)@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let known =
@@ -887,7 +922,7 @@ let () =
       ("timing", run_timing); ("dataflow", run_dataflow);
       ("faults", run_faults); ("fuzz", run_fuzz);
       ("throughput", run_throughput); ("portfolio", run_portfolio);
-      ("chaos", run_chaos); ("adapt", run_adapt);
+      ("chaos", run_chaos); ("adapt", run_adapt); ("chip", run_chip);
     ]
   in
   let print_subcommands ppf =

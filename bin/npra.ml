@@ -51,19 +51,34 @@ let instantiate_all ?iters ids =
 (* ---- list ---- *)
 
 let list_cmd =
-  let run traffic =
-    List.iter
-      (fun s ->
-        if traffic then
-          match Registry.default_traffic s.Workload.id with
-          | Some t ->
-            Fmt.pr "%-12s %-48s %a@." s.Workload.id s.Workload.summary
-              Workload.pp_traffic_spec t
-          | None ->
-            Fmt.pr "%-12s %-48s (no traffic model)@." s.Workload.id
-              s.Workload.summary
-        else Fmt.pr "%-12s %s@." s.Workload.id s.Workload.summary)
-      Registry.all
+  let run traffic chains =
+    if chains then begin
+      List.iter
+        (fun s ->
+          Fmt.pr "%-12s %-10s %s@." s.Workload.id
+            (Workload.role_name s.Workload.role)
+            s.Workload.summary)
+        Registry.all;
+      Fmt.pr "@.chain families (rx/tx pairs for inter-engine chains):@.";
+      List.iter
+        (fun (family, rx, tx) ->
+          Fmt.pr "  %-10s %s -> classify -> %s@." family rx.Workload.id
+            tx.Workload.id)
+        (Registry.chain_families ())
+    end
+    else
+      List.iter
+        (fun s ->
+          if traffic then
+            match Registry.default_traffic s.Workload.id with
+            | Some t ->
+              Fmt.pr "%-12s %-48s %a@." s.Workload.id s.Workload.summary
+                Workload.pp_traffic_spec t
+            | None ->
+              Fmt.pr "%-12s %-48s (no traffic model)@." s.Workload.id
+                s.Workload.summary
+          else Fmt.pr "%-12s %s@." s.Workload.id s.Workload.summary)
+        Registry.all
   in
   let traffic_flag =
     Arg.(
@@ -71,8 +86,16 @@ let list_cmd =
       & info [ "traffic" ]
           ~doc:"Also show each kernel's default packet-arrival model.")
   in
+  let chains_flag =
+    Arg.(
+      value & flag
+      & info [ "chains" ]
+          ~doc:
+            "Show each kernel's chain role (rx/classify/tx/standalone) and \
+             the rx/tx chain families the registry pairs up.")
+  in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels")
-    Term.(const run $ traffic_flag)
+    Term.(const run $ traffic_flag $ chains_flag)
 
 (* ---- dump ---- *)
 
@@ -215,7 +238,7 @@ let simulate_cmd =
 (* ---- throughput ---- *)
 
 let throughput_cmd =
-  let run nreg engines duration seed jobs use_baseline ids =
+  let run nreg engines duration seed jobs use_baseline json ids =
     let pool = Npra_par.Pool.create ~jobs () in
     let ws =
       List.mapi
@@ -237,28 +260,33 @@ let throughput_cmd =
     let spill_bases = List.map (fun (w, _) -> Workload.spill_base w) ws in
     let progs =
       if use_baseline then begin
-        Fmt.pr "allocation: spilling baseline (fixed partition)@.";
+        if not json then
+          Fmt.pr "allocation: spilling baseline (fixed partition)@.";
         (Pipeline.baseline ~nreg ~spill_bases progs).Pipeline.base_programs
       end
       else begin
         let bal = balanced_or_die ~spill_bases ~nreg progs in
-        List.iter
-          (fun d -> Fmt.pr "degraded: %a@." Pipeline.pp_diagnostic d)
-          bal.Pipeline.trail;
-        Fmt.pr "allocation served by: %a@." Pipeline.pp_stage
-          bal.Pipeline.provenance;
+        if not json then begin
+          List.iter
+            (fun d -> Fmt.pr "degraded: %a@." Pipeline.pp_diagnostic d)
+            bal.Pipeline.trail;
+          Fmt.pr "allocation served by: %a@." Pipeline.pp_stage
+            bal.Pipeline.provenance
+        end;
         bal.Pipeline.programs
       end
     in
-    List.iter2
-      (fun (w, _) s ->
-        Fmt.pr "  %-12s %a@." w.Workload.name Workload.pp_traffic_spec s)
-      ws specs;
+    if not json then
+      List.iter2
+        (fun (w, _) s ->
+          Fmt.pr "  %-12s %a@." w.Workload.name Workload.pp_traffic_spec s)
+        ws specs;
     let m =
       Npra_traffic.Dispatch.run ~pool ~engines ~sentinel:`Trap ~seed
         ~duration ~specs ~mem_image progs
     in
-    Fmt.pr "%a" Npra_traffic.Metrics.pp m;
+    if json then print_string (Npra_traffic.Metrics.to_json m)
+    else Fmt.pr "%a" Npra_traffic.Metrics.pp m;
     match Npra_traffic.Metrics.faults m with
     | [] -> ()
     | fs ->
@@ -297,6 +325,13 @@ let throughput_cmd =
           ~doc:"Run the spilling fixed-partition baseline instead of the \
                 balanced allocator.")
   in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the run metrics as canonical JSON instead of the report.")
+  in
   Cmd.v
     (Cmd.info "throughput"
        ~doc:
@@ -304,7 +339,7 @@ let throughput_cmd =
           their default traffic models")
     Term.(
       const run $ nreg_arg $ engines_arg $ duration_arg $ seed_arg $ jobs_arg
-      $ baseline_flag $ kernels_arg)
+      $ baseline_flag $ json_flag $ kernels_arg)
 
 (* ---- chaos ---- *)
 
@@ -433,7 +468,10 @@ let adapt_cmd =
   let run scenario seed jobs quick json list_scenarios =
     let names = Npra_fault.Adaptdriver.scenario_names in
     if list_scenarios then
-      List.iter (fun n -> Fmt.pr "%s@." n) names
+      if json then
+        Fmt.pr {|{"scenarios": [%s]}|}
+          (String.concat ", " (List.map (Fmt.str "%S") names))
+      else List.iter (fun n -> Fmt.pr "%s@." n) names
     else begin
       let pool = Npra_par.Pool.create ~jobs () in
       match Npra_fault.Adaptdriver.run_scenario ~pool ~seed ~quick scenario with
@@ -494,6 +532,81 @@ let adapt_cmd =
          "Replay one shifting-traffic scenario twice — allocation frozen vs \
           the adaptive re-balancing control loop — and print the full \
           re-balance trail")
+    Term.(
+      const run $ scenario_arg $ seed_arg $ jobs_arg $ quick_flag $ json_flag
+      $ list_flag)
+
+(* ---- chip ---- *)
+
+let chip_cmd =
+  let run scenario seed jobs quick json list_scenarios =
+    let names = Npra_chip.Driver.scenario_names ~quick in
+    if list_scenarios then
+      if json then
+        Fmt.pr {|{"scenarios": [%s]}|}
+          (String.concat ", " (List.map (Fmt.str "%S") names))
+      else List.iter (fun n -> Fmt.pr "%s@." n) names
+    else begin
+      let pool = Npra_par.Pool.create ~jobs () in
+      match Npra_chip.Driver.run_scenario ~pool ~seed ~quick scenario with
+      | None ->
+        Fmt.epr "unknown scenario %S; available: %s@." scenario
+          (String.concat ", " names);
+        exit 2
+      | Some cell ->
+        if json then print_string (Npra_chip.Driver.cell_json cell)
+        else Fmt.pr "%a" Npra_chip.Driver.pp_cell cell;
+        if not (Npra_chip.Driver.cell_ok cell) then exit 1
+    end
+  in
+  let scenario_arg =
+    Arg.(
+      value & pos 0 string "shard"
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Chip scenario to replay (see $(b,--list) for the full set): a \
+             sharded fixed-vs-balanced run, a sharded chaos run, or one \
+             rx → classify → tx chain per registry chain family.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the shard spreader, arrival streams and any fault \
+             schedule.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains running shards (or chain engines) in parallel. \
+             The replay is byte-identical at any job count.")
+  in
+  let quick_flag =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Scaled-down chip (fewer engines, shorter runs).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the cell as canonical JSON (the same shape BENCH_chip\
+             .json uses) instead of the replay report.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenarios and exit.")
+  in
+  Cmd.v
+    (Cmd.info "chip"
+       ~doc:
+         "Replay one full-chip scenario: sharded dispatch over the tiered \
+          memory hierarchy, chaos across shards, or an inter-engine packet \
+          chain with DRR hand-off and a latency SLO")
     Term.(
       const run $ scenario_arg $ seed_arg $ jobs_arg $ quick_flag $ json_flag
       $ list_flag)
@@ -760,7 +873,8 @@ let () =
                 processor (PLDI 2004 reproduction)")
           [
             list_cmd; dump_cmd; analyze_cmd; allocate_cmd; portfolio_cmd;
-            simulate_cmd; throughput_cmd; chaos_cmd; adapt_cmd; asm_cmd;
+            simulate_cmd; throughput_cmd; chaos_cmd; adapt_cmd; chip_cmd;
+            asm_cmd;
             cc_cmd; sra_cmd;
             dot_cmd;
             table1_cmd; fig14_cmd; table2_cmd; table3_cmd;

@@ -6,7 +6,8 @@
      register file of [nreg] general-purpose registers;
    - every instruction takes one cycle;
    - [load]/[store] relinquish the PU while the access is in flight
-     ([mem_latency] cycles, no cache); a load's destination register is
+     ([mem_latency] cycles flat, or the address's tier latency under a
+     {!Memory.hierarchy}; no cache); a load's destination register is
      written back only when the thread is dispatched again (the
      transfer-register rule — this is what makes unsafe register sharing
      observable as corruption, which the tests rely on);
@@ -45,10 +46,19 @@ type config = {
   mem_latency : int;
   ctx_switch_cost : int;
   max_cycles : int;
+  tiers : Memory.hierarchy option;
+      (* address-range latency classes; [None] keeps the classic flat
+         [mem_latency] charge on every access *)
 }
 
 let default_config =
-  { nreg = 128; mem_latency = 20; ctx_switch_cost = 1; max_cycles = 100_000_000 }
+  {
+    nreg = 128;
+    mem_latency = 20;
+    ctx_switch_cost = 1;
+    max_cycles = 100_000_000;
+    tiers = None;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Structured traps.                                                   *)
@@ -444,6 +454,13 @@ let operand_value t th = function
   | Instr.Reg r -> read_reg t th r
   | Instr.Imm n -> n
 
+(* Blocked cycles for one architectural access: the address's tier when
+   the config carries a hierarchy, else the flat [mem_latency]. *)
+let access_latency t a =
+  match t.config.tiers with
+  | None -> t.config.mem_latency
+  | Some h -> Memory.latency h a
+
 (* Executes one instruction of [th]; returns [`Continue] to keep running
    the same thread or [`Yield] when the PU must be rescheduled. This is
    the legacy engine, interpreting [Instr.t] directly; kept as the
@@ -477,7 +494,7 @@ let step_legacy t th =
     th.ctx_events <- th.ctx_events + 1;
     th.pc <- next;
     th.pending_writeback <- Some (rnum dst, v);
-    th.status <- Blocked { until = t.cycle + t.config.mem_latency };
+    th.status <- Blocked { until = t.cycle + access_latency t a };
     record t th.id Blocked_on_memory;
     `Yield
   | Instr.Store { src; addr; off } ->
@@ -488,7 +505,7 @@ let step_legacy t th =
     th.stores <- th.stores + 1;
     th.ctx_events <- th.ctx_events + 1;
     th.pc <- next;
-    th.status <- Blocked { until = t.cycle + t.config.mem_latency };
+    th.status <- Blocked { until = t.cycle + access_latency t a };
     record t th.id Blocked_on_memory;
     `Yield
   | Instr.Br { target } ->
@@ -563,7 +580,7 @@ let step_decoded t th =
       th.ctx_events <- th.ctx_events + 1;
       th.pc <- next;
       th.pending_writeback <- Some (code.(base + 1), v);
-      th.status <- Blocked { until = t.cycle + t.config.mem_latency };
+      th.status <- Blocked { until = t.cycle + access_latency t a };
       record t th.id Blocked_on_memory;
       `Yield
     | 19 (* store *) ->
@@ -574,7 +591,7 @@ let step_decoded t th =
       th.stores <- th.stores + 1;
       th.ctx_events <- th.ctx_events + 1;
       th.pc <- next;
-      th.status <- Blocked { until = t.cycle + t.config.mem_latency };
+      th.status <- Blocked { until = t.cycle + access_latency t a };
       record t th.id Blocked_on_memory;
       `Yield
     | 20 (* br *) ->

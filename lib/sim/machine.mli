@@ -22,10 +22,16 @@ type config = {
   mem_latency : int;
   ctx_switch_cost : int;
   max_cycles : int;  (** safety limit; exceeding it raises {!Stuck} *)
+  tiers : Memory.hierarchy option;
+      (** address-range latency classes (scratch/SRAM/SDRAM). [None]
+          charges the flat [mem_latency] on every access — the classic
+          machine — and [Some (Memory.flat ~latency:mem_latency)] is
+          proven cycle-equal to it by the test suite. *)
 }
 
 val default_config : config
-(** 128 GPRs, 20-cycle memory, 1-cycle switch — the paper's machine. *)
+(** 128 GPRs, 20-cycle flat memory, 1-cycle switch — the paper's
+    machine. *)
 
 type t
 

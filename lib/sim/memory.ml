@@ -1,8 +1,11 @@
 (* Word-addressed memory shared by all threads of a processing unit.
 
    The model is a flat sparse array of words; addresses are plain
-   integers. Every load/store carries the fixed SRAM latency configured
-   in the machine — there is no cache, matching the modelled NPU. *)
+   integers. Memory itself is latency-free: the machine charges each
+   load/store the latency of the address's {e tier} — scratch, SRAM or
+   SDRAM on a real NPU — looked up through a {!hierarchy}, or a single
+   flat figure when the machine runs the classic one-tier config. There
+   is no cache, matching the modelled NPU. *)
 
 type t = {
   words : (int, int) Hashtbl.t;
@@ -33,3 +36,64 @@ let writes t = t.writes
 let dump t =
   Hashtbl.fold (fun a v acc -> (a, v) :: acc) t.words []
   |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Latency tiers.
+
+   A hierarchy is a list of address-range classes in ascending order:
+   tier [i] covers every address below [tier_limit i] not covered by an
+   earlier tier, and the last tier's limit is forced to [max_int] so
+   the classification is total (negative addresses fall into tier 0 —
+   harness-level probes, never produced by a validated program). *)
+
+type tier = { tier_name : string; tier_limit : int; tier_latency : int }
+
+type hierarchy = tier array
+
+let tiered tiers =
+  if tiers = [] then Fmt.invalid_arg "Memory.tiered: empty hierarchy";
+  List.iter
+    (fun t ->
+      if t.tier_latency < 0 then
+        Fmt.invalid_arg "Memory.tiered: tier %S has negative latency"
+          t.tier_name)
+    tiers;
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+      if a.tier_limit >= b.tier_limit then
+        Fmt.invalid_arg
+          "Memory.tiered: tier limits must be strictly ascending (%S: %d >= \
+           %S: %d)"
+          a.tier_name a.tier_limit b.tier_name b.tier_limit;
+      ascending rest
+    | _ -> ()
+  in
+  ascending tiers;
+  let arr = Array.of_list tiers in
+  let last = Array.length arr - 1 in
+  arr.(last) <- { arr.(last) with tier_limit = max_int };
+  arr
+
+let flat ~latency =
+  tiered [ { tier_name = "flat"; tier_limit = max_int; tier_latency = latency } ]
+
+(* Scratch / SRAM / SDRAM: the IXP-style three-level split. *)
+let scratch_sram_sdram ~scratch_words ~sram_words ~scratch_latency ~sram_latency
+    ~sdram_latency =
+  tiered
+    [
+      { tier_name = "scratch"; tier_limit = scratch_words;
+        tier_latency = scratch_latency };
+      { tier_name = "sram"; tier_limit = scratch_words + sram_words;
+        tier_latency = sram_latency };
+      { tier_name = "sdram"; tier_limit = max_int; tier_latency = sdram_latency };
+    ]
+
+let tier_index h addr =
+  let n = Array.length h in
+  let rec go i = if i = n - 1 || addr < h.(i).tier_limit then i else go (i + 1) in
+  go 0
+
+let latency h addr = h.(tier_index h addr).tier_latency
+let tier_of h addr = h.(tier_index h addr)
+let tiers h = Array.to_list h

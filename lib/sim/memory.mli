@@ -2,12 +2,14 @@
 
     A flat sparse array of words; addresses are plain integers and
     unwritten words read as 0. Memory itself is latency-free — the
-    {e machine} charges the fixed SRAM latency ([mem_latency] cycles)
-    on every [load]/[store] and parks the issuing thread, matching the
-    modelled NPU (no cache). [read]/[write] are the architectural
-    accesses and are counted; [peek]/[poke] are harness back-doors
-    (preloading packet images, inspecting results) that leave the
-    counters untouched. *)
+    {e machine} charges each [load]/[store] and parks the issuing
+    thread for the latency of the address's tier: either the classic
+    single figure ([mem_latency] cycles everywhere) or a per-address
+    {!hierarchy} of scratch/SRAM/SDRAM-style latency classes (no cache
+    either way, matching the modelled NPU). [read]/[write] are the
+    architectural accesses and are counted; [peek]/[poke] are harness
+    back-doors (preloading packet images, inspecting results) that
+    leave the counters untouched. *)
 
 type t
 
@@ -35,3 +37,49 @@ val writes : t -> int
 
 val dump : t -> (int * int) list
 (** Every written word as (address, value), sorted by address. *)
+
+(** {2 Latency tiers}
+
+    Address-range latency classes. A {!hierarchy} partitions the
+    address space into consecutive tiers by ascending limit: tier [i]
+    covers every address below its [tier_limit] not claimed by an
+    earlier tier, and the last tier is unbounded, so classification is
+    total. The machine consults the hierarchy on every architectural
+    access; memory content is tier-oblivious. *)
+
+type tier = {
+  tier_name : string;
+  tier_limit : int;  (** exclusive upper address bound of this tier *)
+  tier_latency : int;  (** blocked cycles charged per access *)
+}
+
+type hierarchy
+
+val tiered : tier list -> hierarchy
+(** Validates and seals a hierarchy: non-empty, strictly ascending
+    limits, non-negative latencies; the last tier's limit is widened to
+    [max_int]. @raise Invalid_argument otherwise. *)
+
+val flat : latency:int -> hierarchy
+(** The one-tier hierarchy — every address costs [latency] cycles,
+    exactly the classic fixed-latency machine. *)
+
+val scratch_sram_sdram :
+  scratch_words:int ->
+  sram_words:int ->
+  scratch_latency:int ->
+  sram_latency:int ->
+  sdram_latency:int ->
+  hierarchy
+(** The IXP-style three-level split: [scratch_words] fast words, then
+    [sram_words] of SRAM, then unbounded SDRAM. *)
+
+val latency : hierarchy -> int -> int
+(** Blocked cycles for an access at the given address. Total: negative
+    addresses classify into the first tier. *)
+
+val tier_of : hierarchy -> int -> tier
+(** The tier covering the given address. *)
+
+val tiers : hierarchy -> tier list
+(** The sealed tier list, in ascending-limit order. *)

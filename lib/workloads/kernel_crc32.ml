@@ -69,4 +69,5 @@ let spec =
     summary = "table-less CRC, low pressure, load-heavy";
     build = (fun ~mem_base ~iters -> build ~mem_base ~iters);
     default_iters = 32;
+    role = Workload.Classify;
   }

@@ -73,4 +73,5 @@ let spec =
     summary = "per-queue deficits held across all CSBs";
     build = (fun ~mem_base ~iters -> build ~mem_base ~iters);
     default_iters = 16;
+    role = Workload.Classify;
   }

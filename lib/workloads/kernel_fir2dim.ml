@@ -71,4 +71,5 @@ let spec =
     summary = "high internal pressure, tiny boundary pressure";
     build = (fun ~mem_base ~iters -> build ~mem_base ~iters);
     default_iters = 24;
+    role = Workload.Standalone;
   }

@@ -74,4 +74,5 @@ let spec =
     summary = "checksum + fragment emission (the paper's Figure 4 kernel)";
     build = (fun ~mem_base ~iters -> build ~mem_base ~iters);
     default_iters = 24;
+    role = Workload.Classify;
   }

@@ -141,6 +141,7 @@ let spec_rx =
     summary = "receive half of the forwarding module";
     build = (fun ~mem_base ~iters -> build_rx ~mem_base ~iters);
     default_iters = 24;
+    role = Workload.Rx;
   }
 
 let spec_tx =
@@ -149,4 +150,5 @@ let spec_tx =
     summary = "send half of the forwarding module";
     build = (fun ~mem_base ~iters -> build_tx ~mem_base ~iters);
     default_iters = 24;
+    role = Workload.Tx;
   }

@@ -131,4 +131,5 @@ let spec =
     summary = "message digest, very high register pressure (critical)";
     build = (fun ~mem_base ~iters -> build ~mem_base ~iters);
     default_iters = 12;
+    role = Workload.Standalone;
   }

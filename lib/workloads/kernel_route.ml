@@ -57,4 +57,5 @@ let spec =
     summary = "pointer-chasing lookup, latency bound";
     build = (fun ~mem_base ~iters -> build ~mem_base ~iters);
     default_iters = 24;
+    role = Workload.Classify;
   }

@@ -63,4 +63,5 @@ let spec =
     summary = "content inspection, branchy, small ranges";
     build = (fun ~mem_base ~iters -> build ~mem_base ~iters);
     default_iters = 16;
+    role = Workload.Classify;
   }

@@ -155,6 +155,7 @@ let spec_rx =
     summary = "WRAPS receive, credits in registers (critical)";
     build = (fun ~mem_base ~iters -> build_rx ~mem_base ~iters);
     default_iters = 12;
+    role = Workload.Rx;
   }
 
 let spec_tx =
@@ -163,4 +164,5 @@ let spec_tx =
     summary = "WRAPS send, credits in registers (critical)";
     build = (fun ~mem_base ~iters -> build_tx ~mem_base ~iters);
     default_iters = 12;
+    role = Workload.Tx;
   }

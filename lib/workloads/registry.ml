@@ -27,6 +27,33 @@ let find_exn id =
 
 let ids () = List.map (fun s -> s.Workload.id) all
 
+(* Chain-role views: chain scenarios are assembled from these instead
+   of hard-coded kernel names, so a new kernel joins the chain pool by
+   tagging its spec. *)
+let by_role role = List.filter (fun s -> s.Workload.role = role) all
+
+(* Rx/Tx kernels pair into families by the id stem before the
+   "_rx"/"_tx" suffix (l2l3fwd, wraps); an rx kernel without a matching
+   tx (or vice versa) simply forms no family. *)
+let chain_families () =
+  let stem id suffix =
+    if Filename.check_suffix id suffix then
+      Some (String.sub id 0 (String.length id - String.length suffix))
+    else None
+  in
+  List.filter_map
+    (fun rx ->
+      match stem rx.Workload.id "_rx" with
+      | None -> None
+      | Some family ->
+        List.find_opt
+          (fun tx ->
+            tx.Workload.role = Workload.Tx
+            && stem tx.Workload.id "_tx" = Some family)
+          (by_role Workload.Tx)
+        |> Option.map (fun tx -> (family, rx, tx)))
+    (by_role Workload.Rx)
+
 (* Instantiates a workload on its own memory region: instance [slot]
    occupies [slot * instance_size ..]. *)
 let instantiate ?iters spec ~slot =

@@ -54,11 +54,24 @@ let random_words ~seed n =
 let packet_image ~mem_base ~seed n =
   List.mapi (fun i v -> (mem_base + input_offset + i, v)) (random_words ~seed n)
 
+(* Where a kernel can sit in an rx -> classify -> tx packet chain. Rx
+   kernels ingest and validate packets, Tx kernels emit them, Classify
+   kernels are header/payload processing that fits between the two;
+   Standalone kernels only make sense as whole-packet services. *)
+type role = Rx | Classify | Tx | Standalone
+
+let role_name = function
+  | Rx -> "rx"
+  | Classify -> "classify"
+  | Tx -> "tx"
+  | Standalone -> "standalone"
+
 type spec = {
   id : string;
   summary : string;
   build : mem_base:int -> iters:int -> t;
   default_iters : int;
+  role : role;
 }
 
 (* ------------------------------------------------------------------ *)

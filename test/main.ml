@@ -10,4 +10,5 @@ let () =
          Test_diag.suite; Test_fuzz.suite; Test_sim_memory.suite;
          Test_traffic.suite; Test_par.suite; Test_portfolio.suite;
          Test_chaos.suite; Test_adapt.suite; Test_rng.suite;
+         Test_chip.suite;
        ])
