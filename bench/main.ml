@@ -6,16 +6,16 @@
      dune exec bench/main.exe table1       one experiment
      dune exec bench/main.exe -- dataflow --json BENCH_dataflow.json
 
-   Flags:
-     --json PATH   where [dataflow] writes its JSON report
-                   (default BENCH_dataflow.json)
+   Flags (the shared spec in Cli):
+     --json PATH   overrides the selected subcommand's JSON output
+                   path; valid only when the selection contains exactly
+                   one JSON-writing subcommand
      --quick       tiny Bechamel quota and short traffic runs, for CI
-     --seed N      replayable seed for the randomised harnesses
-                   ([throughput], [fuzz], [faults]); each keeps its
-                   historical default when absent
-     --jobs N      worker domains for [throughput], [fuzz] and [faults]
-                   (default 1). Results are deterministic: only the
-                   wall_clock block of the JSON reports depends on N
+     --seed N      replayable seed for the randomised harnesses; each
+                   keeps its historical default when absent
+     --jobs N      worker domains for the pooled harnesses (default 1).
+                   Results are deterministic: only the wall_clock block
+                   of the JSON reports depends on N
 
    Absolute cycle numbers come from our machine model, not the IXP1200
    Developer Workbench, so EXPERIMENTS.md compares shapes and ratios
@@ -264,18 +264,12 @@ let run_timing () =
 (* reference oracle, on every workload kernel plus a ~10k-instruction  *)
 (* synthetic program. Writes the BENCH_dataflow.json trajectory file.  *)
 
-let json_path = ref "BENCH_dataflow.json"
-let quick = ref false
-
-(* --seed: one replayable seed for every randomised harness; each keeps
-   its historical default when the flag is absent. *)
-let seed_flag : int option ref = ref None
-
-(* --jobs: worker domains for the pooled harnesses. The pool contract
-   (task-indexed results) keeps every report identical at any job
-   count; only wall-clock observations change. *)
-let jobs = ref 1
-let pool () = Npra_par.Pool.create ~jobs:!jobs ()
+(* The shared flags arrive pre-parsed in a {!Cli.opts}: --quick, --seed
+   (each randomised harness keeps its historical default when absent),
+   --jobs (the pool contract keeps every report identical at any job
+   count; only wall-clock observations change), and --json (resolved
+   per subcommand by {!Cli.json_path}). *)
+let pool (o : Cli.opts) = Npra_par.Pool.create ~jobs:o.Cli.jobs ()
 
 (* Every BENCH_*.json carries a wall_clock block recording how long the
    harness took and at how many jobs — appended by the harness, outside
@@ -301,11 +295,11 @@ let timed f =
 
 type df_case = { df_name : string; median_ns : float; samples : int }
 
-let median_ns_per_run test =
+let median_ns_per_run ~quick test =
   let open Bechamel in
-  let quota = Time.second (if !quick then 0.005 else 0.5) in
+  let quota = Time.second (if quick then 0.005 else 0.5) in
   let cfg =
-    Benchmark.cfg ~limit:(if !quick then 5 else 200) ~quota ~kde:None ()
+    Benchmark.cfg ~limit:(if quick then 5 else 200) ~quota ~kde:None ()
   in
   let raws = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
   let label = Measure.label Toolkit.Instance.monotonic_clock in
@@ -351,7 +345,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_dataflow_json path cases speedups ~seconds =
+let write_dataflow_json path cases speedups ~jobs ~seconds =
   let oc = open_out path in
   let ppf = Format.formatter_of_out_channel oc in
   let pp_case ppf c =
@@ -369,16 +363,17 @@ let write_dataflow_json path cases speedups ~seconds =
     cases
     Fmt.(list ~sep:(any ",@\n") pp_speedup)
     speedups
-    (wall_clock_json ~jobs:!jobs ~seconds);
+    (wall_clock_json ~jobs ~seconds);
   close_out oc
 
-let run_dataflow () =
+let run_dataflow (o : Cli.opts) ~json =
+  let json_path = Option.get json in
   (* Fail on an unwritable JSON path before the minutes-long run, not
      after it. *)
-  (match open_out_gen [ Open_append; Open_creat ] 0o644 !json_path with
+  (match open_out_gen [ Open_append; Open_creat ] 0o644 json_path with
   | oc -> close_out oc
   | exception Sys_error msg ->
-    Fmt.epr "cannot write %s: %s@." !json_path msg;
+    Fmt.epr "cannot write %s: %s@." json_path msg;
     exit 2);
   Fmt.pr "@.== Dataflow: dense bitset engine vs Reg.Set reference ==@.";
   let open Bechamel in
@@ -390,7 +385,8 @@ let run_dataflow () =
       (fun (cases, speedups) (id, prog) ->
         let time name f =
           let median, samples =
-            median_ns_per_run (Test.make ~name (Staged.stage f))
+            median_ns_per_run ~quick:o.Cli.quick
+              (Test.make ~name (Staged.stage f))
           in
           { df_name = name; median_ns = median; samples }
         in
@@ -408,9 +404,9 @@ let run_dataflow () =
         (cases @ [ dense; reference ], speedups @ [ (id, speedup) ]))
       ([], []) programs
   in
-  write_dataflow_json !json_path cases speedups
+  write_dataflow_json json_path cases speedups ~jobs:o.Cli.jobs
     ~seconds:(Unix.gettimeofday () -. t0);
-  Fmt.pr "wrote %s@." !json_path
+  Fmt.pr "wrote %s@." json_path
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection detection matrix: every (kernel x fault) cell        *)
@@ -418,11 +414,10 @@ let run_dataflow () =
 (* BENCH_faults.json and fails the process if any injected fault goes   *)
 (* undetected — the robustness gate CI leans on.                        *)
 
-let faults_json = "BENCH_faults.json"
-
-let run_faults () =
+let run_faults (o : Cli.opts) ~json =
+  let faults_json = Option.get json in
   let specs =
-    if !quick then
+    if o.Cli.quick then
       (* a light smoke subset; wraps_rx exercises the Chaitin fallback *)
       List.filter
         (fun s -> List.mem s.Workload.id [ "crc32"; "url"; "wraps_rx" ])
@@ -430,15 +425,16 @@ let run_faults () =
     else Registry.all
   in
   Fmt.pr "@.== Fault injection: static verify + runtime sentinel (%d jobs) ==@."
-    !jobs;
+    o.Cli.jobs;
   let m, seconds =
-    timed (fun () -> Npra_fault.Driver.run ~pool:(pool ()) ?seed:!seed_flag ~specs ())
+    timed (fun () ->
+        Npra_fault.Driver.run ~pool:(pool o) ?seed:o.Cli.seed ~specs ())
   in
   Fmt.pr "%a" Npra_fault.Driver.pp m;
-  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds o.Cli.jobs;
   let oc = open_out faults_json in
   output_string oc
-    (splice_wall_clock ~jobs:!jobs ~seconds (Npra_fault.Driver.to_json m));
+    (splice_wall_clock ~jobs:o.Cli.jobs ~seconds (Npra_fault.Driver.to_json m));
   close_out oc;
   Fmt.pr "wrote %s@." faults_json;
   if not (Npra_fault.Driver.all_detected m) then begin
@@ -455,19 +451,18 @@ let run_faults () =
 (* any wall-clock hang, or any seeded crasher that is not rejected      *)
 (* with structured diagnostics.                                         *)
 
-let fuzz_json = "BENCH_fuzz.json"
-
-let run_fuzz () =
+let run_fuzz (o : Cli.opts) ~json =
+  let fuzz_json = Option.get json in
   let open Npra_fuzz in
-  let count = if !quick then 1_500 else 12_000 in
+  let count = if o.Cli.quick then 1_500 else 12_000 in
   Fmt.pr
     "@.== Fuzz: never-crash contract over both frontends (%d inputs, %d jobs) \
      ==@."
-    count !jobs;
+    count o.Cli.jobs;
   let stats, seconds =
     timed (fun () ->
-        Fuzz.run ~pool:(pool ())
-          ~seed:(Option.value !seed_flag ~default:42)
+        Fuzz.run ~pool:(pool o)
+          ~seed:(Option.value o.Cli.seed ~default:42)
           ~count ())
   in
   Fmt.pr "inputs          %8d@." stats.Fuzz.inputs;
@@ -492,10 +487,10 @@ let run_fuzz () =
       Fmt.epr "CRASHER NOT REJECTED [%s]: %s@.  input: %S@."
         (Fuzz.lang_name lang) why src)
     unrejected;
-  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds o.Cli.jobs;
   let oc = open_out fuzz_json in
   output_string oc
-    (splice_wall_clock ~jobs:!jobs ~seconds (Fuzz.to_json stats));
+    (splice_wall_clock ~jobs:o.Cli.jobs ~seconds (Fuzz.to_json stats));
   close_out oc;
   Fmt.pr "wrote %s@." fuzz_json;
   if not (Fuzz.ok stats && unrejected = []) then begin
@@ -514,8 +509,6 @@ let run_fuzz () =
 (* the process if any engine faults (sentinel trap or drained           *)
 (* deadlock), or if the balanced allocation serves fewer critical-      *)
 (* thread packets than the spilling baseline under saturation.          *)
-
-let throughput_json = "BENCH_throughput.json"
 
 type mix = { mix_name : string; mix_ids : string list; critical : int }
 
@@ -555,7 +548,7 @@ let service_speedup_pct fixed bal i =
   let b = service_of fixed i and s = service_of bal i in
   if s = 0. then 0. else 100. *. ((b /. s) -. 1.)
 
-let run_throughput_mix ~pool ~seed ~engines mix =
+let run_throughput_mix ~pool ~quick ~seed ~engines mix =
   let open Npra_traffic in
   let ws =
     List.mapi
@@ -600,7 +593,7 @@ let run_throughput_mix ~pool ~seed ~engines mix =
       base.Pipeline.base_programs ws
   in
   let max_solo = List.fold_left max 1 solo in
-  let duration = (if !quick then 25 else 120) * max_solo in
+  let duration = (if quick then 25 else 120) * max_solo in
   (* Fresh packet words poked into the thread's input buffer at every
      service start: a pure function of (seed, engine, thread, seq). *)
   let refresh ~engine ~thread ~seq =
@@ -675,21 +668,22 @@ let throughput_mix_json r =
   add "    }";
   Buffer.contents b
 
-let run_throughput () =
+let run_throughput (o : Cli.opts) ~json =
+  let throughput_json = Option.get json in
   let open Npra_traffic in
-  let seed = Option.value !seed_flag ~default:1 in
-  let engines = if !quick then 2 else 3 in
+  let seed = Option.value o.Cli.seed ~default:1 in
+  let engines = if o.Cli.quick then 2 else 3 in
   Fmt.pr
     "@.== Throughput: balanced vs fixed-partition under packet traffic \
      (%d engines, seed %d, %d jobs) ==@."
-    engines seed !jobs;
+    engines seed o.Cli.jobs;
   let results, seconds =
     timed (fun () ->
         List.map
-          (run_throughput_mix ~pool:(pool ()) ~seed ~engines)
+          (run_throughput_mix ~pool:(pool o) ~quick:o.Cli.quick ~seed ~engines)
           throughput_mixes)
   in
-  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds o.Cli.jobs;
   let ok = ref true in
   List.iter
     (fun r ->
@@ -750,13 +744,13 @@ let run_throughput () =
   add "  \"benchmark\": \"throughput\",\n";
   add "  \"seed\": %d,\n" seed;
   add "  \"engines\": %d,\n" engines;
-  add "  \"quick\": %b,\n" !quick;
+  add "  \"quick\": %b,\n" o.Cli.quick;
   add "  \"mixes\": [\n%s\n  ],\n"
     (String.concat ",\n" (List.map throughput_mix_json results));
   add "  \"ok\": %b,\n" !ok;
   (* The wall_clock block is the only jobs-dependent field; everything
      above it is byte-identical for the same seed at any job count. *)
-  add "  %s\n" (wall_clock_json ~jobs:!jobs ~seconds);
+  add "  %s\n" (wall_clock_json ~jobs:o.Cli.jobs ~seconds);
   add "}\n";
   close_out oc;
   Fmt.pr "@.wrote %s@." throughput_json;
@@ -773,18 +767,17 @@ let run_throughput () =
 (* BENCH_portfolio.json (deterministic payload + wall_clock block) and *)
 (* exits non-zero if the portfolio ever scores worse than the chain.   *)
 
-let portfolio_json_path = "BENCH_portfolio.json"
-
-let run_portfolio () =
-  let seed = Option.value !seed_flag ~default:1 in
+let run_portfolio (o : Cli.opts) ~json =
+  let portfolio_json_path = Option.get json in
+  let seed = Option.value o.Cli.seed ~default:1 in
   Fmt.pr
     "@.== Portfolio: strategy race vs the fallback chain (seed %d, %d \
      jobs%s) ==@."
-    seed !jobs
-    (if !quick then ", quick" else "");
+    seed o.Cli.jobs
+    (if o.Cli.quick then ", quick" else "");
   let rows, seconds =
     timed (fun () ->
-        Experiments.portfolio_rows ~pool:(pool ()) ~quick:!quick ~seed ())
+        Experiments.portfolio_rows ~pool:(pool o) ~quick:o.Cli.quick ~seed ())
   in
   Report.print (Experiments.portfolio_report rows);
   List.iter
@@ -795,11 +788,11 @@ let run_portfolio () =
            the fallback chain@."
           r.Experiments.p_kernel)
     rows;
-  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds o.Cli.jobs;
   let oc = open_out portfolio_json_path in
   output_string oc
-    (splice_wall_clock ~jobs:!jobs ~seconds
-       (Experiments.portfolio_json ~seed ~quick:!quick rows));
+    (splice_wall_clock ~jobs:o.Cli.jobs ~seconds
+       (Experiments.portfolio_json ~seed ~quick:o.Cli.quick rows));
   close_out oc;
   Fmt.pr "wrote %s@." portfolio_json_path;
   if not (Experiments.portfolio_ok rows) then begin
@@ -815,24 +808,24 @@ let run_portfolio () =
 (* the process if any cell aborts, violates exact packet conservation,  *)
 (* or delivers below the degradation floor.                             *)
 
-let chaos_json = "BENCH_chaos.json"
-
-let run_chaos () =
-  let seed = Option.value !seed_flag ~default:42 in
+let run_chaos (o : Cli.opts) ~json =
+  let chaos_json = Option.get json in
+  let seed = Option.value o.Cli.seed ~default:42 in
   Fmt.pr
     "@.== Chaos: engine failure injection, watchdog quarantine, re-dispatch \
      (seed %d, %d jobs%s) ==@."
-    seed !jobs
-    (if !quick then ", quick" else "");
+    seed o.Cli.jobs
+    (if o.Cli.quick then ", quick" else "");
   let m, seconds =
     timed (fun () ->
-        Npra_fault.Chaosdriver.run ~pool:(pool ()) ~seed ~quick:!quick ())
+        Npra_fault.Chaosdriver.run ~pool:(pool o) ~seed ~quick:o.Cli.quick ())
   in
   Fmt.pr "%a" Npra_fault.Chaosdriver.pp m;
-  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds o.Cli.jobs;
   let oc = open_out chaos_json in
   output_string oc
-    (splice_wall_clock ~jobs:!jobs ~seconds (Npra_fault.Chaosdriver.to_json m));
+    (splice_wall_clock ~jobs:o.Cli.jobs ~seconds
+       (Npra_fault.Chaosdriver.to_json m));
   close_out oc;
   Fmt.pr "wrote %s@." chaos_json;
   if not (Npra_fault.Chaosdriver.all_ok m) then begin
@@ -849,24 +842,23 @@ let run_chaos () =
 (* ever serves fewer critical-thread packets than static, breaks the    *)
 (* hysteresis bound, or loses packets.                                  *)
 
-let adapt_json = "BENCH_adapt.json"
-
-let run_adapt () =
-  let seed = Option.value !seed_flag ~default:42 in
+let run_adapt (o : Cli.opts) ~json =
+  let adapt_json = Option.get json in
+  let seed = Option.value o.Cli.seed ~default:42 in
   Fmt.pr
     "@.== Adapt: metrics-driven re-balancing vs a frozen allocation (seed \
      %d, %d jobs%s) ==@."
-    seed !jobs
-    (if !quick then ", quick" else "");
+    seed o.Cli.jobs
+    (if o.Cli.quick then ", quick" else "");
   let m, seconds =
     timed (fun () ->
-        Npra_fault.Adaptdriver.run ~pool:(pool ()) ~seed ~quick:!quick ())
+        Npra_fault.Adaptdriver.run ~pool:(pool o) ~seed ~quick:o.Cli.quick ())
   in
   Fmt.pr "%a" Npra_fault.Adaptdriver.pp m;
-  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds o.Cli.jobs;
   let oc = open_out adapt_json in
   output_string oc
-    (splice_wall_clock ~jobs:!jobs ~seconds
+    (splice_wall_clock ~jobs:o.Cli.jobs ~seconds
        (Npra_fault.Adaptdriver.to_json m));
   close_out oc;
   Fmt.pr "wrote %s@." adapt_json;
@@ -884,24 +876,23 @@ let run_adapt () =
 (* violation, or if the balanced allocation serves fewer critical-      *)
 (* thread packets than the fixed partition.                             *)
 
-let chip_json = "BENCH_chip.json"
-
-let run_chip () =
-  let seed = Option.value !seed_flag ~default:42 in
+let run_chip (o : Cli.opts) ~json =
+  let chip_json = Option.get json in
+  let seed = Option.value o.Cli.seed ~default:42 in
   Fmt.pr
     "@.== Chip: sharded dispatch, tiered memory, inter-engine chains (seed \
      %d, %d jobs%s) ==@."
-    seed !jobs
-    (if !quick then ", quick" else "");
+    seed o.Cli.jobs
+    (if o.Cli.quick then ", quick" else "");
   let m, seconds =
     timed (fun () ->
-        Npra_chip.Driver.run ~pool:(pool ()) ~seed ~quick:!quick ())
+        Npra_chip.Driver.run ~pool:(pool o) ~seed ~quick:o.Cli.quick ())
   in
   Fmt.pr "%a" Npra_chip.Driver.pp m;
-  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds !jobs;
+  Fmt.pr "wall clock: %.3fs at %d jobs@." seconds o.Cli.jobs;
   let oc = open_out chip_json in
   output_string oc
-    (splice_wall_clock ~jobs:!jobs ~seconds (Npra_chip.Driver.to_json m));
+    (splice_wall_clock ~jobs:o.Cli.jobs ~seconds (Npra_chip.Driver.to_json m));
   close_out oc;
   Fmt.pr "wrote %s@." chip_json;
   if not (Npra_chip.Driver.all_ok m) then begin
@@ -915,64 +906,36 @@ let run_chip () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let known =
+  (* The full argument spec lives in {!Cli}; every subcommand declares
+     its JSON output (or lack of one) here, so --json resolves against
+     the actual selection instead of silently applying to [dataflow]
+     only. *)
+  let plain name run =
+    { Cli.name; json_default = None; run = (fun _ ~json:_ -> run ()) }
+  in
+  let writes name json_default run =
+    { Cli.name; json_default = Some json_default; run }
+  in
+  let specs =
     [
-      ("table1", run_table1); ("fig14", run_fig14); ("table2", run_table2);
-      ("table3", run_table3); ("ablation", run_ablation);
-      ("timing", run_timing); ("dataflow", run_dataflow);
-      ("faults", run_faults); ("fuzz", run_fuzz);
-      ("throughput", run_throughput); ("portfolio", run_portfolio);
-      ("chaos", run_chaos); ("adapt", run_adapt); ("chip", run_chip);
+      plain "table1" run_table1;
+      plain "fig14" run_fig14;
+      plain "table2" run_table2;
+      plain "table3" run_table3;
+      plain "ablation" run_ablation;
+      plain "timing" run_timing;
+      writes "dataflow" "BENCH_dataflow.json" run_dataflow;
+      writes "faults" "BENCH_faults.json" run_faults;
+      writes "fuzz" "BENCH_fuzz.json" run_fuzz;
+      writes "throughput" "BENCH_throughput.json" run_throughput;
+      writes "portfolio" "BENCH_portfolio.json" run_portfolio;
+      writes "chaos" "BENCH_chaos.json" run_chaos;
+      writes "adapt" "BENCH_adapt.json" run_adapt;
+      writes "chip" "BENCH_chip.json" run_chip;
+      writes "simspeed" "BENCH_simspeed.json" (fun (o : Cli.opts) ~json ->
+          Simspeed.run ~quick:o.Cli.quick ~seed:o.Cli.seed ~jobs:o.Cli.jobs
+            ~json);
     ]
   in
-  let print_subcommands ppf =
-    Fmt.pf ppf "subcommands:@.";
-    List.iter (fun (n, _) -> Fmt.pf ppf "  %s@." n) known
-  in
-  let rec parse names = function
-    | [] -> List.rev names
-    | "--json" :: path :: rest ->
-      json_path := path;
-      parse names rest
-    | [ "--json" ] ->
-      Fmt.epr "--json needs a path argument@.";
-      exit 2
-    | "--quick" :: rest ->
-      quick := true;
-      parse names rest
-    | "--seed" :: n :: rest -> (
-      match int_of_string_opt n with
-      | Some s ->
-        seed_flag := Some s;
-        parse names rest
-      | None ->
-        Fmt.epr "--seed needs an integer argument, got %S@." n;
-        exit 2)
-    | [ "--seed" ] ->
-      Fmt.epr "--seed needs an integer argument@.";
-      exit 2
-    | "--jobs" :: n :: rest -> (
-      match int_of_string_opt n with
-      | Some j when j >= 1 ->
-        jobs := j;
-        parse names rest
-      | _ ->
-        Fmt.epr "--jobs needs a positive integer argument, got %S@." n;
-        exit 2)
-    | [ "--jobs" ] ->
-      Fmt.epr "--jobs needs a positive integer argument@.";
-      exit 2
-    | name :: rest -> parse (name :: names) rest
-  in
-  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
-  let selected = if args = [] then List.map fst known else args in
-  (* Validate every requested subcommand up front so an unknown name
-     fails fast, with the full list, before any experiment runs. *)
-  List.iter
-    (fun name ->
-      if not (List.mem_assoc name known) then begin
-        Fmt.epr "unknown subcommand %S@.%t" name print_subcommands;
-        exit 2
-      end)
-    selected;
-  List.iter (fun name -> (List.assoc name known) ()) selected
+  let opts, selected = Cli.parse ~specs (List.tl (Array.to_list Sys.argv)) in
+  List.iter (fun s -> s.Cli.run opts ~json:(Cli.json_path opts s)) selected

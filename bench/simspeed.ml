@@ -1,0 +1,355 @@
+(* bench simspeed: how fast does the simulator simulate?
+
+   Two guarded measurements, written to BENCH_simspeed.json.
+
+   Engine sweep — every registry kernel as a balanced four-thread
+   system, run to completion repeatedly under each engine variant
+   (legacy, decoded, soa) with the sentinel off, so the soa burst loop
+   actually engages. The figure of merit is simulated cycles per wall
+   second; the deterministic cycle count per run is read off a first
+   run and cross-checked across engines, so the rate is anchored to the
+   machine model, not to repetitions.
+
+   Pool matrix — a matrix of chip cells at different scales run through
+   {!Npra_chip.Shard} under both pool strategies (asserting the
+   byte-identical contract as it goes), then the per-shard busy-cycle
+   costs replayed through {!Npra_par.Pool.plan} at jobs 1/2/4. On the
+   single-core CI hosts this repo actually runs on, wall clock cannot
+   show a scheduling win, so the guarded figure is the virtual-time
+   makespan ratio (fixed over steal) — deterministic on any host — and
+   the wall clocks are reported as observations only.
+
+   Floors (exit 1 below any): the makespan ratio at jobs 4 in every
+   mode; in full mode also the sweep-wide soa/decoded rate ratio and an
+   absolute soa cycles/sec floor. Quick mode only sanity-checks that
+   soa does not lose to decoded overall, because its quotas are too
+   short to defend a 2x claim against CI noise. *)
+
+open Npra_workloads
+open Npra_core
+module Machine = Npra_sim.Machine
+module Pool = Npra_par.Pool
+module Shard = Npra_chip.Shard
+module Metrics = Npra_traffic.Metrics
+
+(* ---- floors: the committed claims CI holds this file to ---- *)
+
+let floor_soa_over_decoded = 2.0 (* full-mode sweep ratio *)
+let floor_soa_over_decoded_quick = 1.0 (* quick-mode sanity bound *)
+let floor_soa_cps = 2_000_000. (* absolute soa sweep rate, full mode *)
+let floor_pool_ratio_jobs4 = 1.2 (* fixed/steal makespan, every mode *)
+
+(* ------------------------------------------------------------------ *)
+(* Engine sweep.                                                       *)
+
+type kernel_speed = {
+  k_name : string;
+  k_cycles : int;  (* deterministic simulated cycles of one system run *)
+  k_legacy : float;  (* cycles per second *)
+  k_decoded : float;
+  k_soa : float;
+}
+
+let kernel_system spec =
+  let ws = List.init 4 (fun slot -> Registry.instantiate spec ~slot) in
+  let progs = List.map (fun w -> w.Workload.prog) ws in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  let spill_bases = List.map Workload.spill_base ws in
+  let bal = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+  (bal.Pipeline.programs, mem_image)
+
+(* Repeat [run] — which returns the seconds its timed region took —
+   until [min_s] of measured time accumulates, then report the
+   simulation rate. The first (cycle-counting) run warms every cache. *)
+let cps ~min_s ~cycles run =
+  let reps = ref 0 in
+  let spent = ref 0. in
+  while !spent < min_s do
+    spent := !spent +. run ();
+    incr reps
+  done;
+  float_of_int (cycles * !reps) /. !spent
+
+(* One rep: a fresh machine driven to completion, with construction
+   (program decode, row concatenation) outside the timed region. That
+   is the steady-state rate the traffic layer actually sees — a
+   dispatcher builds each engine's machine once and then drives it
+   through thousands of [run_until] slices — and it is the figure the
+   engine comparison is about: how fast an engine executes cycles, not
+   how fast programs decode. *)
+let measure_kernel ~quick spec =
+  let progs, mem_image = kernel_system spec in
+  let run engine () =
+    let m = Machine.create ~engine ~sentinel:`Off ~mem_image progs in
+    let t0 = Unix.gettimeofday () in
+    (match Machine.run_until m ~horizon:1_000_000_000 with
+    | `Idle | `Horizon | `Halted _ -> ());
+    Unix.gettimeofday () -. t0
+  in
+  let cycles engine =
+    (Machine.report (Machine.run ~engine ~sentinel:`Off ~mem_image progs))
+      .Machine.total_cycles
+  in
+  let c = cycles `Soa in
+  List.iter
+    (fun engine ->
+      if cycles engine <> c then
+        Fmt.failwith "simspeed: engine cycle counts diverge on %s"
+          spec.Workload.id)
+    [ `Decoded; `Legacy ];
+  let min_s = if quick then 0.02 else 0.25 in
+  {
+    k_name = spec.Workload.id;
+    k_cycles = c;
+    k_legacy = cps ~min_s ~cycles:c (run `Legacy);
+    k_decoded = cps ~min_s ~cycles:c (run `Decoded);
+    k_soa = cps ~min_s ~cycles:c (run `Soa);
+  }
+
+(* Sweep-wide rate of one engine: total cycles over the time it takes
+   to simulate every kernel once at its measured per-kernel rate — the
+   cycle-weighted harmonic mean, so no kernel's rate is over-counted. *)
+let sweep_cps kernels rate_of =
+  let cycles =
+    List.fold_left (fun a k -> a +. float_of_int k.k_cycles) 0. kernels
+  in
+  let seconds =
+    List.fold_left
+      (fun a k -> a +. (float_of_int k.k_cycles /. rate_of k))
+      0. kernels
+  in
+  cycles /. seconds
+
+(* ------------------------------------------------------------------ *)
+(* Pool matrix.                                                        *)
+
+type cell = { cl_engines : int; cl_shards : int; cl_duration : int }
+
+(* Cells at deliberately different scales: the spread hash deals each
+   cell's engines unevenly across its shards, and mixing small and
+   large cells gives the task vector the cost spread that makes a
+   static block deal pay for its worst block. *)
+let cells ~quick =
+  if quick then
+    [
+      { cl_engines = 6; cl_shards = 2; cl_duration = 1_200 };
+      { cl_engines = 16; cl_shards = 4; cl_duration = 1_200 };
+      { cl_engines = 40; cl_shards = 8; cl_duration = 2_400 };
+    ]
+  else
+    [
+      { cl_engines = 8; cl_shards = 2; cl_duration = 3_000 };
+      { cl_engines = 24; cl_shards = 6; cl_duration = 3_000 };
+      { cl_engines = 64; cl_shards = 8; cl_duration = 6_000 };
+    ]
+
+let shard_system () =
+  let ws =
+    List.mapi
+      (fun i id -> Registry.instantiate (Registry.find_exn id) ~slot:i ~iters:2)
+      [ "crc32"; "frag" ]
+  in
+  let progs = List.map (fun w -> w.Workload.prog) ws in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  let spill_bases = List.map Workload.spill_base ws in
+  let bal = Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+  let specs =
+    List.init 2 (fun _ ->
+        {
+          Workload.arrival = Workload.Uniform { period = 200 };
+          queue_capacity = 4;
+          per_packet_iters = 2;
+        })
+  in
+  (bal.Pipeline.programs, mem_image, specs)
+
+let run_matrix ~pool ~seed ~cells =
+  let progs, mem_image, specs = shard_system () in
+  List.map
+    (fun c ->
+      Shard.run ~pool ~seed ~engines:c.cl_engines ~shards:c.cl_shards
+        ~duration:c.cl_duration ~specs ~mem_image progs)
+    cells
+
+(* The virtual cost of one shard task: the busy cycles its engines
+   executed — deterministic, and proportional to the work the pool
+   worker that claims the shard actually does. *)
+let shard_cost r =
+  List.fold_left
+    (fun a e -> a + e.Metrics.em_report.Machine.busy_cycles)
+    0 r.Shard.sr_metrics.Metrics.rm_engines
+
+let matrix_costs runs =
+  Array.of_list
+    (List.concat_map (fun chip -> List.map shard_cost chip.Shard.c_runs) runs)
+
+type makespans = {
+  mk_jobs : int;
+  mk_fixed : int;
+  mk_steal : int;
+  mk_steals : int;  (* steals the replay performed *)
+}
+
+let makespans ~costs jobs =
+  let fixed = Pool.plan ~strategy:`Fixed ~jobs ~costs in
+  let steal = Pool.plan ~strategy:`Steal ~jobs ~costs in
+  {
+    mk_jobs = jobs;
+    mk_fixed = fixed.Pool.p_makespan;
+    mk_steal = steal.Pool.p_makespan;
+    mk_steals = steal.Pool.p_steals;
+  }
+
+let ratio m = float_of_int m.mk_fixed /. float_of_int (max 1 m.mk_steal)
+
+(* ------------------------------------------------------------------ *)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run ~quick ~seed ~jobs ~json =
+  let seed = Option.value seed ~default:42 in
+  Fmt.pr
+    "@.== Simspeed: engine variants + work-stealing pool model (seed %d, %d \
+     jobs%s) ==@."
+    seed jobs
+    (if quick then ", quick" else "");
+  let t0 = Unix.gettimeofday () in
+  (* engine sweep *)
+  Fmt.pr "%-12s %10s %14s %14s %14s %8s@." "kernel" "cycles" "legacy c/s"
+    "decoded c/s" "soa c/s" "soa/dec";
+  let kernels =
+    List.map
+      (fun spec ->
+        let k = measure_kernel ~quick spec in
+        Fmt.pr "%-12s %10d %14.0f %14.0f %14.0f %7.2fx@." k.k_name k.k_cycles
+          k.k_legacy k.k_decoded k.k_soa (k.k_soa /. k.k_decoded);
+        k)
+      Registry.all
+  in
+  let s_legacy = sweep_cps kernels (fun k -> k.k_legacy) in
+  let s_decoded = sweep_cps kernels (fun k -> k.k_decoded) in
+  let s_soa = sweep_cps kernels (fun k -> k.k_soa) in
+  let soa_over_decoded = s_soa /. s_decoded in
+  Fmt.pr "%-12s %10s %14.0f %14.0f %14.0f %7.2fx@." "sweep" "-" s_legacy
+    s_decoded s_soa soa_over_decoded;
+  (* pool matrix: both strategies must agree byte for byte *)
+  let cells = cells ~quick in
+  let fixed_runs, wall_fixed =
+    timed (fun () ->
+        run_matrix ~pool:(Pool.create ~jobs ~strategy:`Fixed ()) ~seed ~cells)
+  in
+  let steal_runs, wall_steal =
+    timed (fun () ->
+        run_matrix ~pool:(Pool.create ~jobs ~strategy:`Steal ()) ~seed ~cells)
+  in
+  let identical =
+    List.for_all2
+      (fun a b -> String.equal (Shard.to_json a) (Shard.to_json b))
+      fixed_runs steal_runs
+  in
+  if not identical then
+    Fmt.epr
+      "SIMSPEED FAILURE: shard matrix differs between fixed and stealing \
+       pools@.";
+  let costs = matrix_costs steal_runs in
+  let plans = List.map (makespans ~costs) [ 1; 2; 4 ] in
+  Fmt.pr "@.pool model over %d shard tasks (costs %d..%d busy-cycles):@."
+    (Array.length costs)
+    (Array.fold_left min max_int costs)
+    (Array.fold_left max 0 costs);
+  List.iter
+    (fun m ->
+      Fmt.pr
+        "  jobs %d: fixed makespan %9d, steal makespan %9d  (%.2fx, %d \
+         steals)@."
+        m.mk_jobs m.mk_fixed m.mk_steal (ratio m) m.mk_steals)
+    plans;
+  Fmt.pr "  matrix wall clock at %d jobs: fixed %.3fs, steal %.3fs@." jobs
+    wall_fixed wall_steal;
+  let jobs4 = List.nth plans 2 in
+  (* floors *)
+  let ratio_floor = if quick then floor_soa_over_decoded_quick else floor_soa_over_decoded in
+  let ok_engine = soa_over_decoded >= ratio_floor in
+  let ok_abs = quick || s_soa >= floor_soa_cps in
+  let ok_pool = ratio jobs4 >= floor_pool_ratio_jobs4 in
+  if not ok_engine then
+    Fmt.epr "SIMSPEED FAILURE: soa/decoded sweep ratio %.2f below floor %.2f@."
+      soa_over_decoded ratio_floor;
+  if not ok_abs then
+    Fmt.epr "SIMSPEED FAILURE: soa sweep rate %.0f c/s below floor %.0f@."
+      s_soa floor_soa_cps;
+  if not ok_pool then
+    Fmt.epr
+      "SIMSPEED FAILURE: fixed/steal makespan ratio %.2f at jobs 4 below \
+       floor %.2f@."
+      (ratio jobs4) floor_pool_ratio_jobs4;
+  let ok = ok_engine && ok_abs && ok_pool && identical in
+  (* JSON *)
+  let seconds = Unix.gettimeofday () -. t0 in
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let add fmt = Fmt.kstr (output_string oc) fmt in
+    add "{\n";
+    add "  \"benchmark\": \"simspeed\",\n";
+    add "  \"quick\": %b,\n" quick;
+    add "  \"seed\": %d,\n" seed;
+    add "  \"engines\": {\n";
+    add "    \"kernels\": [\n%s\n    ],\n"
+      (String.concat ",\n"
+         (List.map
+            (fun k ->
+              Fmt.str
+                {|      {"name": "%s", "cycles": %d, "legacy_cps": %.0f, "decoded_cps": %.0f, "soa_cps": %.0f, "soa_over_decoded": %.3f}|}
+                k.k_name k.k_cycles k.k_legacy k.k_decoded k.k_soa
+                (k.k_soa /. k.k_decoded))
+            kernels));
+    add
+      "    \"sweep\": {\"legacy_cps\": %.0f, \"decoded_cps\": %.0f, \
+       \"soa_cps\": %.0f, \"soa_over_decoded\": %.3f, \"soa_over_legacy\": \
+       %.3f}\n"
+      s_legacy s_decoded s_soa soa_over_decoded (s_soa /. s_legacy);
+    add "  },\n";
+    add "  \"pool\": {\n";
+    add "    \"cells\": [%s],\n"
+      (String.concat ", "
+         (List.map
+            (fun c ->
+              Fmt.str
+                {|{"engines": %d, "shards": %d, "duration": %d}|}
+                c.cl_engines c.cl_shards c.cl_duration)
+            cells));
+    add "    \"costs\": [%s],\n"
+      (String.concat ", "
+         (Array.to_list (Array.map string_of_int costs)));
+    add "    \"makespan\": {%s},\n"
+      (String.concat ", "
+         (List.map
+            (fun m ->
+              Fmt.str
+                {|"jobs%d": {"fixed": %d, "steal": %d, "ratio": %.3f, "steals": %d}|}
+                m.mk_jobs m.mk_fixed m.mk_steal (ratio m) m.mk_steals)
+            plans));
+    add "    \"identical_at_fixed_and_steal\": %b,\n" identical;
+    add "    \"wall_clock_fixed_s\": %.3f,\n" wall_fixed;
+    add "    \"wall_clock_steal_s\": %.3f\n" wall_steal;
+    add "  },\n";
+    add
+      "  \"floors\": {\"soa_over_decoded_min\": %.2f, \"soa_cps_min\": %.0f, \
+       \"pool_ratio_jobs4_min\": %.2f, \"enforced_engine_floors\": %b},\n"
+      ratio_floor floor_soa_cps floor_pool_ratio_jobs4 (not quick);
+    add "  \"ok\": %b,\n" ok;
+    add "  \"wall_clock\": {\"jobs\": %d, \"seconds\": %.3f}\n" jobs seconds;
+    add "}\n";
+    close_out oc;
+    Fmt.pr "wrote %s@." path);
+  if not ok then begin
+    Fmt.epr
+      "SIMSPEED HARNESS FAILURE: an engine or pool floor was missed (see \
+       above)@.";
+    exit 1
+  end

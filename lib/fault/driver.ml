@@ -76,7 +76,10 @@ let kernel_report ?seed spec =
   let layout = bal.Pipeline.layout in
   (* Clean run, sentinel armed: must complete without any trap. *)
   let clean_fault, clean_cycles =
-    match Machine.run ~sentinel:`Trap ~mem_image bal.Pipeline.programs with
+    match
+      Machine.run ~engine:`Soa ~sentinel:`Trap ~mem_image
+        bal.Pipeline.programs
+    with
     | m -> (None, (Machine.report m).Machine.total_cycles)
     | exception Machine.Corruption c ->
       (Some (Fmt.str "sentinel false positive: %a" Machine.pp_corruption c), 0)
@@ -102,7 +105,8 @@ let kernel_report ?seed spec =
       in
       let runtime =
         match
-          Machine.run ~config ~sentinel:`Trap ~mem_image inj.Mutate.programs
+          Machine.run ~config ~engine:`Soa ~sentinel:`Trap ~mem_image
+            inj.Mutate.programs
         with
         | _ -> Silent
         | exception Machine.Corruption c -> Trapped c

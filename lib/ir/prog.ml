@@ -114,7 +114,14 @@ let max_vreg t =
     (fun r acc -> match r with Reg.V n -> max n acc | Reg.P _ -> acc)
     (regs t) (-1)
 
-let all_physical t = Reg.Set.for_all Reg.is_physical (regs t)
+(* No intermediate register set: this runs on every [Machine.create],
+   where building [regs t] dominated construction cost. *)
+let all_physical t =
+  Array.for_all
+    (fun ins ->
+      List.for_all Reg.is_physical (Instr.defs ins)
+      && List.for_all Reg.is_physical (Instr.uses ins))
+    t.code
 let all_virtual t = Reg.Set.for_all Reg.is_virtual (regs t)
 
 let ctx_switch_points t =

@@ -187,7 +187,29 @@ type timeline_event =
 
 type sentinel_mode = [ `Off | `Trap | `Quarantine ]
 
-type engine = [ `Decoded | `Legacy ]
+type engine = [ `Decoded | `Legacy | `Soa ]
+
+(* Struct-of-arrays execution state for the [`Soa] engine: every
+   thread's decoded quads concatenated into one machine-wide flat code
+   row, indexed through per-thread base/limit rows. Together with the
+   shared register row [t.regs] this is the whole working set the
+   batched burst loop touches. The per-thread pc and status deliberately
+   stay in the [thread] record: [park_thread]/[restart_thread]/
+   [swap_programs] mutate them between slices, and a mirrored row would
+   be a divergence hazard — the burst instead holds them in locals for
+   the duration of a slice. Mutable so a hot-swap can rebuild the rows
+   in place. *)
+type soa = {
+  mutable s_code : int array;  (* all threads' quads, concatenated *)
+  mutable s_base : int array;  (* per-thread first word in [s_code] *)
+  mutable s_lim : int array;  (* per-thread exclusive word bound *)
+  mutable s_clean : bool array;
+      (* per thread: every register operand of every quad is a valid
+         file index, proven once at build time, so the burst loop can
+         access the register row unchecked; a thread with any
+         out-of-range operand takes the per-step decoded path instead,
+         which traps at access time exactly like the legacy engine *)
+}
 
 type sentinel = {
   mode : [ `Trap | `Quarantine ];
@@ -225,6 +247,11 @@ type t = {
       (* chaos-injected hang: while [cycle < stalled_until] a bounded
          run advances the clock but retires nothing — the observable a
          dispatcher-level watchdog detects *)
+  soa : soa option;  (* [Some] exactly when [engine = `Soa] *)
+  soa_fast : bool;
+      (* the batched burst is sound only with no sentinel bookkeeping
+         and no timeline recording; otherwise [`Soa] takes the decoded
+         per-step path, which is shared code and trivially equal *)
 }
 
 let status_view th =
@@ -285,6 +312,17 @@ let rnum = function
 
 let decode prog =
   let n = Prog.length prog in
+  (* Branch targets resolve through a table built once per program: the
+     per-branch [Prog.label_index] assoc walk made decoding O(n *
+     labels), which dominated machine construction on spill-heavy
+     allocator output (hundreds of spill-path labels). *)
+  let ltab = Hashtbl.create 32 in
+  List.iter (fun (l, i) -> Hashtbl.replace ltab l i) prog.Prog.labels;
+  let tgt l =
+    match Hashtbl.find_opt ltab l with
+    | Some i -> i
+    | None -> Prog.label_index prog l  (* unreachable: {!Prog.make} validated *)
+  in
   let code = Array.make (4 * n) 0 in
   for i = 0 to n - 1 do
     let base = 4 * i in
@@ -303,17 +341,59 @@ let decode prog =
     | Instr.Movi { dst; imm } -> set 17 (rnum dst) imm 0
     | Instr.Load { dst; addr; off } -> set 18 (rnum dst) (rnum addr) off
     | Instr.Store { src; addr; off } -> set 19 (rnum src) (rnum addr) off
-    | Instr.Br { target } -> set 20 (Prog.label_index prog target) 0 0
+    | Instr.Br { target } -> set 20 (tgt target) 0 0
     | Instr.Brc { cond; src1; src2 = Instr.Reg r; target } ->
-      set (21 + cond_code cond) (rnum src1) (rnum r)
-        (Prog.label_index prog target)
+      set (21 + cond_code cond) (rnum src1) (rnum r) (tgt target)
     | Instr.Brc { cond; src1; src2 = Instr.Imm k; target } ->
-      set (27 + cond_code cond) (rnum src1) k (Prog.label_index prog target)
+      set (27 + cond_code cond) (rnum src1) k (tgt target)
     | Instr.Ctx_switch -> set 33 0 0 0
     | Instr.Nop -> set 34 0 0 0
     | Instr.Halt -> set 35 0 0 0
   done;
   code
+
+(* Which quad words hold register-file indices for a given opcode (the
+   others are immediates, addresses-as-offsets, or branch targets). *)
+let quad_regs_ok ~nreg code w =
+  let op = code.(w) in
+  let ok n = n >= 0 && n < nreg in
+  if op < 8 then ok code.(w + 1) && ok code.(w + 2) && ok code.(w + 3)
+  else if op < 16 then ok code.(w + 1) && ok code.(w + 2)
+  else if op >= 21 && op < 27 then ok code.(w + 1) && ok code.(w + 2)
+  else if op >= 27 && op < 33 then ok code.(w + 1)
+  else
+    match op with
+    | 16 (* mov *) | 18 (* load *) | 19 (* store *) ->
+      ok code.(w + 1) && ok code.(w + 2)
+    | 17 (* movi *) -> ok code.(w + 1)
+    | _ -> true
+
+(* Concatenate every thread's quads into the machine-wide code row,
+   recording each thread's word range and whether every register operand
+   is file-bounds-clean (see [s_clean]). Threads with no program occupy
+   an empty range, which the burst's fetch guard rejects exactly like
+   the decoded engine's fetch of an empty [dcode]. *)
+let build_soa ~nreg threads =
+  let nthd = Array.length threads in
+  let total = Array.fold_left (fun a th -> a + Array.length th.dcode) 0 threads in
+  let code = Array.make (max 1 total) 0 in
+  let base = Array.make nthd 0 and lim = Array.make nthd 0 in
+  let clean = Array.make nthd true in
+  let off = ref 0 in
+  Array.iteri
+    (fun i th ->
+      let len = Array.length th.dcode in
+      base.(i) <- !off;
+      lim.(i) <- !off + len;
+      Array.blit th.dcode 0 code !off len;
+      let w = ref !off in
+      while !w < !off + len do
+        if not (quad_regs_ok ~nreg code !w) then clean.(i) <- false;
+        w := !w + 4
+      done;
+      off := !off + len)
+    threads;
+  { s_code = code; s_base = base; s_lim = lim; s_clean = clean }
 
 let create ?(config = default_config) ?(engine = `Decoded) ?(mem_image = [])
     ?(timeline = false) ?(sentinel = `Off) progs =
@@ -326,34 +406,41 @@ let create ?(config = default_config) ?(engine = `Decoded) ?(mem_image = [])
   let mem = Memory.create () in
   Memory.load_image mem mem_image;
   let nthd = List.length progs in
+  let threads =
+    Array.of_list
+      (List.mapi
+         (fun id prog ->
+           {
+             id;
+             prog;
+             dcode = (match engine with
+               | `Decoded | `Soa -> decode prog
+               | `Legacy -> [||]);
+             pc = 0;
+             status = Ready;
+             instrs = 0;
+             ctx_events = 0;
+             loads = 0;
+             stores = 0;
+             moves = 0;
+             pending_writeback = None;
+             store_trace_rev = [];
+             ready_since = 0;
+             wait_cycles = 0;
+           })
+         progs)
+  in
   {
     config;
     engine;
     regs = Array.make config.nreg 0;
     mem;
-    threads =
-      Array.of_list
-        (List.mapi
-           (fun id prog ->
-             {
-               id;
-               prog;
-               dcode = (match engine with
-                 | `Decoded -> decode prog
-                 | `Legacy -> [||]);
-               pc = 0;
-               status = Ready;
-               instrs = 0;
-               ctx_events = 0;
-               loads = 0;
-               stores = 0;
-               moves = 0;
-               pending_writeback = None;
-               store_trace_rev = [];
-               ready_since = 0;
-               wait_cycles = 0;
-             })
-           progs);
+    threads;
+    soa =
+      (match engine with
+      | `Soa -> Some (build_soa ~nreg:config.nreg threads)
+      | `Decoded | `Legacy -> None);
+    soa_fast = (engine = `Soa && sentinel = `Off && not timeline);
     cycle = 0;
     dispatches = 0;
     busy_cycles = 0;
@@ -611,7 +698,166 @@ let step_decoded t th =
       `Yield
 
 let step t th =
-  match t.engine with `Decoded -> step_decoded t th | `Legacy -> step_legacy t th
+  match t.engine with
+  | `Decoded | `Soa -> step_decoded t th
+  | `Legacy -> step_legacy t th
+
+(* ------------------------------------------------------------------ *)
+(* The SoA batched burst.
+
+   [`Soa] shares the decoded opcode map but executes out of the
+   machine-wide flat rows built by {!build_soa}. [burst_soa] runs the
+   dispatched thread in one tight loop — pc, clock and retired count
+   held in locals, the opcode dispatched by a direct match on the int
+   tag, operand and ALU/condition evaluation inlined — until the thread
+   yields the PU or the clock reaches [limit] (the bounded horizon, or
+   the strict cycle budget + 1 so the budget-exceeding instruction still
+   executes exactly as under [step_decoded]). A whole scheduling slice
+   between traffic events therefore costs no per-instruction scheduler
+   dispatch, closure call, or sentinel match.
+
+   Only entered when [t.soa_fast] and the thread's code row is
+   register-clean ([s_clean], proven at build time): with the sentinel
+   or timeline on, or any out-of-range register operand in the code,
+   [`Soa] takes the per-step decoded path above, which is shared code
+   and therefore trivially trap- and cycle-equal. Cleanliness is what
+   lets the loop touch the register row with unchecked accesses — the
+   per-access bounds test [step_decoded] pays through [read_idx] is the
+   single biggest per-instruction cost once dispatch is inlined.
+
+   The loop itself is a tail-recursive function over plain integer
+   state (pc, cycle, mov count), which the compiler keeps in machine
+   registers — no ref cells, no closures. Equality of the burst rests
+   on one discipline, exercised by the differential suite: every exit
+   (yield, limit, or fetch fault) flushes the in-flight state back into
+   [th]/[t] first, so a raised exception observes exactly the machine
+   state [step_decoded] would leave — the faulting pc, the cycle after
+   the last issued instruction, and the retired count including it. *)
+(* [t.cycle] is untouched while a burst is in flight — only [burst_flush]
+   writes it — so the retired-count delta is [cycle - t.cycle]. *)
+let burst_flush t th pc cycle moves =
+  let steps = cycle - t.cycle in
+  th.pc <- pc;
+  t.cycle <- cycle;
+  t.busy_cycles <- t.busy_cycles + steps;
+  th.instrs <- th.instrs + steps;
+  if moves > 0 then th.moves <- th.moves + moves
+
+(* Top-level and tail-recursive on purpose: every loop-carried value is
+   an argument, so the self-call is a jump with the state in machine
+   registers and entering a burst allocates nothing (a local [let rec]
+   closing over the rows would cost a closure per dispatch — real money
+   on spill-heavy code that yields every few instructions). *)
+let rec burst_go t th code b0 blim regs limit pc cycle moves =
+  if cycle >= limit then begin
+    burst_flush t th pc cycle moves;
+    `Continue
+  end
+  else begin
+    let w = b0 + (pc * 4) in
+    if w < b0 || w >= blim then begin
+      (* pc ran off the program: fail exactly like [step_decoded]'s
+         fetch of [th.dcode.(pc * 4)] *)
+      burst_flush t th pc cycle moves;
+      raise (Invalid_argument "index out of bounds")
+    end;
+    let op = Array.unsafe_get code w in
+    let cycle = cycle + 1 in
+    (* remaining quad words are in-range: [blim - b0] is a multiple
+       of 4 and so is [w - b0], hence [w + 3 < blim]; register
+       operands are in-range by [s_clean] *)
+    if op < 16 then begin
+      (* ALU: 0-7 register src2, 8-15 immediate src2 *)
+      let s2 = Array.unsafe_get code (w + 3) in
+      let v2 = if op < 8 then Array.unsafe_get regs s2 else s2 in
+      let v1 = Array.unsafe_get regs (Array.unsafe_get code (w + 2)) in
+      let v =
+        match op land 7 with
+        | 0 -> v1 + v2
+        | 1 -> v1 - v2
+        | 2 -> v1 land v2
+        | 3 -> v1 lor v2
+        | 4 -> v1 lxor v2
+        | 5 -> v1 lsl (v2 land 31)
+        | 6 -> v1 lsr (v2 land 31)
+        | _ -> v1 * v2
+      in
+      Array.unsafe_set regs (Array.unsafe_get code (w + 1)) v;
+      burst_go t th code b0 blim regs limit (pc + 1) cycle moves
+    end
+    else if op >= 21 && op < 33 then begin
+      (* Brc: 21-26 register src2, 27-32 immediate src2 *)
+      let s2 = Array.unsafe_get code (w + 2) in
+      let v2 = if op < 27 then Array.unsafe_get regs s2 else s2 in
+      let v1 = Array.unsafe_get regs (Array.unsafe_get code (w + 1)) in
+      let taken =
+        match if op < 27 then op - 21 else op - 27 with
+        | 0 -> v1 = v2
+        | 1 -> v1 <> v2
+        | 2 -> v1 < v2
+        | 3 -> v1 >= v2
+        | 4 -> v1 > v2
+        | _ -> v1 <= v2
+      in
+      burst_go t th code b0 blim regs limit
+        (if taken then Array.unsafe_get code (w + 3) else pc + 1)
+        cycle moves
+    end
+    else
+      match op with
+      | 16 (* mov *) ->
+        Array.unsafe_set regs
+          (Array.unsafe_get code (w + 1))
+          (Array.unsafe_get regs (Array.unsafe_get code (w + 2)));
+        burst_go t th code b0 blim regs limit (pc + 1) cycle (moves + 1)
+      | 17 (* movi *) ->
+        Array.unsafe_set regs
+          (Array.unsafe_get code (w + 1))
+          (Array.unsafe_get code (w + 2));
+        burst_go t th code b0 blim regs limit (pc + 1) cycle moves
+      | 18 (* load *) ->
+        let a =
+          Array.unsafe_get regs (Array.unsafe_get code (w + 2))
+          + Array.unsafe_get code (w + 3)
+        in
+        let v = Memory.read t.mem a in
+        th.loads <- th.loads + 1;
+        th.ctx_events <- th.ctx_events + 1;
+        th.pending_writeback <- Some (Array.unsafe_get code (w + 1), v);
+        th.status <- Blocked { until = cycle + access_latency t a };
+        burst_flush t th (pc + 1) cycle moves;
+        `Yield
+      | 19 (* store *) ->
+        let a =
+          Array.unsafe_get regs (Array.unsafe_get code (w + 2))
+          + Array.unsafe_get code (w + 3)
+        in
+        let v = Array.unsafe_get regs (Array.unsafe_get code (w + 1)) in
+        Memory.write t.mem a v;
+        th.store_trace_rev <- (a, v) :: th.store_trace_rev;
+        th.stores <- th.stores + 1;
+        th.ctx_events <- th.ctx_events + 1;
+        th.status <- Blocked { until = cycle + access_latency t a };
+        burst_flush t th (pc + 1) cycle moves;
+        `Yield
+      | 20 (* br *) ->
+        burst_go t th code b0 blim regs limit (Array.unsafe_get code (w + 1))
+          cycle moves
+      | 33 (* ctx_switch *) ->
+        th.ctx_events <- th.ctx_events + 1;
+        burst_flush t th (pc + 1) cycle moves;
+        `Yield
+      | 34 (* nop *) -> burst_go t th code b0 blim regs limit (pc + 1) cycle moves
+      | _ (* 35: halt *) ->
+        th.status <- Done cycle;
+        burst_flush t th pc cycle moves;
+        `Yield
+  end
+
+let burst_soa t th ~limit =
+  let soa = match t.soa with Some s -> s | None -> assert false in
+  burst_go t th soa.s_code soa.s_base.(th.id) soa.s_lim.(th.id) t.regs limit
+    th.pc t.cycle 0
 
 (* Round-robin dispatch: the next ready thread after [from]; if none is
    ready but some are blocked, time advances to the earliest wake-up —
@@ -674,7 +920,7 @@ let dispatch t i =
    re-entrant [run_until] (bounded: progress stops at [horizon] and the
    machine can always be resumed). Returns [`Done] only in strict mode,
    when no thread can ever run again. *)
-let exec t ~horizon ~strict ~stop_on_halt =
+let exec_generic t ~horizon ~strict ~stop_on_halt =
   let ret = ref None in
   while !ret = None do
     match t.holder with
@@ -709,7 +955,25 @@ let exec t ~horizon ~strict ~stop_on_halt =
       else if (not strict) && t.cycle >= horizon then ret := Some `Horizon
       else begin
         let th = t.threads.(cur) in
+        let burstable =
+          t.soa_fast
+          && match t.soa with Some s -> s.s_clean.(cur) | None -> false
+        in
         let outcome =
+          if burstable then
+            (* batched slice: run the holder straight out of the flat
+               rows up to the horizon (bounded) or the cycle budget + 1
+               (strict — the budget-exceeding instruction must execute
+               so the loop re-check raises the same [Cycle_limit] as
+               the per-step engines) *)
+            let limit =
+              if strict then
+                if t.config.max_cycles = max_int then max_int
+                else t.config.max_cycles + 1
+              else horizon
+            in
+            burst_soa t th ~limit
+          else
           match step t th with
           | verdict -> verdict
           | exception Quarantine_fault c ->
@@ -734,6 +998,145 @@ let exec t ~horizon ~strict ~stop_on_halt =
       end
   done;
   match !ret with Some r -> r | None -> assert false
+
+(* Specialised driver for a machine whose every thread can burst: the
+   [`Soa] engine with the sentinel off, no timeline, and every code row
+   register-clean. Exactly the state machine of [exec_generic] — the
+   differential suite pins the two drivers cycle-for-cycle, trap state
+   included — but monomorphised for the burst: scheduler state lives in
+   locals with [-1] for "none" (no [Some] allocation per dispatch), the
+   round-robin pick and wake scan are inlined loops, and the
+   sentinel/timeline hooks that are statically no-ops here are gone.
+   This matters because short-burst workloads — spill-heavy allocator
+   output yields every few instructions — spend as much time in the
+   scheduler as in the burst itself. Scheduler state is written back to
+   [t] on every exit, exceptional ones included, so pausing, resuming
+   and trap reports are indistinguishable from the generic driver. *)
+let exec_soa t ~horizon ~strict ~stop_on_halt =
+  let threads = t.threads in
+  let n = Array.length threads in
+  let limit =
+    if strict then
+      if t.config.max_cycles = max_int then max_int else t.config.max_cycles + 1
+    else horizon
+  in
+  let holder = ref (match t.holder with Some i -> i | None -> -1) in
+  let last_yielder = ref (match t.last_yielder with Some i -> i | None -> -1) in
+  let rr_from = ref t.rr_from in
+  let save () =
+    t.holder <- (if !holder < 0 then None else Some !holder);
+    t.last_yielder <- (if !last_yielder < 0 then None else Some !last_yielder);
+    t.rr_from <- !rr_from
+  in
+  let ret = ref None in
+  (try
+     while !ret = None do
+       if !holder < 0 then begin
+         (* [pick], inlined: wake, round-robin scan, or advance time to
+            the earliest blocked wake-up and retry *)
+         let picked = ref (-2) in
+         while !picked = -2 do
+           for i = 0 to n - 1 do
+             let th = threads.(i) in
+             match th.status with
+             | Blocked { until } when until <= t.cycle ->
+               th.status <- Ready;
+               th.ready_since <- max until t.cycle
+             | Blocked _ | Ready | Done _ | Faulted _ -> ()
+           done;
+           (* wrap by conditional subtract, not [mod]: an integer
+              division per probe is the scan's dominant cost *)
+           let cand = ref (-1) in
+           let i = ref (!rr_from + 1) in
+           if !i >= n then i := !i - n;
+           for _ = 1 to n do
+             if !cand < 0 && threads.(!i).status = Ready then cand := !i;
+             incr i;
+             if !i >= n then i := 0
+           done;
+           if !cand >= 0 then picked := !cand
+           else begin
+             let earliest = ref max_int and blocked = ref false in
+             for i = 0 to n - 1 do
+               match threads.(i).status with
+               | Blocked { until } ->
+                 blocked := true;
+                 if until < !earliest then earliest := until
+               | Ready | Done _ | Faulted _ -> ()
+             done;
+             if not !blocked then picked := -1
+             else if strict && !earliest > t.config.max_cycles then
+               raise
+                 (Stuck
+                    (Deadlock
+                       { limit = t.config.max_cycles; threads = statuses t }))
+             else if (not strict) && !earliest > horizon then picked := -1
+             else t.cycle <- max t.cycle !earliest
+           end
+         done;
+         if !picked < 0 then
+           if strict then ret := Some `Done
+           else begin
+             if t.cycle < horizon then t.cycle <- horizon;
+             ret := Some `Idle
+           end
+         else begin
+           let next = !picked in
+           (if !last_yielder >= 0 then
+              let yth = threads.(!last_yielder) in
+              begin
+                if next <> !last_yielder || yth.status <> Ready then begin
+                  t.cycle <- t.cycle + t.config.ctx_switch_cost;
+                  t.switch_cycles <- t.switch_cycles + t.config.ctx_switch_cost
+                end;
+                if yth.status = Ready then yth.ready_since <- t.cycle
+              end);
+           last_yielder := -1;
+           holder := next;
+           (* [dispatch], inlined (the timeline hook is statically off) *)
+           let th = threads.(next) in
+           (match th.pending_writeback with
+           | Some (dst, v) ->
+             write_idx t th dst v;
+             th.pending_writeback <- None
+           | None -> ());
+           th.wait_cycles <- th.wait_cycles + max 0 (t.cycle - th.ready_since);
+           t.dispatches <- t.dispatches + 1
+         end
+       end
+       else if strict && t.cycle > t.config.max_cycles then
+         raise
+           (Stuck
+              (Cycle_limit { limit = t.config.max_cycles; threads = statuses t }))
+       else if (not strict) && t.cycle >= horizon then ret := Some `Horizon
+       else begin
+         let cur = !holder in
+         let th = threads.(cur) in
+         match burst_soa t th ~limit with
+         | `Continue -> ()
+         | `Yield ->
+           holder := -1;
+           rr_from := cur;
+           last_yielder := cur;
+           if
+             stop_on_halt && (match th.status with Done _ -> true | _ -> false)
+           then ret := Some (`Halted cur)
+       end
+     done
+   with e ->
+     save ();
+     raise e);
+  save ();
+  match !ret with Some r -> r | None -> assert false
+
+let exec t ~horizon ~strict ~stop_on_halt =
+  if
+    t.soa_fast
+    && match t.soa with
+       | Some s -> Array.for_all (fun c -> c) s.s_clean
+       | None -> false
+  then exec_soa t ~horizon ~strict ~stop_on_halt
+  else exec_generic t ~horizon ~strict ~stop_on_halt
 
 let run ?(config = default_config) ?(engine = `Decoded) ?(mem_image = [])
     ?(timeline = false) ?(sentinel = `Off) progs =
@@ -925,13 +1328,24 @@ let swap_programs t progs =
           {
             th with
             prog;
-            dcode = (match t.engine with `Decoded -> decode prog | `Legacy -> [||]);
+            dcode = (match t.engine with
+              | `Decoded | `Soa -> decode prog
+              | `Legacy -> [||]);
             pc = 0;
             pending_writeback = None;
             (* counters, traces and completion stamps accumulate across
                the swap so IPC and store-order checks stay continuous *)
           })
       progs;
+    (* program lengths may have changed: rebuild the flat rows in place *)
+    (match t.soa with
+    | Some s ->
+      let ns = build_soa ~nreg:t.config.nreg t.threads in
+      s.s_code <- ns.s_code;
+      s.s_base <- ns.s_base;
+      s.s_lim <- ns.s_lim;
+      s.s_clean <- ns.s_clean
+    | None -> ());
     (match t.sentinel with
     | None -> ()
     | Some s ->

@@ -91,13 +91,25 @@ type sentinel_mode = [ `Off | `Trap | `Quarantine ]
     [`Quarantine] permanently parks the faulting thread (recorded in its
     {!thread_report}) and keeps the other threads running. *)
 
-type engine = [ `Decoded | `Legacy ]
+type engine = [ `Decoded | `Legacy | `Soa ]
 (** [`Decoded] (the default) pre-decodes every program at {!create} into
     a flat immutable int-array form — register operands resolved to file
     indices, branch targets to instruction indices — so the per-cycle
     step allocates nothing and touches no label tables. [`Legacy]
     interprets {!Npra_ir.Instr.t} directly; it is kept as a differential
-    oracle and is proved cycle- and trap-equal by the test suite. *)
+    oracle and is proved cycle- and trap-equal by the test suite.
+
+    [`Soa] executes the same decoded opcode map out of machine-wide
+    struct-of-arrays rows: every thread's quads concatenated into one
+    flat code row over the shared register row, with the dispatched
+    thread run in a batched burst — pc, clock and retired count in
+    locals, ALU/condition evaluation inlined — until it yields the PU or
+    the slice horizon arrives, eliminating all per-instruction scheduler
+    and closure dispatch. The burst engages when the sentinel and
+    timeline are off; an armed or recording [`Soa] machine takes the
+    per-step decoded path. Proven cycle-, trap- and report-equal to
+    [`Decoded] by the differential suite (registry kernels, sentinel
+    modes, chaos stall/scribble, tiered memory, bounded slices). *)
 
 val create :
   ?config:config ->

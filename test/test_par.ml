@@ -75,6 +75,139 @@ let pool_tests =
           claims);
   ]
 
+(* ---------------- work stealing ---------------- *)
+
+(* Adversarially irregular task durations: busy-loop lengths drawn from
+   the repo's xorshift, spanning several orders of magnitude, so the
+   contiguous block deal is dominated by whichever worker drew the long
+   tasks and idle workers must actually steal to finish early. *)
+let busy_costs ~seed n =
+  let s = ref (1 + (seed land 0x3FFFFFF)) in
+  Array.init n (fun _ ->
+      s := Npra_core.Rng.step !s;
+      1 + (!s mod 3_000) * (if !s land 7 = 0 then 50 else 1))
+
+(* A deterministic busy loop: the checksum makes the work irreducible
+   and gives each task a value that would expose any misrouted result. *)
+let spin k =
+  let acc = ref 0 in
+  for i = 1 to k do
+    acc := (!acc + (i * i)) land 0xFFFFFF
+  done;
+  !acc
+
+let stealing_tests =
+  [
+    test "irregular durations: results byte-identical at jobs 1/2/8, both \
+          strategies"
+      (fun () ->
+        let costs = busy_costs ~seed:9 24 in
+        let expected = Array.map spin costs in
+        List.iter
+          (fun strategy ->
+            List.iter
+              (fun jobs ->
+                let p = Pool.create ~jobs ~strategy () in
+                check
+                  Alcotest.(array int)
+                  (Fmt.str "%s, %d jobs"
+                     (match strategy with `Fixed -> "fixed" | `Steal -> "steal")
+                     jobs)
+                  expected
+                  (Pool.tasks p 24 (fun i -> spin costs.(i))))
+              [ 1; 2; 8 ])
+          [ `Fixed; `Steal ]);
+    prop ~count:5 "stealing is result-invariant (random irregular loads)"
+      QCheck.(int_range 0 1_000_000)
+      (fun seed ->
+        let costs = busy_costs ~seed 16 in
+        let expected = Array.map spin costs in
+        Pool.tasks (Pool.create ~jobs:8 ()) 16 (fun i -> spin costs.(i))
+        = expected);
+    test "lowest-index exception wins under stealing at jobs 1/2/8" (fun () ->
+        let costs = busy_costs ~seed:3 64 in
+        List.iter
+          (fun jobs ->
+            let p = Pool.create ~jobs ~strategy:`Steal () in
+            match
+              Pool.tasks p 64 (fun i ->
+                  let (_ : int) = spin costs.(i) in
+                  if i >= 17 then failwith (string_of_int i) else i)
+            with
+            | (_ : int array) -> Alcotest.fail "expected Failure"
+            | exception Failure s ->
+              check Alcotest.string (Fmt.str "%d jobs" jobs) "17" s)
+          [ 1; 2; 8 ]);
+    test "steal_count: zero for fixed pools and single workers" (fun () ->
+        let fixed = Pool.create ~jobs:4 ~strategy:`Fixed () in
+        let (_ : int array) = Pool.tasks fixed 32 spin in
+        check Alcotest.int "fixed steals" 0 (Pool.steal_count fixed);
+        let solo = Pool.create ~jobs:1 () in
+        let (_ : int array) = Pool.tasks solo 32 spin in
+        check Alcotest.int "solo steals" 0 (Pool.steal_count solo);
+        check Alcotest.bool "strategy accessor" true
+          (Pool.strategy fixed = `Fixed && Pool.strategy solo = `Steal));
+  ]
+
+(* ---------------- the virtual-time scheduling model ---------------- *)
+
+let sum = Array.fold_left ( + ) 0
+
+let plan_tests =
+  [
+    prop ~count:30 "steal makespan never exceeds fixed makespan"
+      QCheck.(pair (int_range 0 1_000_000) (int_range 2 8))
+      (fun (seed, jobs) ->
+        let costs = busy_costs ~seed 16 in
+        (Pool.plan ~strategy:`Steal ~jobs ~costs).Pool.p_makespan
+        <= (Pool.plan ~strategy:`Fixed ~jobs ~costs).Pool.p_makespan);
+    prop ~count:30 "plans conserve work and respect lower bounds"
+      QCheck.(pair (int_range 0 1_000_000) (int_range 1 8))
+      (fun (seed, jobs) ->
+        let costs = busy_costs ~seed 12 in
+        let total = sum costs and longest = Array.fold_left max 0 costs in
+        List.for_all
+          (fun strategy ->
+            let p = Pool.plan ~strategy ~jobs ~costs in
+            sum p.Pool.p_worker_busy = total
+            && p.Pool.p_makespan >= longest
+            && p.Pool.p_makespan * min jobs (Array.length costs) >= total)
+          [ `Fixed; `Steal ]);
+    test "a single worker's plan is the serial schedule" (fun () ->
+        let costs = busy_costs ~seed:5 10 in
+        List.iter
+          (fun strategy ->
+            let p = Pool.plan ~strategy ~jobs:1 ~costs in
+            check Alcotest.int "makespan" (sum costs) p.Pool.p_makespan;
+            check Alcotest.int "steals" 0 p.Pool.p_steals)
+          [ `Fixed; `Steal ]);
+    test "stealing visibly beats the fixed deal on a lopsided load" (fun () ->
+        (* all the heavy tasks land in worker 0's block: fixed serializes
+           them; stealing spreads them across the idle workers *)
+        let costs =
+          Array.init 16 (fun i -> if i < 4 then 900 else 1)
+        in
+        let fixed = Pool.plan ~strategy:`Fixed ~jobs:4 ~costs in
+        let steal = Pool.plan ~strategy:`Steal ~jobs:4 ~costs in
+        check Alcotest.int "fixed serializes the heavy block" 3600
+          fixed.Pool.p_makespan;
+        Alcotest.(check bool) "steals happened" true (steal.Pool.p_steals > 0);
+        Alcotest.(check bool) "at least 2x better" true
+          (2 * steal.Pool.p_makespan <= fixed.Pool.p_makespan));
+    test "plan is a pure function of its inputs" (fun () ->
+        let costs = busy_costs ~seed:11 20 in
+        let p1 = Pool.plan ~strategy:`Steal ~jobs:4 ~costs in
+        let p2 = Pool.plan ~strategy:`Steal ~jobs:4 ~costs in
+        Alcotest.(check bool) "identical" true (p1 = p2));
+    test "plan rejects bad inputs" (fun () ->
+        (match Pool.plan ~strategy:`Steal ~jobs:0 ~costs:[| 1 |] with
+        | (_ : Pool.plan) -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+        match Pool.plan ~strategy:`Fixed ~jobs:2 ~costs:[| 1; -3 |] with
+        | (_ : Pool.plan) -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
 (* ---------------- allocation cache ---------------- *)
 
 let cache_progs ids =
@@ -260,6 +393,8 @@ let determinism_tests =
 let suite =
   [
     ("par.pool", pool_tests);
+    ("par.stealing", stealing_tests);
+    ("par.plan", plan_tests);
     ("par.cache", cache_tests);
     ("par.determinism", determinism_tests);
   ]

@@ -355,87 +355,237 @@ let memory_tests =
         check Alcotest.int "reads" 0 (Memory.reads m));
   ]
 
-(* ---------------- decoded vs legacy engine ---------------- *)
+(* ---------------- decoded vs legacy vs soa engines ---------------- *)
 
-(* The pre-decoded fast path must be indistinguishable from the legacy
-   Instr.t interpreter: same cycle counts, same per-thread reports,
-   same store traces, and the same traps on the same cycle. Every
-   registry kernel, allocated as a four-thread system, is the witness
-   set; traps are exercised by hand-built out-of-file programs. *)
-let engine_report engine progs mem_image =
-  Machine.report (Machine.run ~engine ~sentinel:`Trap ~mem_image progs)
+(* Every fast path must be indistinguishable from the legacy Instr.t
+   interpreter: same cycle counts, same per-thread reports, same store
+   traces, and the same traps on the same cycle. Every registry kernel,
+   allocated as a four-thread system, is the witness set; traps are
+   exercised by hand-built out-of-file programs. The [`Soa] engine gets
+   two comparisons per kernel: sentinel armed (where it shares the
+   decoded per-step path) and sentinel off (where the batched burst
+   loop actually runs). *)
+let engine_report ?(sentinel = `Trap) engine progs mem_image =
+  Machine.report (Machine.run ~engine ~sentinel ~mem_image progs)
+
+let kernel_system spec =
+  let open Npra_workloads in
+  let ws = List.init 4 (fun slot -> Registry.instantiate spec ~slot) in
+  let progs = List.map (fun w -> w.Workload.prog) ws in
+  let mem_image = List.concat_map (fun w -> w.Workload.mem_image) ws in
+  let spill_bases = List.map Workload.spill_base ws in
+  let bal = Npra_core.Pipeline.balanced_exn ~nreg:128 ~spill_bases progs in
+  (bal.Npra_core.Pipeline.programs, mem_image)
+
+let check_engines_equal ?sentinel reference candidate progs mem_image =
+  let r = engine_report ?sentinel reference progs mem_image in
+  let c = engine_report ?sentinel candidate progs mem_image in
+  check Alcotest.int "total cycles" r.Machine.total_cycles
+    c.Machine.total_cycles;
+  check Alcotest.string "full report"
+    (Fmt.str "%a" Machine.pp_report r)
+    (Fmt.str "%a" Machine.pp_report c);
+  Alcotest.(check bool) "structurally equal" true (r = c)
 
 let engine_differential_tests =
   let open Npra_workloads in
-  List.map
+  List.concat_map
     (fun spec ->
-      test
-        (Fmt.str "decoded = legacy on kernel %s (4 threads)"
-           spec.Workload.id)
-        (fun () ->
-          let ws = List.init 4 (fun slot -> Registry.instantiate spec ~slot) in
-          let progs = List.map (fun w -> w.Workload.prog) ws in
-          let mem_image =
-            List.concat_map (fun w -> w.Workload.mem_image) ws
-          in
-          let spill_bases = List.map Workload.spill_base ws in
-          let bal =
-            Npra_core.Pipeline.balanced_exn ~nreg:128 ~spill_bases progs
-          in
-          let d =
-            engine_report `Decoded bal.Npra_core.Pipeline.programs mem_image
-          in
-          let l =
-            engine_report `Legacy bal.Npra_core.Pipeline.programs mem_image
-          in
-          check Alcotest.int "total cycles" l.Machine.total_cycles
-            d.Machine.total_cycles;
-          check Alcotest.string "full report"
-            (Fmt.str "%a" Machine.pp_report l)
-            (Fmt.str "%a" Machine.pp_report d);
-          Alcotest.(check bool) "structurally equal" true (d = l)))
+      [
+        test
+          (Fmt.str "decoded = legacy on kernel %s (4 threads)"
+             spec.Workload.id)
+          (fun () ->
+            let progs, mem_image = kernel_system spec in
+            check_engines_equal `Legacy `Decoded progs mem_image);
+        test
+          (Fmt.str "soa = decoded on kernel %s (sentinel armed)"
+             spec.Workload.id)
+          (fun () ->
+            let progs, mem_image = kernel_system spec in
+            check_engines_equal `Decoded `Soa progs mem_image);
+        test
+          (Fmt.str "soa burst = decoded on kernel %s (sentinel off)"
+             spec.Workload.id)
+          (fun () ->
+            let progs, mem_image = kernel_system spec in
+            check_engines_equal ~sentinel:`Off `Decoded `Soa progs mem_image);
+      ])
     Registry.all
+
+(* Each trap case compares all three engines; the sentinel defaults to
+   [`Off] here, so [`Soa] raises from inside its burst loop. *)
+let stuck_outcome ?config engine p =
+  match Machine.run ?config ~engine [ p ] with
+  | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
+  | exception Machine.Stuck s -> Fmt.str "%a" Machine.pp_stuck s
+
+let check_same_stuck ?config p =
+  let l = stuck_outcome ?config `Legacy p in
+  check Alcotest.string "decoded stuck diagnostic" l
+    (stuck_outcome ?config `Decoded p);
+  check Alcotest.string "soa stuck diagnostic" l
+    (stuck_outcome ?config `Soa p)
 
 let engine_trap_tests =
   [
-    test "decoded and legacy trap identically on an out-of-file read"
+    test "engines trap identically on an out-of-file read" (fun () ->
+        check_same_stuck
+          (prog "oob"
+             [
+               Instr.Movi { dst = Reg.P 0; imm = 1 };
+               Instr.Alu
+                 {
+                   op = Instr.Add;
+                   dst = Reg.P 0;
+                   src1 = Reg.P 4000;
+                   src2 = Instr.Imm 1;
+                 };
+               Instr.Halt;
+             ]
+             []));
+    test "engines trap identically on an out-of-file write" (fun () ->
+        check_same_stuck
+          (prog "oob-dst"
+             [ Instr.Movi { dst = Reg.P 999; imm = 1 }; Instr.Halt ]
+             []));
+    test "engines reject virtual registers identically" (fun () ->
+        check_same_stuck
+          (prog "virt"
+             [ Instr.Mov { dst = Reg.P 0; src = Reg.V 3 }; Instr.Halt ]
+             []));
+    test "engines hit the cycle limit identically" (fun () ->
+        (* the spin loop runs entirely inside the soa burst, so this
+           pins the burst's strict cycle budget to the per-step one *)
+        let p = prog "spin" [ Instr.Br { target = "top" } ] [ ("top", 0) ] in
+        let config = { Machine.default_config with max_cycles = 1000 } in
+        check_same_stuck ~config p);
+  ]
+
+(* ---------------- soa burst under the dispatcher's conditions ------ *)
+
+(* The batched burst must also be equivalent where the traffic fabric
+   actually drives machines: tiered memory latencies, bounded
+   [run_until] slices, chaos stalls, and scribble storms under the
+   quarantine sentinel. *)
+
+let three_tiers =
+  Memory.scratch_sram_sdram ~scratch_words:100 ~sram_words:1000
+    ~scratch_latency:2 ~sram_latency:12 ~sdram_latency:40
+
+(* one thread per tier: movi/load/store at a scratch, SRAM and SDRAM
+   address, each thread on its own registers *)
+let tier_probes () =
+  List.mapi
+    (fun i addr ->
+      let r = 4 * i in
+      prog (Fmt.str "tier%d" i)
+        [
+          Instr.Movi { dst = Reg.P (r + 1); imm = addr };
+          Instr.Load { dst = Reg.P r; addr = Reg.P (r + 1); off = 0 };
+          Instr.Store { src = Reg.P r; addr = Reg.P (r + 1); off = 1 };
+          Instr.Halt;
+        ]
+        [])
+    [ 10; 600; 5000 ]
+
+let slice_report engine ~slice progs =
+  let m = Machine.create ~engine ~sentinel:`Off progs in
+  let horizon = ref 0 in
+  let pauses = ref [] in
+  let continue = ref true in
+  while !continue do
+    horizon := !horizon + slice;
+    (match Machine.run_until m ~horizon:!horizon with
+    | `Idle when Machine.cycle m >= !horizon ->
+      (* idle at the horizon forever once all threads halted *)
+      pauses := `Idle :: !pauses;
+      continue :=
+        List.exists
+          (fun i ->
+            match Machine.thread_state m i with
+            | Machine.Completed _ -> false
+            | _ -> true)
+          (List.init (Machine.num_threads m) Fun.id)
+    | p -> pauses := p :: !pauses);
+    if !horizon > 1_000_000 then Alcotest.fail "slice run did not converge"
+  done;
+  (List.rev !pauses, Machine.report m)
+
+let soa_burst_tests =
+  [
+    test "soa = decoded = legacy under tiered memory latencies" (fun () ->
+        let config = { Machine.default_config with tiers = Some three_tiers } in
+        let report engine =
+          Machine.report (Machine.run ~config ~engine (tier_probes ()))
+        in
+        let l = report `Legacy and d = report `Decoded and s = report `Soa in
+        check Alcotest.string "decoded = legacy"
+          (Fmt.str "%a" Machine.pp_report l)
+          (Fmt.str "%a" Machine.pp_report d);
+        check Alcotest.string "soa = decoded"
+          (Fmt.str "%a" Machine.pp_report d)
+          (Fmt.str "%a" Machine.pp_report s);
+        Alcotest.(check bool) "structurally equal" true (s = d);
+        (* and the tiers really engaged: a flat-latency run differs *)
+        let flat =
+          Machine.report (Machine.run ~engine:`Soa (tier_probes ()))
+        in
+        Alcotest.(check bool) "tier latencies observable" true
+          (flat.Machine.total_cycles <> s.Machine.total_cycles));
+    test "soa = decoded across bounded run_until slices" (fun () ->
+        let progs () =
+          [ store_all "a" ~addr:10 [ 1; 2; 3 ]; store_all "b" ~addr:20 [ 4; 5; 6 ] ]
+        in
+        List.iter
+          (fun slice ->
+            let dp, dr = slice_report `Decoded ~slice (progs ()) in
+            let sp, sr = slice_report `Soa ~slice (progs ()) in
+            check Alcotest.int
+              (Fmt.str "pause count at slice %d" slice)
+              (List.length dp) (List.length sp);
+            Alcotest.(check bool)
+              (Fmt.str "same pauses at slice %d" slice)
+              true (dp = sp);
+            check Alcotest.string
+              (Fmt.str "same report at slice %d" slice)
+              (Fmt.str "%a" Machine.pp_report dr)
+              (Fmt.str "%a" Machine.pp_report sr))
+          [ 1; 7; 64 ];
+        (* a sliced soa run equals one strict soa run *)
+        let _, sliced = slice_report `Soa ~slice:7 (progs ()) in
+        let whole = Machine.report (Machine.run ~engine:`Soa (progs ())) in
+        Alcotest.(check bool) "sliced = whole" true (sliced = whole));
+    test "soa = decoded under a chaos stall" (fun () ->
+        let drive engine =
+          let m =
+            Machine.create ~engine ~sentinel:`Off
+              [ store_all "a" ~addr:10 [ 1; 2; 3; 4 ] ]
+          in
+          let p1 = Machine.run_until m ~horizon:5 in
+          Machine.stall m ~until:40;
+          let p2 = Machine.run_until m ~horizon:20 in
+          let retired_mid = Machine.instructions_retired m in
+          let p3 = Machine.run_until m ~horizon:10_000 in
+          ( p1, p2, p3, retired_mid, Machine.cycle m,
+            Fmt.str "%a" Machine.pp_report (Machine.report m) )
+        in
+        Alcotest.(check bool) "identical stall behaviour" true
+          (drive `Decoded = drive `Soa));
+    test "soa = decoded under a scribble storm (quarantine sentinel)"
       (fun () ->
-        let p =
-          prog "oob"
-            [
-              Instr.Movi { dst = Reg.P 0; imm = 1 };
-              Instr.Alu
-                {
-                  op = Instr.Add;
-                  dst = Reg.P 0;
-                  src1 = Reg.P 4000;
-                  src2 = Instr.Imm 1;
-                };
-              Instr.Halt;
-            ]
-            []
+        let drive engine =
+          let m =
+            Machine.create ~engine ~sentinel:`Quarantine (clobber_pair ())
+          in
+          let p1 = Machine.run_until m ~horizon:2 in
+          let hit = Machine.scribble m ~seed:5 ~count:8 in
+          let p2 = Machine.run_until m ~horizon:10_000 in
+          ( p1, hit, p2,
+            Fmt.str "%a" Machine.pp_report (Machine.report m) )
         in
-        let outcome engine =
-          match Machine.run ~engine [ p ] with
-          | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
-          | exception Machine.Stuck s -> Fmt.str "%a" Machine.pp_stuck s
-        in
-        check Alcotest.string "same stuck diagnostic" (outcome `Legacy)
-          (outcome `Decoded));
-    test "decoded and legacy reject virtual registers identically"
-      (fun () ->
-        let p =
-          prog "virt"
-            [ Instr.Mov { dst = Reg.P 0; src = Reg.V 3 }; Instr.Halt ]
-            []
-        in
-        let outcome engine =
-          match Machine.run ~engine [ p ] with
-          | (_ : Machine.t) -> Alcotest.fail "expected Stuck"
-          | exception Machine.Stuck s -> Fmt.str "%a" Machine.pp_stuck s
-        in
-        check Alcotest.string "same stuck diagnostic" (outcome `Legacy)
-          (outcome `Decoded));
+        Alcotest.(check bool) "identical storm behaviour" true
+          (drive `Decoded = drive `Soa));
   ]
 
 let suite =
@@ -444,6 +594,7 @@ let suite =
     ("sim.sentinel", sentinel_tests);
     ("sim.stuck", stuck_tests);
     ("sim.engines", engine_differential_tests @ engine_trap_tests);
+    ("sim.soa_burst", soa_burst_tests);
     ("sim.refexec", refexec_tests);
     ("sim.memory", memory_tests);
   ]

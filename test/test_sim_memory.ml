@@ -91,9 +91,87 @@ let latency_tests =
           (Memory.peek (Machine.memory m) 101));
   ]
 
+(* ---------------- tier classification ---------------- *)
+
+(* The binary search over ascending tier limits must agree with the
+   obvious linear scan on every address, especially at the limits
+   themselves (a tier's limit is exclusive) and at the extremes the
+   harness can produce: negative probe addresses and [max_int], which
+   only the widened last tier can catch. *)
+
+let prop ?(count = 50) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let reference_tier h addr =
+  let ts = Array.of_list (Memory.tiers h) in
+  let n = Array.length ts in
+  let rec go i =
+    if i = n - 1 || addr < ts.(i).Memory.tier_limit then ts.(i) else go (i + 1)
+  in
+  go 0
+
+(* a seeded random hierarchy: 1-6 tiers, strictly ascending limits with
+   both tight (+1) and wide gaps *)
+let hierarchy_of_seed seed =
+  let s = ref (1 + (seed land 0x3FFFFFF)) in
+  let next bound =
+    s := Npra_core.Rng.step !s;
+    !s mod bound
+  in
+  let ntiers = 1 + next 6 in
+  let limit = ref 0 in
+  Memory.tiered
+    (List.init ntiers (fun i ->
+         limit := !limit + 1 + next 2000;
+         {
+           Memory.tier_name = Fmt.str "t%d" i;
+           tier_limit = !limit;
+           tier_latency = next 100;
+         }))
+
+let boundary_addrs h =
+  List.concat_map
+    (fun t ->
+      let l = t.Memory.tier_limit in
+      if l = max_int then [ max_int - 1; max_int ]
+      else [ l - 1; l; l + 1 ])
+    (Memory.tiers h)
+  @ [ min_int; -1; 0; max_int ]
+
+let tier_tests =
+  [
+    prop "binary search = linear scan on random hierarchies"
+      QCheck.(pair (int_range 0 1_000_000) (int_range (-50) 20_000))
+      (fun (seed, addr) ->
+        let h = hierarchy_of_seed seed in
+        List.for_all
+          (fun a -> Memory.tier_of h a = reference_tier h a)
+          (addr :: boundary_addrs h));
+    test "three-level split classifies its boundaries exactly" (fun () ->
+        let h =
+          Memory.scratch_sram_sdram ~scratch_words:128 ~sram_words:1024
+            ~scratch_latency:3 ~sram_latency:15 ~sdram_latency:45
+        in
+        let name a = (Memory.tier_of h a).Memory.tier_name in
+        check Alcotest.string "below scratch limit" "scratch" (name 127);
+        check Alcotest.string "at scratch limit" "sram" (name 128);
+        check Alcotest.string "below sram limit" "sram" (name 1151);
+        check Alcotest.string "at sram limit" "sdram" (name 1152);
+        check Alcotest.string "negative probes are scratch" "scratch" (name (-9));
+        check Alcotest.string "max_int is sdram" "sdram" (name max_int);
+        check Alcotest.int "latency follows the tier" 45
+          (Memory.latency h max_int));
+    test "a flat hierarchy charges one latency everywhere" (fun () ->
+        let h = Memory.flat ~latency:20 in
+        List.iter
+          (fun a -> check Alcotest.int (Fmt.str "addr %d" a) 20 (Memory.latency h a))
+          [ min_int; -1; 0; 1; 123_456; max_int ]);
+  ]
+
 let suite =
   [
     ("sim_memory.semantics", semantics_tests);
     ("sim_memory.counters", counter_tests);
     ("sim_memory.latency", latency_tests);
+    ("sim_memory.tiers", tier_tests);
   ]
